@@ -1,0 +1,461 @@
+package re2xolap
+
+// Benchmarks regenerating the paper's evaluation (one per table/figure)
+// plus the ablations called out in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table mapping:
+//   Fig 6c  → BenchmarkBootstrap*
+//   Fig 7a  → BenchmarkReOLAP/size-*
+//   Fig 8a  → BenchmarkQuery/{orig,dis1,dis2}
+//   Fig 9a  → BenchmarkTopK, BenchmarkPercentile, BenchmarkSimilarity
+//   Fig 10  → BenchmarkBaselineSPARQLByE
+//   ablations → BenchmarkKeywordMatch/{fulltext,scan},
+//               BenchmarkJoinOrdering/{greedy,syntactic},
+//               BenchmarkDisaggregate/{virtualgraph,recrawl},
+//               BenchmarkStoreMatch/{compacted,delta}
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"re2xolap/internal/baseline"
+	"re2xolap/internal/bench"
+	"re2xolap/internal/core"
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/refine"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+	"re2xolap/internal/vgraph"
+)
+
+// benchObservations is the observation scale for the benchmark
+// datasets; the paper's claim that synthesis cost is independent of it
+// is itself checked by BenchmarkReOLAPScale.
+const benchObservations = 20000
+
+var (
+	benchOnce sync.Once
+	benchDS   *bench.Dataset
+	benchErr  error
+)
+
+func eurostatDS(b *testing.B) *bench.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS, benchErr = bench.Prepare(datagen.EurostatLike(benchObservations))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS
+}
+
+// BenchmarkBootstrap measures the Figure 6c bootstrap (virtual schema
+// graph construction) per dataset at a small scale.
+func BenchmarkBootstrap(b *testing.B) {
+	for _, spec := range []datagen.Spec{
+		datagen.EurostatLike(2000),
+		datagen.ProductionLike(2000),
+		datagen.DBpediaLike(2000),
+	} {
+		st, err := spec.BuildStore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := endpoint.NewInProcess(st)
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vgraph.Bootstrap(context.Background(), c, spec.Config()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReOLAP measures Figure 7a: synthesis time by input size.
+func BenchmarkReOLAP(b *testing.B) {
+	d := eurostatDS(b)
+	ctx := context.Background()
+	inputs := d.SampleExamples(21, bench.Sizes, 5)
+	for _, size := range bench.Sizes {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := inputs[size][i%len(inputs[size])]
+				if _, err := d.Engine.Synthesize(ctx, core.Keywords(ex...)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReOLAPScale verifies the paper's independence claim: the
+// same synthesis workload at two observation scales with an identical
+// schema.
+func BenchmarkReOLAPScale(b *testing.B) {
+	ctx := context.Background()
+	for _, obs := range []int{5000, 40000} {
+		d, err := bench.Prepare(datagen.EurostatLike(obs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := d.SampleExamples(22, []int{2}, 5)
+		b.Run(fmt.Sprintf("obs-%d", obs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := inputs[2][i%len(inputs[2])]
+				if _, err := d.Engine.Synthesize(ctx, core.Keywords(ex...)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// workflowQueries builds the Orig / Dis.1 / Dis.2 query chain used by
+// the Figure 8/9 benchmarks.
+func workflowQueries(b *testing.B, d *bench.Dataset) [3]*core.OLAPQuery {
+	b.Helper()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	var ex []string
+	for ex == nil {
+		ex, _ = d.SampleExample(rng, 2)
+	}
+	cands, err := d.Engine.Synthesize(ctx, core.Keywords(ex...))
+	if err != nil || len(cands) == 0 {
+		b.Fatalf("synthesis failed: %v (%d cands)", err, len(cands))
+	}
+	var chain [3]*core.OLAPQuery
+	chain[0] = cands[0].Query
+	for i := 1; i < 3; i++ {
+		dis := refine.Disaggregate(d.Graph, chain[i-1])
+		if len(dis) == 0 {
+			b.Fatal("no disaggregation available")
+		}
+		chain[i] = dis[rng.Intn(len(dis))].Query
+	}
+	return chain
+}
+
+// BenchmarkQuery measures Figure 8a: executing the original and
+// disaggregated queries.
+func BenchmarkQuery(b *testing.B) {
+	d := eurostatDS(b)
+	chain := workflowQueries(b, d)
+	ctx := context.Background()
+	for i, name := range []string{"orig", "dis1", "dis2"} {
+		q := chain[i]
+		b.Run(name, func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				if _, err := d.Engine.Execute(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// refinementInput executes the Dis.2 query once and returns its
+// results for the Figure 9 benchmarks.
+func refinementInput(b *testing.B, d *bench.Dataset) *core.ResultSet {
+	b.Helper()
+	chain := workflowQueries(b, d)
+	rs, err := d.Engine.Execute(context.Background(), chain[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rs
+}
+
+// BenchmarkTopK measures the Figure 9a top-k refinement generation.
+func BenchmarkTopK(b *testing.B) {
+	rs := refinementInput(b, eurostatDS(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refine.TopK(rs)
+	}
+}
+
+// BenchmarkPercentile measures the Figure 9a percentile refinement.
+func BenchmarkPercentile(b *testing.B) {
+	rs := refinementInput(b, eurostatDS(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refine.Percentile(rs)
+	}
+}
+
+// BenchmarkSimilarity measures the Figure 9a similarity refinement.
+func BenchmarkSimilarity(b *testing.B) {
+	rs := refinementInput(b, eurostatDS(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refine.Similarity(rs, refine.DefaultSimilarK)
+	}
+}
+
+// BenchmarkBaselineSPARQLByE measures the Figure 10 baseline.
+func BenchmarkBaselineSPARQLByE(b *testing.B) {
+	d := eurostatDS(b)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(24))
+	var ex []string
+	for ex == nil {
+		ex, _ = d.SampleExample(rng, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.ReverseEngineer(ctx, d.Client, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeywordMatch is the full-text-index ablation: keyword
+// resolution with the inverted index versus a literal scan.
+func BenchmarkKeywordMatch(b *testing.B) {
+	d := eurostatDS(b)
+	query := `SELECT DISTINCT ?m ?q ?lit WHERE { ?m ?q ?lit . FILTER (ISLITERAL(?lit)) FILTER (CONTAINS(LCASE(STR(?lit)), "country 17")) FILTER (ISIRI(?m)) }`
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fulltext", false}, {"scan", true}} {
+		eng := sparql.NewEngine(d.Store)
+		eng.DisableTextIndex = mode.disable
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryString(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinOrdering is the planner ablation: greedy
+// selectivity-based join ordering versus syntactic order.
+func BenchmarkJoinOrdering(b *testing.B) {
+	d := eurostatDS(b)
+	// Syntactically worst order: the unselective member pattern first.
+	query := fmt.Sprintf(`SELECT ?cont (SUM(?v) AS ?s) WHERE {
+		?m <%sinContinent> ?cont .
+		?o <%scitizen> ?m .
+		?o <%snumApplicants> ?v .
+		?o a <%sObservation> .
+	} GROUP BY ?cont`, d.Spec.NS, d.Spec.NS, d.Spec.NS, d.Spec.NS)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"greedy", false}, {"syntactic", true}} {
+		eng := sparql.NewEngine(d.Store)
+		eng.DisableJoinOrdering = mode.disable
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryString(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDisaggregate is the virtual-graph ablation: enumerating
+// drill-downs over the in-memory virtual graph versus re-crawling the
+// store for the schema first (what a system without the virtual graph
+// would pay on every refinement).
+func BenchmarkDisaggregate(b *testing.B) {
+	d := eurostatDS(b)
+	chain := workflowQueries(b, d)
+	b.Run("virtualgraph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refine.Disaggregate(d.Graph, chain[0])
+		}
+	})
+	b.Run("recrawl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := vgraph.Bootstrap(context.Background(), d.Client, d.Spec.Config())
+			if err != nil {
+				b.Fatal(err)
+			}
+			refine.Disaggregate(g, chain[0])
+		}
+	})
+}
+
+// BenchmarkStoreMatch is the delta-buffer ablation: point lookups on a
+// fully compacted store versus one with a resident delta.
+func BenchmarkStoreMatch(b *testing.B) {
+	build := func(compact bool) (*store.Store, store.ID) {
+		st := store.New()
+		var ts []rdf.Triple
+		for i := 0; i < 50000; i++ {
+			ts = append(ts, rdf.NewTriple(
+				rdf.NewIRI(fmt.Sprintf("http://b/s%d", i%5000)),
+				rdf.NewIRI(fmt.Sprintf("http://b/p%d", i%10)),
+				rdf.NewIRI(fmt.Sprintf("http://b/o%d", i)),
+			))
+		}
+		if compact {
+			if err := st.AddAll(ts); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			// Keep the last chunk in the delta.
+			if err := st.AddAll(ts[:40000]); err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range ts[40000:] {
+				if err := st.Add(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		pid, _ := st.Dict().Lookup(rdf.NewIRI("http://b/p3"))
+		return st, pid
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"compacted", true}, {"delta", false}} {
+		st, pid := build(mode.compact)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				st.Match(0, pid, 0, func(_, _, _ store.ID) bool {
+					n++
+					return true
+				})
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot compares loading the same dataset from the binary
+// snapshot versus re-parsing N-Triples.
+func BenchmarkSnapshot(b *testing.B) {
+	spec := datagen.EurostatLike(5000)
+	st, err := spec.BuildStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := st.WriteSnapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	var nt bytes.Buffer
+	if err := spec.Write(&nt); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.ReadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load-ntriples", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s2 := store.New()
+			if _, err := s2.Load(bytes.NewReader(nt.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := st.WriteSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSPARQLParse measures parser throughput on a representative
+// generated analytical query.
+func BenchmarkSPARQLParse(b *testing.B) {
+	d := eurostatDS(b)
+	chain := workflowQueries(b, d)
+	src := chain[2].ToSPARQL()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreLoad measures bulk N-Triples ingestion.
+func BenchmarkStoreLoad(b *testing.B) {
+	var nt bytes.Buffer
+	if err := datagen.EurostatLike(5000).Write(&nt); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(nt.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := store.New()
+		if _, err := st.Load(bytes.NewReader(nt.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndpointRoundTrip measures one aggregate query through the
+// full HTTP protocol stack.
+func BenchmarkEndpointRoundTrip(b *testing.B) {
+	d := eurostatDS(b)
+	srv := httptest.NewServer(endpoint.NewServer(d.Store))
+	defer srv.Close()
+	c := endpoint.NewHTTPClient(srv.URL)
+	ctx := context.Background()
+	query := fmt.Sprintf(`SELECT ?s (SUM(?v) AS ?t) WHERE { ?o <%ssex> ?s . ?o <%snumApplicants> ?v . } GROUP BY ?s`, d.Spec.NS, d.Spec.NS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchItemCache is the keyword-cache ablation: repeated
+// resolution of the same example item with and without the LRU.
+func BenchmarkMatchItemCache(b *testing.B) {
+	d := eurostatDS(b)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	var ex []string
+	for ex == nil {
+		ex, _ = d.SampleExample(rng, 1)
+	}
+	item := core.NewKeyword(ex[0])
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"uncached", true}} {
+		d.Engine.DisableMatchCache = mode.disable
+		d.Engine.InvalidateCache()
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Engine.MatchItem(ctx, item); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	d.Engine.DisableMatchCache = false
+}

@@ -1,0 +1,104 @@
+// Command sparqld serves an RDF dataset over the SPARQL 1.1 protocol
+// (query via GET or POST, application/sparql-results+json responses),
+// playing the role of the external triplestore in the paper's
+// architecture:
+//
+//	sparqld -addr :8085 -data dataset.nt
+//	sparqld -addr :8085 -gen eurostat -obs 50000
+//
+// Then point cmd/re2xolap (or any SPARQL client) at
+// http://localhost:8085/sparql.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8085", "listen address")
+	data := flag.String("data", "", "N-Triples/Turtle file to load (.snap loads a binary snapshot)")
+	gen := flag.String("gen", "", "generate a synthetic dataset instead: eurostat, production, dbpedia")
+	obs := flag.Int("obs", 10000, "observations for -gen")
+	flag.Parse()
+
+	st, err := buildStore(*data, *gen, *obs)
+	if err != nil {
+		log.Fatalf("sparqld: %v", err)
+	}
+	stats := st.Stats()
+	log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql",
+		stats.Triples, stats.Terms, stats.Predicates, *addr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", endpoint.NewServer(st))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok %d triples\n", st.Len())
+	})
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  time.Minute,
+		WriteTimeout: 15 * time.Minute, // analytical queries can be slow
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildStore(data, gen string, obs int) (*store.Store, error) {
+	switch {
+	case data != "" && gen != "":
+		return nil, fmt.Errorf("-data and -gen are mutually exclusive")
+	case data != "":
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(data, ".snap") {
+			st, err := store.ReadSnapshot(f)
+			if err != nil {
+				return nil, fmt.Errorf("loading snapshot %s: %w", data, err)
+			}
+			log.Printf("sparqld: loaded %d triples from snapshot %s", st.Len(), data)
+			return st, nil
+		}
+		st := store.New()
+		n, err := st.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", data, err)
+		}
+		log.Printf("sparqld: loaded %d triples from %s", n, data)
+		return st, nil
+	case gen != "":
+		spec, err := presetByName(gen, obs)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("sparqld: generating %s with %d observations...", gen, obs)
+		return spec.BuildStore()
+	default:
+		return nil, fmt.Errorf("one of -data or -gen is required")
+	}
+}
+
+func presetByName(name string, obs int) (datagen.Spec, error) {
+	switch name {
+	case "eurostat":
+		return datagen.EurostatLike(obs), nil
+	case "production":
+		return datagen.ProductionLike(obs), nil
+	case "dbpedia":
+		return datagen.DBpediaLike(obs), nil
+	default:
+		return datagen.Spec{}, fmt.Errorf("unknown preset %q (want eurostat, production, or dbpedia)", name)
+	}
+}

@@ -1,0 +1,115 @@
+package re2xolap_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"re2xolap"
+)
+
+// asylumKG is the paper's Figure 1 fragment as Turtle.
+const asylumKG = `
+@prefix ex: <http://asylum.example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:origin rdfs:label "Country of Origin" .
+ex:dest rdfs:label "Country of Destination" .
+ex:inContinent rdfs:label "In Continent" .
+ex:numApplicants rdfs:label "Num Applicants" .
+ex:de ex:inContinent ex:europe ; rdfs:label "Germany" .
+ex:fr ex:inContinent ex:europe ; rdfs:label "France" .
+ex:sy ex:inContinent ex:asia ; rdfs:label "Syria" .
+ex:europe rdfs:label "Europe" .
+ex:asia rdfs:label "Asia" .
+ex:obs0 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:de ; ex:numApplicants 403 .
+ex:obs1 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:fr ; ex:numApplicants 120 .
+ex:obs2 a ex:Observation ; ex:origin ex:de ; ex:dest ex:fr ; ex:numApplicants 10 .
+`
+
+func buildExampleSystem() *re2xolap.System {
+	st := re2xolap.NewStore()
+	if _, err := st.Load(strings.NewReader(asylumKG)); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := re2xolap.Bootstrap(context.Background(), re2xolap.NewInProcessClient(st), re2xolap.Config{
+		ObservationClass: "http://asylum.example.org/Observation",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+// Synthesizing analytical queries from a keyword example.
+func ExampleSystem_Synthesize() {
+	sys := buildExampleSystem()
+	cands, err := sys.Synthesize(context.Background(), "Asia", "Germany")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cands {
+		fmt.Println(c.Query.Description)
+	}
+	// Output:
+	// Return SUM/MIN/MAX/AVG(Num Applicants) grouped by "Country of Origin / In Continent" and "Country of Destination"
+}
+
+// Running a synthesized query and reading its aggregate results.
+func ExampleSystem_Execute() {
+	sys := buildExampleSystem()
+	ctx := context.Background()
+	cands, _ := sys.Synthesize(ctx, "Asia", "Germany")
+	rs, err := sys.Execute(ctx, cands[0].Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("groups:", rs.Len())
+	fmt.Println("example present:", len(rs.ExampleTuples()) > 0)
+	// Output:
+	// groups: 3
+	// example present: true
+}
+
+// An interactive session: disaggregation keeps the example in scope.
+func ExampleSession() {
+	sys := buildExampleSystem()
+	ctx := context.Background()
+	cands, _ := sys.Synthesize(ctx, "Germany")
+	var q *re2xolap.OLAPQuery
+	for _, c := range cands {
+		if strings.Contains(c.Query.Description, "Destination") {
+			q = c.Query
+		}
+	}
+	sess := sys.NewSession()
+	rs, err := sess.Start(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial groups:", rs.Len())
+	opts, _ := sess.Options(ctx, re2xolap.Disaggregate)
+	fmt.Println("disaggregations offered:", len(opts))
+	// Output:
+	// initial groups: 2
+	// disaggregations offered: 2
+}
+
+// Contrasting two example sets (a Section 8 extension).
+func ExampleSystem_Contrast() {
+	sys := buildExampleSystem()
+	cs, err := sys.Contrast(context.Background(),
+		re2xolap.Keywords("Germany"), re2xolap.Keywords("France"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cs {
+		for _, row := range c.Rows {
+			if strings.HasPrefix(row.Column, "sum_") {
+				fmt.Printf("%s: %.0f vs %.0f\n", row.Column, row.A, row.B)
+			}
+		}
+	}
+	// Output:
+	// sum_numApplicants: 403 vs 130
+}

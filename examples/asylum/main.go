@@ -1,0 +1,182 @@
+// Asylum: the paper's running example end to end. Alex, a journalist,
+// explores "Requests for Asylum" data (the Figure 1 KG, loaded from
+// inline Turtle) without writing a single query: starting from the
+// example ⟨"Asia", "Germany"⟩ they synthesize an aggregate query,
+// drill down by year, find destinations with volumes similar to
+// Germany, and finally keep only the top group.
+//
+//	go run ./examples/asylum
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"re2xolap"
+)
+
+// asylumTTL is a hand-written Figure-1-style statistical KG.
+const asylumTTL = `
+@prefix ex: <http://asylum.example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:origin rdfs:label "Country of Origin" .
+ex:dest rdfs:label "Country of Destination" .
+ex:inContinent rdfs:label "In Continent" .
+ex:refPeriod rdfs:label "Reference Period" .
+ex:inYear rdfs:label "In Year" .
+ex:age rdfs:label "Age Range" .
+ex:numApplicants rdfs:label "Num Applicants" .
+
+ex:de ex:inContinent ex:europe ; rdfs:label "Germany" .
+ex:fr ex:inContinent ex:europe ; rdfs:label "France" .
+ex:se ex:inContinent ex:europe ; rdfs:label "Sweden" .
+ex:at ex:inContinent ex:europe ; rdfs:label "Austria" .
+ex:sy ex:inContinent ex:asia ; rdfs:label "Syria" .
+ex:cn ex:inContinent ex:asia ; rdfs:label "China" .
+ex:ng ex:inContinent ex:africa ; rdfs:label "Nigeria" .
+ex:europe rdfs:label "Europe" .
+ex:asia rdfs:label "Asia" .
+ex:africa rdfs:label "Africa" .
+
+ex:m2013-10 ex:inYear ex:y2013 ; rdfs:label "October 2013" .
+ex:m2014-03 ex:inYear ex:y2014 ; rdfs:label "March 2014" .
+ex:m2014-10 ex:inYear ex:y2014 ; rdfs:label "October 2014" .
+ex:y2013 rdfs:label "2013" .
+ex:y2014 rdfs:label "2014" .
+
+ex:a18 rdfs:label "18-34" .
+ex:a35 rdfs:label "35-64" .
+
+ex:obs0 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:de ; ex:refPeriod ex:m2014-10 ; ex:age ex:a18 ; ex:numApplicants 403 .
+ex:obs1 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:de ; ex:refPeriod ex:m2014-03 ; ex:age ex:a35 ; ex:numApplicants 350 .
+ex:obs2 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:fr ; ex:refPeriod ex:m2014-10 ; ex:age ex:a18 ; ex:numApplicants 120 .
+ex:obs3 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:se ; ex:refPeriod ex:m2014-03 ; ex:age ex:a18 ; ex:numApplicants 390 .
+ex:obs4 a ex:Observation ; ex:origin ex:cn ; ex:dest ex:de ; ex:refPeriod ex:m2013-10 ; ex:age ex:a35 ; ex:numApplicants 60 .
+ex:obs5 a ex:Observation ; ex:origin ex:cn ; ex:dest ex:fr ; ex:refPeriod ex:m2014-03 ; ex:age ex:a18 ; ex:numApplicants 85 .
+ex:obs6 a ex:Observation ; ex:origin ex:ng ; ex:dest ex:at ; ex:refPeriod ex:m2014-10 ; ex:age ex:a18 ; ex:numApplicants 40 .
+ex:obs7 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:de ; ex:refPeriod ex:m2013-10 ; ex:age ex:a18 ; ex:numApplicants 280 .
+ex:obs8 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:se ; ex:refPeriod ex:m2014-10 ; ex:age ex:a35 ; ex:numApplicants 310 .
+ex:obs9 a ex:Observation ; ex:origin ex:cn ; ex:dest ex:se ; ex:refPeriod ex:m2013-10 ; ex:age ex:a18 ; ex:numApplicants 75 .
+ex:obs10 a ex:Observation ; ex:origin ex:ng ; ex:dest ex:fr ; ex:refPeriod ex:m2014-03 ; ex:age ex:a35 ; ex:numApplicants 55 .
+ex:obs11 a ex:Observation ; ex:origin ex:sy ; ex:dest ex:at ; ex:refPeriod ex:m2014-03 ; ex:age ex:a18 ; ex:numApplicants 95 .
+`
+
+func main() {
+	ctx := context.Background()
+	st := re2xolap.NewStore()
+	if _, err := st.Load(strings.NewReader(asylumTTL)); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := re2xolap.Bootstrap(ctx, re2xolap.NewInProcessClient(st), re2xolap.Config{
+		ObservationClass: "http://asylum.example.org/Observation",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — Alex provides entities of interest, no query.
+	fmt.Println("Alex asks about: ⟨\"Asia\", \"Germany\"⟩")
+	cands, err := sys.Synthesize(ctx, "Asia", "Germany")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range cands {
+		fmt.Printf("  [%d] %s\n", i, c.Query.Description)
+	}
+
+	// Pick the interpretation with Germany as destination.
+	var chosen *re2xolap.OLAPQuery
+	for _, c := range cands {
+		if strings.Contains(c.Query.Description, "Destination") {
+			chosen = c.Query
+			break
+		}
+	}
+	if chosen == nil {
+		chosen = cands[0].Query
+	}
+	sess := sys.NewSession()
+	rs, err := sess.Start(ctx, chosen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStep 1 results (%d tuples):\n", rs.Len())
+	printTuples(rs)
+
+	// Step 2 — drill down by year.
+	dis, err := sess.Options(ctx, re2xolap.Disaggregate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStep 2 — Disaggregate options: %d\n", len(dis))
+	for _, r := range dis {
+		if strings.Contains(r.Why, "In Year") {
+			rs, err = sess.Apply(ctx, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("applied: %s → %d tuples\n", r.Why, rs.Len())
+			break
+		}
+	}
+	printTuples(rs)
+
+	// Step 3 — destinations with volumes similar to Germany.
+	sim, err := sess.Options(ctx, re2xolap.Similarity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStep 3 — Similarity options: %d\n", len(sim))
+	if len(sim) > 0 {
+		rs, err = sess.Apply(ctx, sim[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("applied: %s → %d tuples\n", sim[0].Why, rs.Len())
+		printTuples(rs)
+	}
+
+	// Step 4 — keep the top group only.
+	topk, err := sess.Options(ctx, re2xolap.TopK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStep 4 — TopK options: %d\n", len(topk))
+	if len(topk) > 0 {
+		rs, err = sess.Apply(ctx, topk[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("applied: %s → %d tuples\n", topk[0].Why, rs.Len())
+		printTuples(rs)
+	}
+
+	fmt.Printf("\nexploration depth: %d steps; final query:\n%s\n", sess.Depth(), sess.Current().Query.ToSPARQL())
+}
+
+func printTuples(rs *re2xolap.ResultSet) {
+	var sumCol string
+	for _, a := range rs.Query.Aggregates {
+		if a.Func == "SUM" {
+			sumCol = a.OutVar
+		}
+	}
+	for _, t := range rs.Tuples {
+		for _, d := range t.Dims {
+			fmt.Printf("  %-14s", short(d.Value))
+		}
+		fmt.Printf("  SUM=%.0f\n", t.Measures[sumCol])
+	}
+}
+
+func short(v string) string {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i] == '/' || v[i] == '#' {
+			return v[i+1:]
+		}
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+// Endpoint: the paper's deployment architecture — the RE2xOLAP server
+// and the triplestore are separate processes speaking the SPARQL 1.1
+// protocol. This example starts an HTTP SPARQL endpoint in-process,
+// then bootstraps and explores through it exactly as cmd/re2xolap
+// would against cmd/sparqld (or Virtuoso, Fuseki, ...).
+//
+//	go run ./examples/endpoint
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"re2xolap"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The "triplestore" side: a store served over HTTP.
+	spec := re2xolap.EurostatLike(3000)
+	st, err := spec.BuildStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: re2xolap.NewSPARQLServer(st), WriteTimeout: time.Minute}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Println("SPARQL endpoint listening on", url)
+
+	// The RE2xOLAP side: everything goes through the protocol.
+	client := re2xolap.NewHTTPClient(url)
+	t0 := time.Now()
+	sys, err := re2xolap.Bootstrap(ctx, client, spec.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped over HTTP in %s: %d levels\n",
+		time.Since(t0).Round(time.Millisecond), sys.Graph.Stats().Levels)
+
+	cands, err := sys.Synthesize(ctx, "Country 9", "Continent 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interpretations over HTTP: %d\n", len(cands))
+	for i, c := range cands {
+		fmt.Printf("  [%d] %s\n", i, c.Query.Description)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	rs, err := sys.Execute(ctx, cands[0].Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed over HTTP: %d tuples, example present: %v\n",
+		rs.Len(), len(rs.ExampleTuples()) > 0)
+}

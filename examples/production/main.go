@@ -1,0 +1,100 @@
+// Production: subset refinements on the macro-economic Production-like
+// KG. An analyst starts from one industry of interest, inspects the
+// aggregated amounts per industry sector, and uses the percentile and
+// top-k dice refinements (Problem 2b) to focus on the interesting value
+// ranges — the "max and min values within distinct groupings" need the
+// paper's user study identified.
+//
+//	go run ./examples/production
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"re2xolap"
+)
+
+func main() {
+	ctx := context.Background()
+	spec := re2xolap.ProductionLike(20000)
+	st, err := spec.BuildStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := re2xolap.Bootstrap(ctx, re2xolap.NewInProcessClient(st), spec.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped: %s", sys.Graph)
+
+	// The analyst knows one sector by name.
+	cands, err := sys.Synthesize(ctx, "Group 12")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cands) == 0 {
+		log.Fatal("no interpretation")
+	}
+	fmt.Printf("\ninterpretations: %d; using: %s\n", len(cands), cands[0].Query.Description)
+
+	sess := sys.NewSession()
+	rs, err := sess.Start(ctx, cands[0].Query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial result: %d sector groups\n", rs.Len())
+
+	// Percentile refinement: where does the example sector sit?
+	perc, err := sess.Options(ctx, re2xolap.Percentile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npercentile refinements offered: %d\n", len(perc))
+	for i, r := range perc {
+		if i >= 6 {
+			fmt.Printf("  ... and %d more\n", len(perc)-6)
+			break
+		}
+		fmt.Printf("  [%d] %s\n", i, r.Why)
+	}
+	if len(perc) > 0 {
+		rs, err = sess.Apply(ctx, perc[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("applied [0] → %d tuples (example still present: %v)\n",
+			rs.Len(), len(rs.ExampleTuples()) > 0)
+	}
+
+	// Back up and take the top-k view instead.
+	sess.Backtrack()
+	topk, err := sess.Options(ctx, re2xolap.TopK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-k refinements offered: %d\n", len(topk))
+	for i, r := range topk {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("  [%d] %s\n", i, r.Why)
+	}
+	if len(topk) > 0 {
+		rs, err = sess.Apply(ctx, topk[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("applied [0] → %d tuples\n", rs.Len())
+		var sumCol string
+		for _, a := range rs.Query.Aggregates {
+			if a.Func == "SUM" {
+				sumCol = a.OutVar
+			}
+		}
+		for _, t := range rs.Tuples {
+			fmt.Printf("  %-60s SUM=%.0f\n", t.Dims[0].Value, t.Measures[sumCol])
+		}
+	}
+}

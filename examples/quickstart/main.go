@@ -1,0 +1,73 @@
+// Quickstart: generate a small statistical KG, bootstrap RE2xOLAP,
+// reverse-engineer analytical queries from a two-keyword example, and
+// print the Table-2-style result of the first interpretation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"re2xolap"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. A statistical KG. Here we generate the Eurostat-like dataset;
+	//    load your own triples with store.Load instead.
+	spec := re2xolap.EurostatLike(5000)
+	st, err := spec.BuildStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Bootstrap: crawl the endpoint once, building the virtual
+	//    schema graph (the paper's offline phase).
+	sys, err := re2xolap.Bootstrap(ctx, re2xolap.NewInProcessClient(st), spec.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sys.Graph.String())
+
+	// 3. Query synthesis from examples — no SPARQL written by the user.
+	//    The generated members are labeled "<Level Label> <n>".
+	cands, err := sys.Synthesize(ctx, "Country 5", "Period 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d candidate interpretations:\n", len(cands))
+	for i, c := range cands {
+		fmt.Printf("  [%d] %s\n", i, c.Query.Description)
+	}
+	if len(cands) == 0 {
+		log.Fatal("no interpretation found")
+	}
+
+	// 4. Execute the chosen interpretation.
+	q := cands[0].Query
+	fmt.Println("\nSPARQL:\n" + q.ToSPARQL())
+	rs, err := sys.Execute(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sumCol string
+	for _, a := range q.Aggregates {
+		if a.Func == "SUM" {
+			sumCol = a.OutVar
+		}
+	}
+	fmt.Printf("\n%d result tuples (first 10):\n", rs.Len())
+	for i, t := range rs.Tuples {
+		if i >= 10 {
+			break
+		}
+		for _, d := range t.Dims {
+			fmt.Printf("%-50s ", d.Value)
+		}
+		fmt.Printf("SUM=%.0f\n", t.Measures[sumCol])
+	}
+	fmt.Printf("\ntuples matching the example: %d\n", len(rs.ExampleTuples()))
+}

@@ -1,0 +1,3 @@
+module re2xolap
+
+go 1.22

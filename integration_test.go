@@ -1,0 +1,93 @@
+package re2xolap
+
+import (
+	"context"
+	"testing"
+)
+
+// TestIntegrationAllPresets runs the complete pipeline — generate,
+// bootstrap, synthesize, execute, and every refinement method — on all
+// three paper datasets at a small scale. It is the cross-dataset
+// regression net for the experiment harness.
+func TestIntegrationAllPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	specs := []DatasetSpec{
+		EurostatLike(1500),
+		ProductionLike(1500),
+		DBpediaLike(1500),
+	}
+	// Shrink DBpedia's artist dimension for test speed while keeping
+	// all 23 levels.
+	specs[2].Dimensions[0].Members = 1500
+
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ctx := context.Background()
+			st, err := spec.BuildStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := Bootstrap(ctx, NewInProcessClient(st), spec.Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := sys.Graph.Stats()
+			if stats.Dimensions != len(spec.Dimensions) {
+				t.Errorf("dimensions = %d, want %d", stats.Dimensions, len(spec.Dimensions))
+			}
+			if stats.Levels != spec.LevelTotal() {
+				t.Errorf("levels = %d, want %d", stats.Levels, spec.LevelTotal())
+			}
+
+			// Sample a real base-level member label via a SPARQL query.
+			res, err := sys.Client.Query(ctx, `SELECT ?l WHERE { ?o a <`+spec.ObservationClass()+`> . ?o <`+spec.NS+spec.Dimensions[0].Pred+`> ?m . ?m <http://www.w3.org/2000/01/rdf-schema#label> ?l . } LIMIT 1`)
+			if err != nil || res.Len() == 0 {
+				t.Fatalf("sampling label: %v (%d rows)", err, res.Len())
+			}
+			keyword := res.Rows[0][0].Value
+
+			cands, err := sys.Synthesize(ctx, keyword)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) == 0 {
+				t.Fatalf("no candidates for %q", keyword)
+			}
+			sess := sys.NewSession()
+			rs, err := sess.Start(ctx, cands[0].Query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Len() == 0 || len(rs.ExampleTuples()) == 0 {
+				t.Fatalf("initial results = %d (example hits %d)", rs.Len(), len(rs.ExampleTuples()))
+			}
+			// One disaggregation, then every subset refinement method.
+			dis, err := sess.Options(ctx, Disaggregate)
+			if err != nil || len(dis) == 0 {
+				t.Fatalf("disaggregate: %v (%d)", err, len(dis))
+			}
+			if _, err := sess.Apply(ctx, dis[0]); err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range []RefinementKind{TopK, Percentile, Similarity, Cluster} {
+				opts, err := sess.Options(ctx, kind)
+				if err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+				if len(opts) == 0 {
+					continue
+				}
+				rs2, err := sys.Execute(ctx, opts[0].Query)
+				if err != nil {
+					t.Fatalf("%s execute: %v", kind, err)
+				}
+				if len(rs2.ExampleTuples()) == 0 {
+					t.Errorf("%s refinement lost the example", kind)
+				}
+			}
+		})
+	}
+}

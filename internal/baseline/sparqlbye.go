@@ -1,0 +1,134 @@
+// Package baseline implements a SPARQLByE-style reverse engineering
+// baseline (Diaz, Arenas, Benedikt — PVLDB 2016) for the Section 7.2
+// comparison: given example values, it derives the minimal basic graph
+// pattern covering the matched entities. As the paper's Figure 10
+// illustrates, such a baseline characterizes each example entity in
+// isolation (one hop), produces no aggregates or grouping, and never
+// connects the entities to observations — which is exactly why
+// analytical exploration needs ReOLAP instead.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/rdf"
+)
+
+// Pattern is one derived triple pattern for an example item:
+// ?x<i> <Pred> <Obj>.
+type Pattern struct {
+	Var  string
+	Pred string
+	Obj  string
+}
+
+// Result is the reverse-engineered minimal BGP.
+type Result struct {
+	// Patterns per example item, in input order. An item with no
+	// shared characterization contributes a label-filter pattern
+	// recorded in Fallbacks instead.
+	Patterns []Pattern
+	// Fallbacks are items characterized only by their matched literal.
+	Fallbacks []string
+	// Query is the final SELECT * query text.
+	Query string
+}
+
+// MaxEntitiesPerItem caps the entities considered per example value.
+const MaxEntitiesPerItem = 200
+
+// ReverseEngineer derives the minimal one-hop BGP covering the example
+// values: for each value it finds the matching entities and keeps the
+// (predicate, object) pairs shared by all of them. Variables for
+// different items are deliberately left unconnected, reproducing the
+// baseline's behavior on multi-hop analytical structures.
+func ReverseEngineer(ctx context.Context, c endpoint.Client, items []string) (*Result, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("baseline: empty example")
+	}
+	res := &Result{}
+	var body strings.Builder
+	for i, item := range items {
+		v := fmt.Sprintf("x%d", i)
+		entities, err := matchEntities(ctx, c, item)
+		if err != nil {
+			return nil, err
+		}
+		if len(entities) == 0 {
+			return nil, fmt.Errorf("baseline: no entity matches %q", item)
+		}
+		shared, err := sharedPairs(ctx, c, entities)
+		if err != nil {
+			return nil, err
+		}
+		if len(shared) == 0 {
+			// Fall back to the label restriction itself.
+			res.Fallbacks = append(res.Fallbacks, item)
+			fmt.Fprintf(&body, "  ?%s ?p%d ?lit%d . FILTER (CONTAINS(LCASE(STR(?lit%d)), %s))\n",
+				v, i, i, i, rdf.NewString(strings.ToLower(item)))
+			continue
+		}
+		for _, pr := range shared {
+			res.Patterns = append(res.Patterns, Pattern{Var: v, Pred: pr[0], Obj: pr[1]})
+			fmt.Fprintf(&body, "  ?%s <%s> <%s> .\n", v, pr[0], pr[1])
+		}
+	}
+	res.Query = "SELECT * WHERE {\n" + body.String() + "}"
+	return res, nil
+}
+
+func matchEntities(ctx context.Context, c endpoint.Client, keyword string) ([]rdf.Term, error) {
+	q := fmt.Sprintf(
+		`SELECT DISTINCT ?m WHERE { ?m ?q ?lit . FILTER (ISLITERAL(?lit)) FILTER (CONTAINS(LCASE(STR(?lit)), %s)) FILTER (ISIRI(?m)) }`,
+		rdf.NewString(strings.ToLower(keyword)))
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: matching %q: %w", keyword, err)
+	}
+	var out []rdf.Term
+	for _, row := range res.Rows {
+		if len(out) >= MaxEntitiesPerItem {
+			break
+		}
+		out = append(out, row[0])
+	}
+	return out, nil
+}
+
+// sharedPairs returns the (predicate, IRI object) pairs common to every
+// entity, sorted for determinism.
+func sharedPairs(ctx context.Context, c endpoint.Client, entities []rdf.Term) ([][2]string, error) {
+	counts := map[[2]string]int{}
+	for _, e := range entities {
+		q := fmt.Sprintf(`SELECT DISTINCT ?p ?o WHERE { %s ?p ?o . FILTER (ISIRI(?o)) }`, e)
+		res, err := c.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: describing %s: %w", e, err)
+		}
+		seen := map[[2]string]bool{}
+		for _, row := range res.Rows {
+			pr := [2]string{row[0].Value, row[1].Value}
+			if !seen[pr] {
+				seen[pr] = true
+				counts[pr]++
+			}
+		}
+	}
+	var out [][2]string
+	for pr, n := range counts {
+		if n == len(entities) {
+			out = append(out, pr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out, nil
+}

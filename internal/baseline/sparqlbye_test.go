@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/testkg"
+)
+
+func TestReverseEngineerSingle(t *testing.T) {
+	_, c, _ := testkg.BootstrapFixture(t, nil)
+	res, err := ReverseEngineer(context.Background(), c, []string{"Asia"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "asia" matches only the continent node; its only IRI edges are
+	// none (continents have no outgoing IRI edges in the fixture), so
+	// the label fallback is used.
+	if len(res.Fallbacks) != 1 {
+		t.Logf("query:\n%s", res.Query)
+	}
+	if !strings.HasPrefix(res.Query, "SELECT * WHERE") {
+		t.Errorf("query = %s", res.Query)
+	}
+	if strings.Contains(res.Query, "GROUP BY") || strings.Contains(res.Query, "SUM") {
+		t.Error("baseline produced aggregates")
+	}
+}
+
+func TestReverseEngineerCountry(t *testing.T) {
+	_, c, _ := testkg.BootstrapFixture(t, nil)
+	res, err := ReverseEngineer(context.Background(), c, []string{"Germany"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Germany's one-hop characterization: inContinent europe.
+	found := false
+	for _, p := range res.Patterns {
+		if strings.HasSuffix(p.Pred, "inContinent") && strings.HasSuffix(p.Obj, "europe") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("patterns = %v", res.Patterns)
+	}
+}
+
+func TestReverseEngineerDisconnectedVariables(t *testing.T) {
+	// Figure 10's key observation: the two example items produce
+	// unconnected variables, never an observation-centered query.
+	_, c, _ := testkg.BootstrapFixture(t, nil)
+	res, err := ReverseEngineer(context.Background(), c, []string{"Germany", "France"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]bool{}
+	for _, p := range res.Patterns {
+		vars[p.Var] = true
+	}
+	if len(vars) != 2 {
+		t.Errorf("vars = %v, want x0 and x1", vars)
+	}
+	if strings.Contains(res.Query, "?obs") {
+		t.Error("baseline connected entities to observations")
+	}
+}
+
+func TestReverseEngineerExecutable(t *testing.T) {
+	// The derived query must run on the same endpoint and return the
+	// matching entities (not aggregates).
+	_, c, _ := testkg.BootstrapFixture(t, nil)
+	ctx := context.Background()
+	res, err := ReverseEngineer(ctx, c, []string{"Germany"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Query(ctx, res.Query)
+	if err != nil {
+		t.Fatalf("baseline query does not execute: %v\n%s", err, res.Query)
+	}
+	// All three European countries share inContinent=europe, so the
+	// pattern generalizes beyond Germany (that is the point of minimal
+	// BGPs: they cover the example, not only the example).
+	if out.Len() < 1 {
+		t.Errorf("rows = %d", out.Len())
+	}
+	containsGermany := false
+	for _, row := range out.Rows {
+		if row[out.Column("x0")].Value == testkg.NS+"de" {
+			containsGermany = true
+		}
+	}
+	if !containsGermany {
+		t.Error("example entity not covered by its own reverse-engineered query")
+	}
+}
+
+func TestReverseEngineerErrors(t *testing.T) {
+	_, c, _ := testkg.BootstrapFixture(t, nil)
+	ctx := context.Background()
+	if _, err := ReverseEngineer(ctx, c, nil); err == nil {
+		t.Error("empty example accepted")
+	}
+	if _, err := ReverseEngineer(ctx, c, []string{"atlantis"}); err == nil {
+		t.Error("unmatched keyword accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/datagen"
+)
+
+// tinyDataset prepares a small Eurostat-like dataset once per test
+// binary.
+func tinyDataset(t testing.TB) *Dataset {
+	t.Helper()
+	d, err := Prepare(datagen.EurostatLike(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPrepare(t *testing.T) {
+	d := tinyDataset(t)
+	if d.Graph.Stats().Levels != 9 {
+		t.Errorf("levels = %d", d.Graph.Stats().Levels)
+	}
+	if d.BootstrapTime <= 0 || d.LoadTime <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestSampleExample(t *testing.T) {
+	d := tinyDataset(t)
+	rng := rand.New(rand.NewSource(5))
+	for size := 1; size <= 4; size++ {
+		ok := false
+		for tries := 0; tries < 20 && !ok; tries++ {
+			ex, got := d.SampleExample(rng, size)
+			if got {
+				ok = true
+				if len(ex) != size {
+					t.Errorf("example size = %d, want %d", len(ex), size)
+				}
+				for _, kw := range ex {
+					if kw == "" {
+						t.Error("empty keyword sampled")
+					}
+				}
+			}
+		}
+		if !ok {
+			t.Errorf("no example of size %d", size)
+		}
+	}
+	if _, ok := d.SampleExample(rng, 99); ok {
+		t.Error("oversized example accepted")
+	}
+}
+
+func TestSampleExamplesCount(t *testing.T) {
+	d := tinyDataset(t)
+	inputs := d.SampleExamples(7, []int{1, 2}, 3)
+	if len(inputs[1]) != 3 || len(inputs[2]) != 3 {
+		t.Errorf("inputs = %d/%d, want 3/3", len(inputs[1]), len(inputs[2]))
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	d := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := RunTable2(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") || !strings.Contains(buf.String(), "SUM(") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunTable3AndFig6(t *testing.T) {
+	d := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := RunTable3(&buf, []*Dataset{d}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "eurostat") {
+		t.Errorf("table3 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RunFig6(&buf, []*Dataset{d}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bootstrap") {
+		t.Errorf("fig6 output:\n%s", buf.String())
+	}
+}
+
+func TestCollectFig7(t *testing.T) {
+	d := tinyDataset(t)
+	rows, err := CollectFig7([]*Dataset{d}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // sizes 1..4
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgTime <= 0 {
+			t.Errorf("size %d: no time measured", r.Size)
+		}
+		if r.AvgQueries <= 0 {
+			t.Errorf("size %d: no queries synthesized", r.Size)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RunFig7(&buf, []*Dataset{d}, 11); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7a") {
+		t.Error("fig7 header missing")
+	}
+}
+
+func TestCollectWorkflowAndFigs89(t *testing.T) {
+	d := tinyDataset(t)
+	metrics, err := CollectWorkflow([]*Dataset{d}, 13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) == 0 {
+		t.Fatal("no metrics")
+	}
+	stages := map[WorkflowStage]bool{}
+	for _, m := range metrics {
+		stages[m.Stage] = true
+	}
+	if !stages[StageOrig] || !stages[StageDis1] {
+		t.Errorf("stages covered = %v", stages)
+	}
+	var buf bytes.Buffer
+	RunFig8(&buf, metrics)
+	RunFig9(&buf, metrics)
+	out := buf.String()
+	for _, want := range []string{"Figure 8a", "Figure 8b", "Figure 9a", "Figure 9b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRunFig8c(t *testing.T) {
+	d := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := RunFig8c(&buf, d, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ReOLAP") || !strings.Contains(out, "cum. paths") {
+		t.Errorf("fig8c output:\n%s", out)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	d := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := RunFig10(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SELECT * WHERE") {
+		t.Errorf("baseline query missing:\n%s", out)
+	}
+	if !strings.Contains(out, "GROUP BY") {
+		t.Errorf("ReOLAP query missing:\n%s", out)
+	}
+}
+
+func TestWorkflowStageString(t *testing.T) {
+	if StageOrig.String() != "Orig." || StageDis1.String() != "Dis.1" || StageDis2.String() != "Dis.2" {
+		t.Error("stage names wrong")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	d := tinyDataset(t)
+	dir := t.TempDir()
+	if err := ExportTable3CSV(dir, []*Dataset{d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportFig6CSV(dir, []*Dataset{d}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := CollectFig7([]*Dataset{d}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportFig7CSV(dir, rows); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := CollectWorkflow([]*Dataset{d}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportFig89CSV(dir, metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3.csv", "fig6.csv", "fig7.csv", "fig8.csv", "fig9.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has %d lines", name, len(lines))
+		}
+	}
+}

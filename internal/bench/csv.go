@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CSV export: every figure's data series as a plottable file, so the
+// paper's plots can be regenerated with any charting tool.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// ExportTable3CSV writes table3.csv.
+func ExportTable3CSV(dir string, datasets []*Dataset) error {
+	var rows [][]string
+	for _, d := range datasets {
+		st := d.Graph.Stats()
+		rows = append(rows, []string{
+			d.Spec.Name,
+			fmt.Sprint(st.Dimensions), fmt.Sprint(st.Measures), fmt.Sprint(st.Hierarchies),
+			fmt.Sprint(st.Levels), fmt.Sprint(st.Members),
+			fmt.Sprint(d.Store.Len()),
+			fmt.Sprint(d.Store.EstimatedBytes()), fmt.Sprint(d.Graph.EstimatedBytes()),
+		})
+	}
+	return writeCSV(dir, "table3.csv",
+		[]string{"dataset", "dims", "measures", "hierarchies", "levels", "members", "triples", "store_bytes", "vgraph_bytes"},
+		rows)
+}
+
+// ExportFig6CSV writes fig6.csv (sizes and bootstrap times).
+func ExportFig6CSV(dir string, datasets []*Dataset) error {
+	var rows [][]string
+	for _, d := range datasets {
+		rows = append(rows, []string{
+			d.Spec.Name,
+			fmt.Sprint(d.Graph.ObservationCount), fmt.Sprint(d.Store.Len()),
+			ms(d.LoadTime), ms(d.BootstrapTime), fmt.Sprint(d.Client.QueryCount()),
+		})
+	}
+	return writeCSV(dir, "fig6.csv",
+		[]string{"dataset", "observations", "triples", "load_ms", "bootstrap_ms", "queries"},
+		rows)
+}
+
+// ExportFig7CSV writes fig7.csv from the synthesis workload rows.
+func ExportFig7CSV(dir string, rows []Fig7Row) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, fmt.Sprint(r.Size),
+			ms(r.AvgTime), ms(r.MinTime), ms(r.MaxTime),
+			fmt.Sprintf("%.2f", r.AvgQueries),
+		})
+	}
+	return writeCSV(dir, "fig7.csv",
+		[]string{"dataset", "size", "avg_ms", "min_ms", "max_ms", "avg_queries"},
+		out)
+}
+
+// ExportFig89CSV writes fig8.csv and fig9.csv from the refinement
+// workflow metrics.
+func ExportFig89CSV(dir string, metrics []*RefinementMetrics) error {
+	var fig8, fig9 [][]string
+	for _, m := range metrics {
+		fig8 = append(fig8, []string{
+			m.Dataset, fmt.Sprint(m.Size), m.Stage.String(),
+			ms(m.ExecTime), ms(m.DisGenTime), fmt.Sprint(m.Results),
+		})
+		fig9 = append(fig9, []string{
+			m.Dataset, fmt.Sprint(m.Size), m.Stage.String(),
+			ms(m.TopKTime), ms(m.PercTime), ms(m.SimTime),
+			fmt.Sprint(m.TopKCount), fmt.Sprint(m.PercCount), fmt.Sprint(m.SimCount),
+		})
+	}
+	if err := writeCSV(dir, "fig8.csv",
+		[]string{"dataset", "size", "stage", "exec_ms", "disagg_gen_ms", "result_tuples"}, fig8); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig9.csv",
+		[]string{"dataset", "size", "stage", "topk_ms", "perc_ms", "sim_ms", "topk_count", "perc_count", "sim_count"}, fig9)
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"re2xolap/internal/baseline"
+	"re2xolap/internal/core"
+)
+
+// Sizes are the example-tuple sizes of the Section 7 workloads.
+var Sizes = []int{1, 2, 3, 4}
+
+// InputsPerSize is the number of example tuples per size, as in the
+// paper ("We created 10 input queries ... for each size").
+const InputsPerSize = 10
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+// RunTable2 regenerates Table 2: the resultset for an example
+// interpreted as destination country × year on the Eurostat-like
+// dataset, ordered by the summed measure.
+func RunTable2(w io.Writer, d *Dataset) error {
+	ctx := context.Background()
+	fmt.Fprintf(w, "== Table 2: resultset for an example ⟨destination, year⟩ on %s ==\n", d.Spec.Name)
+	ex, ok := d.SampleExample(rand.New(rand.NewSource(42)), 2)
+	if !ok {
+		return fmt.Errorf("bench: could not sample example")
+	}
+	fmt.Fprintf(w, "example: %q, %q\n", ex[0], ex[1])
+	cands, err := d.Engine.Synthesize(ctx, core.Keywords(ex...))
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("bench: no interpretation for %v", ex)
+	}
+	q := cands[0].Query
+	fmt.Fprintf(w, "interpretation: %s\n", q.Description)
+	rs, err := d.Engine.Execute(ctx, q)
+	if err != nil {
+		return err
+	}
+	var sumCol string
+	for _, a := range q.Aggregates {
+		if a.Func == "SUM" {
+			sumCol = a.OutVar
+		}
+	}
+	sort.Slice(rs.Tuples, func(i, j int) bool {
+		return rs.Tuples[i].Measures[sumCol] > rs.Tuples[j].Measures[sumCol]
+	})
+	for _, dim := range q.Dims {
+		fmt.Fprintf(w, "%-28s | ", dim.Level.String())
+	}
+	fmt.Fprintf(w, "SUM(%s)\n", q.Measures[0].Label)
+	limit := 8
+	for i, t := range rs.Tuples {
+		if i >= limit {
+			fmt.Fprintf(w, "... (%d more rows)\n", rs.Len()-limit)
+			break
+		}
+		for _, m := range t.Dims {
+			fmt.Fprintf(w, "%-28s | ", shortIRI(m.Value))
+		}
+		fmt.Fprintf(w, "%.0f\n", t.Measures[sumCol])
+	}
+	return nil
+}
+
+func shortIRI(v string) string {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i] == '/' || v[i] == '#' {
+			return v[i+1:]
+		}
+	}
+	return v
+}
+
+// RunTable3 regenerates Table 3: the dataset characteristics as
+// actually bootstrapped from the generated data.
+func RunTable3(w io.Writer, datasets []*Dataset) error {
+	fmt.Fprintln(w, "== Table 3: dataset characteristics ==")
+	fmt.Fprintf(w, "%-12s %4s %4s %4s %4s %8s %10s %12s %12s\n",
+		"dataset", "|D|", "|M|", "|H|", "|L|", "|N_D|", "triples", "store(MB)", "vgraph(KB)")
+	for _, d := range datasets {
+		st := d.Graph.Stats()
+		fmt.Fprintf(w, "%-12s %4d %4d %4d %4d %8d %10d %12.1f %12.1f\n",
+			d.Spec.Name, st.Dimensions, st.Measures, st.Hierarchies, st.Levels,
+			st.Members, d.Store.Len(),
+			float64(d.Store.EstimatedBytes())/(1<<20), float64(d.Graph.EstimatedBytes())/(1<<10))
+	}
+	fmt.Fprintln(w, "(paper: eurostat 4/1/8/9/373, production 7/1/5/9/6444, dbpedia 5/1/14/23/87160;")
+	fmt.Fprintln(w, " |N_D| here counts members witnessed by the scaled observation sample)")
+	return nil
+}
+
+// RunFig6 regenerates Figure 6: observation and triple counts per
+// dataset (a, b) and the bootstrap time (c).
+func RunFig6(w io.Writer, datasets []*Dataset) error {
+	fmt.Fprintln(w, "== Figure 6: dataset size and bootstrap time ==")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %14s %10s\n",
+		"dataset", "obs (a)", "triples (b)", "load", "bootstrap (c)", "queries")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "%-12s %12d %12d %14s %14s %10d\n",
+			d.Spec.Name, d.Graph.ObservationCount, d.Store.Len(),
+			d.LoadTime.Round(time.Millisecond), d.BootstrapTime.Round(time.Millisecond),
+			d.Client.QueryCount())
+	}
+	fmt.Fprintln(w, "(paper: bootstrap 25–60 min against Virtuoso at full scale; dominated by endpoint speed)")
+	return nil
+}
+
+// Fig7Row is one measurement of the synthesis experiment.
+type Fig7Row struct {
+	Dataset    string
+	Size       int
+	AvgTime    time.Duration
+	MinTime    time.Duration
+	MaxTime    time.Duration
+	AvgQueries float64
+}
+
+// CollectFig7 runs the ReOLAP synthesis workload: for each dataset and
+// input size, InputsPerSize random examples, measuring synthesis time
+// and the number of queries produced.
+func CollectFig7(datasets []*Dataset, seed int64) ([]Fig7Row, error) {
+	ctx := context.Background()
+	var rows []Fig7Row
+	for _, d := range datasets {
+		inputs := d.SampleExamples(seed, Sizes, InputsPerSize)
+		for _, size := range Sizes {
+			if size > len(d.Graph.Dimensions()) {
+				continue
+			}
+			var total, min, max time.Duration
+			var queries int
+			for i, ex := range inputs[size] {
+				t0 := time.Now()
+				cands, err := d.Engine.Synthesize(ctx, core.Keywords(ex...))
+				if err != nil {
+					return nil, fmt.Errorf("bench: fig7 %s size %d: %w", d.Spec.Name, size, err)
+				}
+				el := time.Since(t0)
+				total += el
+				if i == 0 || el < min {
+					min = el
+				}
+				if el > max {
+					max = el
+				}
+				queries += len(cands)
+			}
+			n := len(inputs[size])
+			rows = append(rows, Fig7Row{
+				Dataset: d.Spec.Name, Size: size,
+				AvgTime: total / time.Duration(n), MinTime: min, MaxTime: max,
+				AvgQueries: float64(queries) / float64(n),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunFig7 regenerates Figure 7: (a) synthesis time and (b) number of
+// synthesized queries, by input size.
+func RunFig7(w io.Writer, datasets []*Dataset, seed int64) error {
+	rows, err := CollectFig7(datasets, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Figure 7a: ReOLAP synthesis time (ms) ==")
+	fmt.Fprintf(w, "%-12s %6s %10s %10s %10s\n", "dataset", "size", "avg", "min", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %6d %10s %10s %10s\n",
+			r.Dataset, r.Size, fmtMS(r.AvgTime), fmtMS(r.MinTime), fmtMS(r.MaxTime))
+	}
+	fmt.Fprintln(w, "(paper: 100–400ms at size 1 up to 2–6s at size 4; grows with input size and |N_D|, not observations)")
+	fmt.Fprintln(w, "\n== Figure 7b: number of synthesized queries ==")
+	fmt.Fprintf(w, "%-12s %6s %12s\n", "dataset", "size", "avg queries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %6d %12.1f\n", r.Dataset, r.Size, r.AvgQueries)
+	}
+	fmt.Fprintln(w, "(paper: largely below 10 for sizes 1–2)")
+	return nil
+}
+
+// RunFig10 regenerates Figure 10: the SPARQLByE-style baseline versus
+// ReOLAP on the same two-item example.
+func RunFig10(w io.Writer, d *Dataset) error {
+	ctx := context.Background()
+	fmt.Fprintf(w, "== Figure 10: baseline vs ReOLAP on %s ==\n", d.Spec.Name)
+	rng := rand.New(rand.NewSource(10))
+	var ex []string
+	for tries := 0; tries < 50; tries++ {
+		cand, ok := d.SampleExample(rng, 2)
+		if ok {
+			ex = cand
+			break
+		}
+	}
+	if ex == nil {
+		return fmt.Errorf("bench: could not sample example")
+	}
+	fmt.Fprintf(w, "example: ⟨%q, %q⟩\n\n", ex[0], ex[1])
+	base, err := baseline.ReverseEngineer(ctx, d.Client, ex)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "(a) SPARQLByE-style baseline (minimal BGP, no aggregation, disconnected):")
+	fmt.Fprintln(w, base.Query)
+	cands, err := d.Engine.Synthesize(ctx, core.Keywords(ex...))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n(b) ReOLAP (observation-centered analytical query):")
+	if len(cands) == 0 {
+		fmt.Fprintln(w, "  (no valid interpretation)")
+		return nil
+	}
+	fmt.Fprintln(w, cands[0].Query.ToSPARQL())
+	fmt.Fprintf(w, "\ndescription: %s\n", cands[0].Query.Description)
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// matchCache is a small LRU over MatchItem results, one of the
+// "optimizations for core operations" the paper's system implements:
+// exploratory sessions re-resolve the same keywords constantly
+// (synthesis retries, contrast, negatives), and member matching is the
+// only synthesis step that touches the full-text machinery.
+type matchCache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List
+	byKV map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	matches []Match
+}
+
+func newMatchCache(max int) *matchCache {
+	return &matchCache{max: max, ll: list.New(), byKV: map[string]*list.Element{}}
+}
+
+// get returns the cached matches and whether the key was present.
+func (c *matchCache) get(key string) ([]Match, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKV[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).matches, true
+}
+
+// put stores matches for key, evicting the least recently used entry
+// beyond capacity.
+func (c *matchCache) put(key string, matches []Match) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKV[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).matches = matches
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, matches: matches})
+	c.byKV[key] = el
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKV, last.Value.(*cacheEntry).key)
+	}
+}
+
+// purge empties the cache (called when the data may have changed).
+func (c *matchCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKV = map[string]*list.Element{}
+}
+
+// len returns the number of cached keys.
+func (c *matchCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

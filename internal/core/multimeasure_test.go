@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/vgraph"
+)
+
+// TestMultiMeasurePipeline exercises synthesis and execution over a KG
+// with two measures: every aggregation function is instantiated for
+// both, per Section 5.1.
+func TestMultiMeasurePipeline(t *testing.T) {
+	spec := datagen.Spec{
+		Name: "trade",
+		NS:   "http://ex.org/trade/",
+		Dimensions: []datagen.DimSpec{
+			{Pred: "country", Label: "Country", Members: 10},
+			{Pred: "year", Label: "Year", Members: 5},
+		},
+		Measures: []datagen.MeasureSpec{
+			{Pred: "imports", Label: "Imports", Scale: 100},
+			{Pred: "exports", Label: "Exports", Scale: 200},
+		},
+		Observations: 200,
+		Seed:         11,
+	}
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := endpoint.NewInProcess(st)
+	g, err := vgraph.Bootstrap(context.Background(), c, spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Measures) != 2 {
+		t.Fatalf("measures = %d, want 2", len(g.Measures))
+	}
+	e := NewEngine(c, g, spec.Config())
+	ctx := context.Background()
+	cands, err := e.Synthesize(ctx, Keywords("Country 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	q := cands[0].Query
+	if len(q.Measures) != 2 {
+		t.Fatalf("query measures = %d, want 2", len(q.Measures))
+	}
+	if len(q.Aggregates) != 8 { // 4 functions × 2 measures
+		t.Fatalf("aggregate columns = %d, want 8", len(q.Aggregates))
+	}
+	rs, err := e.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 10 {
+		t.Errorf("groups = %d, want 10", rs.Len())
+	}
+	for _, tp := range rs.Tuples {
+		if len(tp.Measures) != 8 {
+			t.Fatalf("tuple measures = %d, want 8: %v", len(tp.Measures), tp.Measures)
+		}
+	}
+	// Distinct columns must hold distinct sums (imports != exports scale).
+	var sumImports, sumExports string
+	for _, a := range q.Aggregates {
+		if a.Func == "SUM" {
+			if q.Measures[a.Measure].Label == "Imports" {
+				sumImports = a.OutVar
+			} else {
+				sumExports = a.OutVar
+			}
+		}
+	}
+	diff := false
+	for _, tp := range rs.Tuples {
+		if tp.Measures[sumImports] != tp.Measures[sumExports] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("imports and exports columns identical; measures conflated")
+	}
+}

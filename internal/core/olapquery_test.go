@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/vgraph"
+)
+
+// buildTestQuery assembles an OLAPQuery by hand over a two-level
+// schema, without a store.
+func buildTestQuery() (*OLAPQuery, *vgraph.Level, *vgraph.Level) {
+	country := &vgraph.Level{Dimension: "http://x/dest", Path: []string{"http://x/dest"}, Depth: 1, Label: "Country"}
+	continent := &vgraph.Level{Dimension: "http://x/dest", Path: []string{"http://x/dest", "http://x/inCont"}, Depth: 2, Parent: country, Label: "Continent"}
+	country.Children = []*vgraph.Level{continent}
+	anchor := rdf.NewIRI("http://x/de")
+	q := NewOLAPQuery("http://x/Obs", []*vgraph.Level{country}, []*rdf.Term{&anchor},
+		[]vgraph.Measure{{Predicate: "http://x/num", Label: "Num"}})
+	return q, country, continent
+}
+
+func TestOLAPQueryAccessors(t *testing.T) {
+	q, country, continent := buildTestQuery()
+	if !q.HasLevel(country) {
+		t.Error("HasLevel(country) = false")
+	}
+	if q.HasLevel(continent) {
+		t.Error("HasLevel(continent) = true")
+	}
+	if q.DimOfDimension("http://x/dest") != 0 {
+		t.Error("DimOfDimension(dest) != 0")
+	}
+	if q.DimOfDimension("http://x/other") != -1 {
+		t.Error("DimOfDimension(other) != -1")
+	}
+	if c := q.AggColumnFor("SUM", 0); c == nil || c.OutVar != "sum_num" {
+		t.Errorf("AggColumnFor(SUM) = %+v", c)
+	}
+	if q.AggColumnFor("SUM", 9) != nil {
+		t.Error("AggColumnFor out of range not nil")
+	}
+	if q.AggColumnFor("MEDIAN", 0) != nil {
+		t.Error("unknown func not nil")
+	}
+}
+
+func TestOLAPQueryAddDimUnique(t *testing.T) {
+	q, _, continent := buildTestQuery()
+	i := q.AddDim(continent)
+	if i != 1 || q.Dims[1].Var == q.Dims[0].Var {
+		t.Errorf("AddDim = %d, var %q", i, q.Dims[1].Var)
+	}
+	// Adding the same level again still yields a unique variable.
+	j := q.AddDim(continent)
+	if q.Dims[j].Var == q.Dims[i].Var {
+		t.Errorf("duplicate var %q", q.Dims[j].Var)
+	}
+}
+
+func TestOLAPQueryToSPARQLFull(t *testing.T) {
+	q, _, continent := buildTestQuery()
+	q.AddDim(continent)
+	q.Having = append(q.Having, MeasureFilter{Col: "sum_num", Op: ">", Value: 10.5, Why: "test"})
+	q.DimFilters = append(q.DimFilters, DimValuesFilter{
+		DimIdx: []int{0},
+		Rows:   [][]rdf.Term{{rdf.NewIRI("http://x/de")}, {rdf.NewIRI("http://x/fr")}},
+		Why:    "test",
+	})
+	text := q.ToSPARQL()
+	for _, want := range []string{
+		"?obs a <http://x/Obs>",
+		"<http://x/dest>/<http://x/inCont>",
+		"VALUES (?dest)",
+		"HAVING (SUM(?m_num) > 10.5)",
+		"GROUP BY",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ToSPARQL missing %q:\n%s", want, text)
+		}
+	}
+	// The generated text must parse.
+	if _, err := sparql.Parse(text); err != nil {
+		t.Fatalf("generated SPARQL does not parse: %v\n%s", err, text)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {-7, "-7"}, {2.5, "2.5"}, {0, "0"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestExampleItemAndTupleString(t *testing.T) {
+	if got := NewKeyword("Asia").String(); got != `"Asia"` {
+		t.Errorf("keyword = %s", got)
+	}
+	if got := NewMemberIRI("http://x/de").String(); got != "<http://x/de>" {
+		t.Errorf("iri = %s", got)
+	}
+	tup := Keywords("Asia", "Germany")
+	if got := tup.String(); got != `⟨"Asia", "Germany"⟩` {
+		t.Errorf("tuple = %s", got)
+	}
+}
+
+func TestLocalNameFallbacks(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"http://x/a#b", "b"},
+		{"http://x/a/b", "b"},
+		{"noslash", "noslash"},
+	}
+	for _, tt := range tests {
+		if got := localName(tt.in); got != tt.want {
+			t.Errorf("localName(%q) = %q", tt.in, got)
+		}
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	q, _, _ := buildTestQuery()
+	q.DimFilters = []DimValuesFilter{{
+		DimIdx: []int{0},
+		Rows:   [][]rdf.Term{{rdf.NewIRI("http://x/de")}},
+	}}
+	c := q.Clone()
+	c.DimFilters[0].Rows[0][0] = rdf.NewIRI("http://x/changed")
+	c.DimFilters[0].DimIdx[0] = 7
+	if q.DimFilters[0].Rows[0][0].Value != "http://x/de" {
+		t.Error("Clone shares DimFilters rows")
+	}
+	if q.DimFilters[0].DimIdx[0] != 0 {
+		t.Error("Clone shares DimIdx")
+	}
+}
+
+func TestDecodeResultsMissingColumns(t *testing.T) {
+	q, _, _ := buildTestQuery()
+	res := &sparql.Results{Vars: []string{"unrelated"}}
+	if _, err := DecodeResults(q, res); err == nil {
+		t.Error("missing dim column accepted")
+	}
+	res2 := &sparql.Results{Vars: []string{"dest"}}
+	if _, err := DecodeResults(q, res2); err == nil {
+		t.Error("missing aggregate column accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"re2xolap/internal/vgraph"
+)
+
+// MeasureProfile summarizes the value distribution of one measure.
+type MeasureProfile struct {
+	Predicate string
+	Label     string
+	Count     int
+	Min, Max  float64
+	Avg       float64
+}
+
+// Profile is the data-profiling summary the paper's preliminary
+// prototype offered (Section 7.2): "general information and statistics
+// about the dataset (e.g., listing the available dimension and the
+// number of distinct members)", here extended with measure value
+// statistics.
+type Profile struct {
+	Observations int
+	Schema       vgraph.Stats
+	Measures     []MeasureProfile
+}
+
+// Profile computes the dataset profile: schema statistics come from
+// the virtual graph, measure statistics from one aggregate query per
+// measure.
+func (e *Engine) Profile(ctx context.Context) (*Profile, error) {
+	p := &Profile{
+		Observations: e.Graph.ObservationCount,
+		Schema:       e.Graph.Stats(),
+	}
+	for _, m := range e.Graph.Measures {
+		q := fmt.Sprintf(
+			`SELECT (COUNT(?v) AS ?c) (MIN(?v) AS ?mn) (MAX(?v) AS ?mx) (AVG(?v) AS ?av) WHERE { ?o a <%s> . ?o <%s> ?v . }`,
+			e.Config.ObservationClass, m.Predicate)
+		res, err := e.Client.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling measure %s: %w", m.Label, err)
+		}
+		mp := MeasureProfile{Predicate: m.Predicate, Label: m.Label}
+		if res.Len() > 0 {
+			get := func(col string) float64 {
+				i := res.Column(col)
+				if i < 0 {
+					return 0
+				}
+				n, _ := res.Rows[0][i].Numeric()
+				return n
+			}
+			mp.Count = int(get("c"))
+			mp.Min = get("mn")
+			mp.Max = get("mx")
+			mp.Avg = get("av")
+		}
+		p.Measures = append(p.Measures, mp)
+	}
+	return p, nil
+}
+
+// String renders the profile for display.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observations: %d\n", p.Observations)
+	fmt.Fprintf(&b, "schema: %d dimensions, %d hierarchies, %d levels, %d members\n",
+		p.Schema.Dimensions, p.Schema.Hierarchies, p.Schema.Levels, p.Schema.Members)
+	for _, m := range p.Measures {
+		fmt.Fprintf(&b, "measure %s: count=%d min=%.1f max=%.1f avg=%.1f\n",
+			m.Label, m.Count, m.Min, m.Max, m.Avg)
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sort"
+
+	"re2xolap/internal/rdf"
+)
+
+// The paper leaves "the problem of ranking interpretations to future
+// work" (Section 4.1). RankCandidates implements a deterministic
+// heuristic ordering of synthesized candidates:
+//
+//  1. Interpretations whose matches came from rdfs:label attributes
+//     rank above matches on other attributes (labels are the intended
+//     human names).
+//  2. Interpretations grouping at finer levels rank above coarser ones
+//     (the user named a concrete member; start specific, roll up via
+//     refinement).
+//  3. Smaller total member counts win ties (more selective view).
+//
+// The ordering is stable, so equally-scored candidates keep the
+// synthesis order (alphabetical by description).
+func RankCandidates(cands []Candidate) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := scoreCandidate(out[i]), scoreCandidate(out[j])
+		if a.labelMatches != b.labelMatches {
+			return a.labelMatches > b.labelMatches
+		}
+		if a.depthSum != b.depthSum {
+			return a.depthSum < b.depthSum
+		}
+		return a.memberSum < b.memberSum
+	})
+	return out
+}
+
+type candidateScore struct {
+	labelMatches int
+	depthSum     int
+	memberSum    int
+}
+
+func scoreCandidate(c Candidate) candidateScore {
+	var s candidateScore
+	for _, m := range c.Matches {
+		if m.Attribute == rdf.RDFSLabel {
+			s.labelMatches++
+		}
+	}
+	for _, d := range c.Query.Dims {
+		s.depthSum += d.Level.Depth
+		s.memberSum += d.Level.MemberCount
+	}
+	return s
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/vgraph"
+)
+
+// Engine runs ReOLAP query synthesis against a SPARQL endpoint, using a
+// bootstrapped virtual schema graph for all structural decisions.
+type Engine struct {
+	Client endpoint.Client
+	Graph  *vgraph.Graph
+	Config qb.Config
+
+	// MaxCandidates caps how many members a single keyword may resolve
+	// to before the search is truncated (defaults to 1000).
+	MaxCandidates int
+	// MaxCombinations caps the interpretation combinations explored
+	// (defaults to 5000).
+	MaxCombinations int
+	// ValuesChunk is the VALUES block size for membership queries
+	// (defaults to 500).
+	ValuesChunk int
+	// DisableMatchCache turns off the keyword-match LRU (used by the
+	// ablation benchmarks).
+	DisableMatchCache bool
+
+	cache *matchCache
+}
+
+// NewEngine returns a synthesis engine over the given endpoint and
+// virtual graph.
+func NewEngine(c endpoint.Client, g *vgraph.Graph, cfg qb.Config) *Engine {
+	return &Engine{
+		Client:          c,
+		Graph:           g,
+		Config:          cfg.WithDefaults(),
+		MaxCandidates:   1000,
+		MaxCombinations: 5000,
+		ValuesChunk:     500,
+		cache:           newMatchCache(256),
+	}
+}
+
+// InvalidateCache drops cached keyword matches; call after the
+// underlying data changes (e.g. together with vgraph.Refresh).
+func (e *Engine) InvalidateCache() {
+	if e.cache != nil {
+		e.cache.purge()
+	}
+}
+
+// MatchItem resolves one example item to its possible interpretations
+// (Algorithm 1, lines 2–5): dimension members at specific levels.
+// Results are cached per item (LRU), since exploratory sessions
+// re-resolve the same keywords repeatedly.
+func (e *Engine) MatchItem(ctx context.Context, item ExampleItem) ([]Match, error) {
+	cacheKey := item.Keyword + "\x00" + item.IRI
+	if !e.DisableMatchCache && e.cache != nil {
+		if ms, ok := e.cache.get(cacheKey); ok {
+			return ms, nil
+		}
+	}
+	ms, err := e.matchItemUncached(ctx, item)
+	if err != nil {
+		return nil, err
+	}
+	if !e.DisableMatchCache && e.cache != nil {
+		e.cache.put(cacheKey, ms)
+	}
+	return ms, nil
+}
+
+func (e *Engine) matchItemUncached(ctx context.Context, item ExampleItem) ([]Match, error) {
+	type candidate struct {
+		attribute, text string
+	}
+	cands := map[rdf.Term]candidate{}
+	if item.IRI != "" {
+		cands[rdf.NewIRI(item.IRI)] = candidate{}
+	} else {
+		kw := strings.ToLower(item.Keyword)
+		if strings.TrimSpace(kw) == "" {
+			return nil, fmt.Errorf("core: empty keyword in example item")
+		}
+		// Keyword resolution via the endpoint's full-text facilities
+		// (the CONTAINS filter is index-accelerated by the store).
+		q := fmt.Sprintf(
+			`SELECT DISTINCT ?m ?q ?lit WHERE { ?m ?q ?lit . FILTER (ISLITERAL(?lit)) FILTER (CONTAINS(LCASE(STR(?lit)), %s)) FILTER (ISIRI(?m)) }`,
+			rdf.NewString(kw))
+		res, err := e.Client.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: keyword search for %s: %w", item, err)
+		}
+		// Prefer exact (case-insensitive) matches: if the keyword equals
+		// some attribute value verbatim, partial matches are noise
+		// (e.g. "2014" must not also match the month "2014-01").
+		exact := false
+		for _, row := range res.Rows {
+			if strings.EqualFold(row[2].Value, kw) {
+				exact = true
+				break
+			}
+		}
+		for _, row := range res.Rows {
+			if len(cands) >= e.MaxCandidates {
+				break
+			}
+			if exact && !strings.EqualFold(row[2].Value, kw) {
+				continue
+			}
+			m := row[0]
+			if _, dup := cands[m]; dup {
+				continue
+			}
+			cands[m] = candidate{attribute: row[1].Value, text: row[2].Value}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	terms := make([]rdf.Term, 0, len(cands))
+	for m := range cands {
+		terms = append(terms, m)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Value < terms[j].Value })
+
+	var out []Match
+	for _, l := range e.Graph.Levels {
+		members, err := e.levelMembership(ctx, l, terms)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			c := cands[m]
+			out = append(out, Match{Member: m, Level: l, Attribute: c.attribute, MatchedText: c.text})
+		}
+	}
+	return out, nil
+}
+
+// levelMembership filters candidate terms down to those that are
+// members of level l. Small candidate sets use one early-exiting ASK
+// per term (cost independent of the observation count); large sets
+// fall back to chunked VALUES queries.
+func (e *Engine) levelMembership(ctx context.Context, l *vgraph.Level, terms []rdf.Term) ([]rdf.Term, error) {
+	var out []rdf.Term
+	if len(terms) <= 32 {
+		for _, t := range terms {
+			q := fmt.Sprintf(`ASK { ?o a <%s> . ?o %s %s . }`,
+				e.Config.ObservationClass, pathExpr(l.Path), t)
+			res, err := e.Client.Query(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("core: membership check on level %s: %w", l, err)
+			}
+			if res.Boolean {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+	chunk := e.ValuesChunk
+	if chunk <= 0 {
+		chunk = 500
+	}
+	for start := 0; start < len(terms); start += chunk {
+		end := start + chunk
+		if end > len(terms) {
+			end = len(terms)
+		}
+		var vals strings.Builder
+		for _, t := range terms[start:end] {
+			vals.WriteString(t.String())
+			vals.WriteByte(' ')
+		}
+		q := fmt.Sprintf(
+			`SELECT DISTINCT ?m WHERE { VALUES ?m { %s} ?o a <%s> . ?o %s ?m . }`,
+			vals.String(), e.Config.ObservationClass, pathExpr(l.Path))
+		res, err := e.Client.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: membership check on level %s: %w", l, err)
+		}
+		for _, row := range res.Rows {
+			out = append(out, row[0])
+		}
+	}
+	return out, nil
+}
+
+// Candidate pairs a synthesized query with the interpretation that
+// produced it, for presentation to the user.
+type Candidate struct {
+	Query *OLAPQuery
+	// Matches holds, per example item, the interpretation used.
+	Matches []Match
+}
+
+// Synthesize implements Algorithm 1 for a single example tuple: it
+// interprets each item, combines interpretations, builds a query per
+// valid combination, and validates each against the endpoint.
+func (e *Engine) Synthesize(ctx context.Context, t ExampleTuple) ([]Candidate, error) {
+	return e.SynthesizeAll(ctx, []ExampleTuple{t})
+}
+
+// SynthesizeAll generalizes Synthesize to several example tuples: item
+// i of every tuple must resolve at the same level, and every tuple must
+// be witnessed by at least one observation.
+func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Candidate, error) {
+	if len(tuples) == 0 || len(tuples[0]) == 0 {
+		return nil, fmt.Errorf("core: empty example")
+	}
+	k := len(tuples[0])
+	for _, t := range tuples {
+		if len(t) != k {
+			return nil, fmt.Errorf("core: example tuples have differing arity")
+		}
+	}
+
+	// interps[i] lists the levels item i can take, with the matched
+	// members per tuple.
+	interps := make([][]interpretation, k)
+	for i := 0; i < k; i++ {
+		// level key → per-tuple matches
+		byLevel := map[string][]([]Match){}
+		levels := map[string]*vgraph.Level{}
+		for ti, t := range tuples {
+			ms, err := e.MatchItem(ctx, t[i])
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range ms {
+				key := m.Level.Key()
+				if _, ok := byLevel[key]; !ok {
+					byLevel[key] = make([][]Match, len(tuples))
+					levels[key] = m.Level
+				}
+				byLevel[key][ti] = append(byLevel[key][ti], m)
+			}
+		}
+		var keys []string
+		for key := range byLevel {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ms := byLevel[key]
+			complete := true
+			for _, tm := range ms {
+				if len(tm) == 0 {
+					complete = false // some tuple's item has no member at this level
+					break
+				}
+			}
+			if complete {
+				interps[i] = append(interps[i], interpretation{level: levels[key], members: ms})
+			}
+		}
+		if len(interps[i]) == 0 {
+			return nil, nil // an item with no interpretation: no queries
+		}
+	}
+
+	// Cartesian combination (Algorithm 1, lines 6–9) with a safety cap.
+	var out []Candidate
+	seen := map[string]bool{}
+	idx := make([]int, k)
+	combos := 0
+	for {
+		combos++
+		if combos > e.MaxCombinations {
+			break
+		}
+		combo := make([]interpretation, k)
+		for i := range idx {
+			combo[i] = interps[i][idx[i]]
+		}
+		if cand, ok, err := e.tryCombination(ctx, tuples, combo2levels(combo), combo2members(combo), seen); err != nil {
+			return nil, err
+		} else if ok {
+			out = append(out, cand)
+		}
+		// advance the odometer
+		pos := k - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(interps[pos]) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Query.Description < out[j].Query.Description
+	})
+	return out, nil
+}
+
+func combo2levels(combo []interpretation) []*vgraph.Level {
+	ls := make([]*vgraph.Level, len(combo))
+	for i, c := range combo {
+		ls[i] = c.level
+	}
+	return ls
+}
+
+func combo2members(combo []interpretation) [][][]Match {
+	ms := make([][][]Match, len(combo))
+	for i, c := range combo {
+		ms[i] = c.members
+	}
+	return ms
+}
+
+// interpretation is one way an example item can be read: a level plus
+// the members matching each example tuple's item at that level.
+type interpretation struct {
+	level   *vgraph.Level
+	members [][]Match
+}
+
+// tryCombination enforces the minimality criteria (distinct
+// dimensions), deduplicates by level set, validates the combination
+// against the data, and assembles the candidate query.
+func (e *Engine) tryCombination(ctx context.Context, tuples []ExampleTuple, levels []*vgraph.Level, members [][][]Match, seen map[string]bool) (Candidate, bool, error) {
+	dims := map[string]bool{}
+	for _, l := range levels {
+		if dims[l.Dimension] {
+			return Candidate{}, false, nil // duplicate dimension
+		}
+		dims[l.Dimension] = true
+	}
+	keys := make([]string, len(levels))
+	for i, l := range levels {
+		keys[i] = l.Key()
+	}
+	sort.Strings(keys)
+	comboKey := strings.Join(keys, "\x01")
+	if seen[comboKey] {
+		return Candidate{}, false, nil
+	}
+	seen[comboKey] = true
+
+	// Validate: every tuple must be witnessed by an observation linking
+	// all its members simultaneously (correctness, Section 5.3). The
+	// first tuple's witnessing members anchor the query example.
+	var anchor []rdf.Term
+	for ti := range tuples {
+		witness, err := e.witness(ctx, levels, members, ti)
+		if err != nil {
+			return Candidate{}, false, err
+		}
+		if witness == nil {
+			return Candidate{}, false, nil
+		}
+		if ti == 0 {
+			anchor = witness
+		}
+	}
+
+	examples := make([]*rdf.Term, len(levels))
+	matches := make([]Match, len(levels))
+	for i := range levels {
+		m := anchor[i]
+		examples[i] = &m
+		// Recover the match metadata for presentation.
+		for _, cand := range members[i][0] {
+			if cand.Member == m {
+				matches[i] = cand
+				break
+			}
+		}
+	}
+	q := NewOLAPQuery(e.Config.ObservationClass, levels, examples, e.Graph.Measures)
+	q.Description = q.Describe()
+	return Candidate{Query: q, Matches: matches}, true, nil
+}
+
+// witness finds one observation linking a member choice for every item
+// of tuple ti, returning the chosen members (aligned with levels), or
+// nil if none exists.
+func (e *Engine) witness(ctx context.Context, levels []*vgraph.Level, members [][][]Match, ti int) ([]rdf.Term, error) {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	for i := range levels {
+		fmt.Fprintf(&b, " ?x%d", i)
+	}
+	b.WriteString(fmt.Sprintf(" WHERE { ?o a <%s> . ", e.Config.ObservationClass))
+	for i, l := range levels {
+		fmt.Fprintf(&b, "?o %s ?x%d . VALUES ?x%d {", pathExpr(l.Path), i, i)
+		for _, m := range members[i][ti] {
+			b.WriteByte(' ')
+			b.WriteString(m.Member.String())
+		}
+		b.WriteString(" } ")
+	}
+	b.WriteString("} LIMIT 1")
+	res, err := e.Client.Query(ctx, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("core: validating combination: %w", err)
+	}
+	if res.Len() == 0 {
+		return nil, nil
+	}
+	return res.Rows[0], nil
+}
+
+// Execute runs a structured OLAP query and decodes its results.
+func (e *Engine) Execute(ctx context.Context, q *OLAPQuery) (*ResultSet, error) {
+	res, err := e.Client.Query(ctx, q.ToSPARQL())
+	if err != nil {
+		return nil, fmt.Errorf("core: executing query: %w", err)
+	}
+	return DecodeResults(q, res)
+}

@@ -1,0 +1,248 @@
+// Package datagen generates synthetic statistical knowledge graphs
+// whose schema statistics match the paper's three evaluation datasets
+// (Table 3): Eurostat (asylum applications), Production
+// (macro-economic production), and DBpedia (creative works with
+// M-to-N hierarchies). The real dumps are gigabytes and not
+// redistributable in this offline environment; these generators
+// preserve what the algorithms are sensitive to — the number of
+// dimensions, hierarchies, levels, and members, plus hierarchy shape —
+// while the observation count is a parameter so experiments can sweep
+// scale (the paper's own claim is that synthesis cost is independent
+// of it).
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"re2xolap/internal/qb"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+// LevelSpec describes one hierarchy level above the base.
+type LevelSpec struct {
+	// Pred is the predicate local name linking the finer level to this
+	// one (e.g. "inContinent").
+	Pred string
+	// Label is the human-readable predicate label.
+	Label string
+	// Members is the number of distinct members at this level.
+	Members int
+	// Display overrides the member label prefix. Dimensions and levels
+	// that share a Display produce colliding member labels ("Country
+	// 5" both as origin and destination), reproducing the member
+	// ambiguity of real KGs that drives the number of interpretations
+	// ReOLAP must consider (Section 7.1).
+	Display string
+	// ManyToMany makes ~1/3 of finer members link to two members here.
+	ManyToMany bool
+	// Children are coarser levels reachable from this one.
+	Children []LevelSpec
+}
+
+// DimSpec describes one dimension: its base level and hierarchy tree.
+type DimSpec struct {
+	// Pred is the dimension predicate local name (e.g. "citizen").
+	Pred string
+	// Label is the predicate label.
+	Label string
+	// Members is the number of base-level members.
+	Members int
+	// Display overrides the member label prefix (see LevelSpec.Display).
+	Display string
+	// Children are the hierarchy levels above the base.
+	Children []LevelSpec
+}
+
+// MeasureSpec describes one measure predicate.
+type MeasureSpec struct {
+	Pred  string
+	Label string
+	// Scale is the mean of the exponential value distribution.
+	Scale float64
+}
+
+// Spec fully describes a synthetic dataset.
+type Spec struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// NS is the IRI namespace; must end with '/' or '#'.
+	NS string
+	// Dimensions, Measures, and Observations define the cube.
+	Dimensions   []DimSpec
+	Measures     []MeasureSpec
+	Observations int
+	// Seed makes generation deterministic.
+	Seed int64
+	// MissingRate is the probability that an observation omits a
+	// dimension link, producing the heterogeneous, sparse observations
+	// of real KGs (the paper: "Eurostat has a richer set of observation
+	// attributes" than Production). 0 disables sparsity.
+	MissingRate float64
+}
+
+// ObservationClass returns the observation class IRI of the dataset.
+func (s Spec) ObservationClass() string { return s.NS + "Observation" }
+
+// Config returns the qb.Config for bootstrapping over this dataset.
+func (s Spec) Config() qb.Config {
+	return qb.Config{ObservationClass: s.ObservationClass()}
+}
+
+// MemberTotal returns the total members across all levels (the
+// |N_D| statistic the spec is tuned to).
+func (s Spec) MemberTotal() int {
+	n := 0
+	var walk func(ls []LevelSpec)
+	walk = func(ls []LevelSpec) {
+		for _, l := range ls {
+			n += l.Members
+			walk(l.Children)
+		}
+	}
+	for _, d := range s.Dimensions {
+		n += d.Members
+		walk(d.Children)
+	}
+	return n
+}
+
+// LevelTotal returns the total number of levels (|L̄|).
+func (s Spec) LevelTotal() int {
+	n := 0
+	var walk func(ls []LevelSpec)
+	walk = func(ls []LevelSpec) {
+		for _, l := range ls {
+			n++
+			walk(l.Children)
+		}
+	}
+	for _, d := range s.Dimensions {
+		n++
+		walk(d.Children)
+	}
+	return n
+}
+
+// Generate streams every triple of the dataset to emit. Members are
+// created first (with labels and hierarchy links), then observations;
+// base members are assigned round-robin first so every member is
+// covered when Observations >= Members, then randomly.
+func (s Spec) Generate(emit func(rdf.Triple)) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	iri := func(local string) rdf.Term { return rdf.NewIRI(s.NS + local) }
+	label := func(subject rdf.Term, text string) {
+		emit(rdf.NewTriple(subject, rdf.NewIRI(rdf.RDFSLabel), rdf.NewString(text)))
+	}
+
+	// Predicate labels.
+	for _, d := range s.Dimensions {
+		label(iri(d.Pred), d.Label)
+		var walk func(ls []LevelSpec)
+		walk = func(ls []LevelSpec) {
+			for _, l := range ls {
+				label(iri(l.Pred), l.Label)
+				walk(l.Children)
+			}
+		}
+		walk(d.Children)
+	}
+	for _, m := range s.Measures {
+		label(iri(m.Pred), m.Label)
+	}
+
+	// memberIRI names the j-th member of a level identified by its
+	// path of predicate local names.
+	memberIRI := func(path string, j int) rdf.Term {
+		return iri(fmt.Sprintf("%s/m%d", path, j))
+	}
+
+	// Emit members level by level, linking finer to coarser.
+	var emitLevels func(path, display string, members int, children []LevelSpec)
+	emitLevels = func(path, display string, members int, children []LevelSpec) {
+		for j := 0; j < members; j++ {
+			label(memberIRI(path, j), fmt.Sprintf("%s %d", display, j))
+		}
+		for _, ch := range children {
+			chPath := path + "/" + ch.Pred
+			for j := 0; j < members; j++ {
+				parent := (j*31 + 7) % ch.Members
+				emit(rdf.NewTriple(memberIRI(path, j), iri(ch.Pred), memberIRI(chPath, parent)))
+				if ch.ManyToMany && j%3 == 0 && ch.Members > 1 {
+					second := (j*17 + 3) % ch.Members
+					if second == parent {
+						second = (second + 1) % ch.Members
+					}
+					emit(rdf.NewTriple(memberIRI(path, j), iri(ch.Pred), memberIRI(chPath, second)))
+				}
+			}
+			chDisplay := ch.Display
+			if chDisplay == "" {
+				chDisplay = ch.Label
+			}
+			emitLevels(chPath, chDisplay, ch.Members, ch.Children)
+		}
+	}
+	for _, d := range s.Dimensions {
+		display := d.Display
+		if display == "" {
+			display = d.Label
+		}
+		emitLevels(d.Pred, display, d.Members, d.Children)
+	}
+
+	// Observations.
+	obsClass := rdf.NewIRI(s.ObservationClass())
+	typePred := rdf.NewIRI(rdf.RDFType)
+	for i := 0; i < s.Observations; i++ {
+		obs := iri(fmt.Sprintf("obs/%d", i))
+		emit(rdf.NewTriple(obs, typePred, obsClass))
+		for _, d := range s.Dimensions {
+			j := i % d.Members
+			if i >= d.Members {
+				j = rng.Intn(d.Members)
+				if s.MissingRate > 0 && rng.Float64() < s.MissingRate {
+					continue // sparse observation: dimension omitted
+				}
+			}
+			emit(rdf.NewTriple(obs, iri(d.Pred), memberIRI(d.Pred, j)))
+		}
+		for _, m := range s.Measures {
+			v := int64(rng.ExpFloat64()*m.Scale) + 1
+			emit(rdf.NewTriple(obs, iri(m.Pred), rdf.NewInteger(v)))
+		}
+	}
+}
+
+// BuildStore generates the dataset into a fresh store.
+func (s Spec) BuildStore() (*store.Store, error) {
+	st := store.New()
+	var err error
+	s.Generate(func(t rdf.Triple) {
+		if err == nil {
+			err = st.Add(t)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	st.Compact()
+	return st, nil
+}
+
+// Write streams the dataset as N-Triples.
+func (s Spec) Write(w io.Writer) error {
+	enc := rdf.NewEncoder(w)
+	var err error
+	s.Generate(func(t rdf.Triple) {
+		if err == nil {
+			err = enc.Encode(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return enc.Flush()
+}

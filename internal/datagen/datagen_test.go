@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/vgraph"
+)
+
+func TestSpecStatistics(t *testing.T) {
+	tests := []struct {
+		spec    Spec
+		dims    int
+		levels  int
+		members int
+	}{
+		{EurostatLike(100), 4, 9, 373},
+		{ProductionLike(100), 7, 9, 6444},
+		{DBpediaLike(100), 5, 23, 87160},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec.Name, func(t *testing.T) {
+			if got := len(tt.spec.Dimensions); got != tt.dims {
+				t.Errorf("|D| = %d, want %d", got, tt.dims)
+			}
+			if got := tt.spec.LevelTotal(); got != tt.levels {
+				t.Errorf("|L| = %d, want %d", got, tt.levels)
+			}
+			if got := tt.spec.MemberTotal(); got != tt.members {
+				t.Errorf("|N_D| = %d, want %d", got, tt.members)
+			}
+			if len(tt.spec.Measures) != 1 {
+				t.Errorf("|M| = %d, want 1", len(tt.spec.Measures))
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := EurostatLike(50)
+	var a, b bytes.Buffer
+	if err := spec.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestBuildStoreAndBootstrap(t *testing.T) {
+	spec := EurostatLike(400)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := vgraph.Bootstrap(context.Background(), endpoint.NewInProcess(st), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats()
+	if stats.Dimensions != 4 {
+		t.Errorf("bootstrapped dimensions = %d, want 4", stats.Dimensions)
+	}
+	if stats.Levels != 9 {
+		t.Errorf("bootstrapped levels = %d, want 9\n%s", stats.Levels, g)
+	}
+	if stats.Measures != 1 {
+		t.Errorf("bootstrapped measures = %d", stats.Measures)
+	}
+	if g.ObservationCount != 400 {
+		t.Errorf("observations = %d, want 400", g.ObservationCount)
+	}
+	// With 400 observations every base member of every dimension is
+	// covered (the largest base level has 120 members).
+	base := g.LevelByPath([]string{spec.NS + "citizen"})
+	if base == nil || base.MemberCount != 120 {
+		t.Errorf("citizen members = %v, want 120", base)
+	}
+	// Predicate labels from the data drive the level labels.
+	if base.Label != "Country of Origin" {
+		t.Errorf("citizen label = %q", base.Label)
+	}
+}
+
+func TestDBpediaManyToMany(t *testing.T) {
+	spec := DBpediaLike(300)
+	// Shrink the artist dimension so the test is fast but keep the
+	// M-to-N structure.
+	spec.Dimensions[0].Members = 300
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := vgraph.Bootstrap(context.Background(), endpoint.NewInProcess(st), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.LevelByPath([]string{spec.NS + "artist", spec.NS + "artistGenre"})
+	if l == nil {
+		t.Fatal("artistGenre level missing")
+	}
+	if !l.ManyToMany {
+		t.Error("M-to-N hierarchy step not present/detected")
+	}
+}
+
+func TestGenerateTripleShape(t *testing.T) {
+	spec := EurostatLike(10)
+	typeCount, measureCount := 0, 0
+	labelSeen := false
+	spec.Generate(func(tr rdf.Triple) {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid triple %v: %v", tr, err)
+		}
+		switch {
+		case tr.P.Value == rdf.RDFType && tr.O.Value == spec.ObservationClass():
+			typeCount++
+		case tr.P.Value == spec.NS+"numApplicants":
+			measureCount++
+			if !tr.O.IsNumeric() {
+				t.Errorf("measure value not numeric: %v", tr.O)
+			}
+			if n, _ := tr.O.Numeric(); n < 1 {
+				t.Errorf("measure value %v < 1", tr.O)
+			}
+		case tr.P.Value == rdf.RDFSLabel:
+			labelSeen = true
+		}
+	})
+	if typeCount != 10 || measureCount != 10 {
+		t.Errorf("type/measure triples = %d/%d, want 10/10", typeCount, measureCount)
+	}
+	if !labelSeen {
+		t.Error("no labels generated")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets(10, 20, 30)
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d", len(ps))
+	}
+	if ps[0].Observations != 10 || ps[1].Observations != 20 || ps[2].Observations != 30 {
+		t.Error("observation scales not applied")
+	}
+	names := []string{"eurostat", "production", "dbpedia"}
+	for i, p := range ps {
+		if p.Name != names[i] {
+			t.Errorf("preset %d = %s, want %s", i, p.Name, names[i])
+		}
+	}
+}
+
+func TestMissingRateSparsity(t *testing.T) {
+	spec := EurostatLike(2000)
+	spec.MissingRate = 0.3
+	dense := EurostatLike(2000)
+
+	countDim := func(s Spec) int {
+		n := 0
+		pred := s.NS + "citizen"
+		s.Generate(func(tr rdf.Triple) {
+			if tr.P.Value == pred {
+				n++
+			}
+		})
+		return n
+	}
+	sparse := countDim(spec)
+	full := countDim(dense)
+	if sparse >= full {
+		t.Errorf("sparse = %d, dense = %d", sparse, full)
+	}
+	// Roughly 30% missing (round-robin coverage keeps the first 120).
+	if float64(sparse) > float64(full)*0.8 {
+		t.Errorf("sparsity too low: %d of %d", sparse, full)
+	}
+
+	// The pipeline still bootstraps and synthesizes over sparse data.
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := vgraph.Bootstrap(context.Background(), endpoint.NewInProcess(st), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Levels != 9 {
+		t.Errorf("levels = %d", g.Stats().Levels)
+	}
+}

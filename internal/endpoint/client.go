@@ -1,0 +1,89 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+)
+
+// Client is a SPARQL query interface. Everything above the protocol
+// boundary (virtual-graph bootstrap, ReOLAP, the refinements) talks to
+// the triplestore exclusively through this interface, mirroring the
+// paper's claim that the system "operates on standard SPARQL
+// interfaces (with non-specialized RDF stores)".
+type Client interface {
+	// Query runs one SPARQL SELECT or ASK query.
+	Query(ctx context.Context, query string) (*sparql.Results, error)
+}
+
+// InProcess is a Client that executes queries directly against a local
+// store, bypassing HTTP. It also counts queries, which the experiment
+// harness reports.
+type InProcess struct {
+	Engine *sparql.Engine
+	n      atomic.Int64
+}
+
+// NewInProcess returns an in-process client over st.
+func NewInProcess(st *store.Store) *InProcess {
+	return &InProcess{Engine: sparql.NewEngine(st)}
+}
+
+// Query implements Client. The context cancels long-running joins.
+func (c *InProcess) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.n.Add(1)
+	return c.Engine.QueryStringContext(ctx, query)
+}
+
+// QueryCount returns the number of queries issued so far.
+func (c *InProcess) QueryCount() int64 { return c.n.Load() }
+
+// HTTPClient speaks the SPARQL protocol with a remote endpoint.
+type HTTPClient struct {
+	// Endpoint is the query URL, e.g. "http://localhost:8080/sparql".
+	Endpoint string
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+}
+
+// NewHTTPClient returns a client for the given endpoint URL.
+func NewHTTPClient(endpoint string) *HTTPClient {
+	return &HTTPClient{Endpoint: endpoint, HTTP: &http.Client{Timeout: 15 * time.Minute}}
+}
+
+// Query implements Client by POSTing an
+// application/x-www-form-urlencoded query, per the SPARQL 1.1 protocol.
+func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", ResultsContentType)
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("endpoint: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return DecodeResults(resp.Body)
+}

@@ -1,0 +1,51 @@
+package endpoint
+
+import (
+	"encoding/csv"
+	"io"
+
+	"re2xolap/internal/sparql"
+)
+
+// CSVResultsContentType is the media type of SPARQL CSV results.
+const CSVResultsContentType = "text/csv"
+
+// EncodeResultsCSV writes res in the SPARQL 1.1 Query Results CSV
+// Format: a header row of variable names, then one row per solution
+// with plain lexical values (IRIs bare, literals unquoted by the CSV
+// layer itself). ASK results become a single boolean cell.
+func EncodeResultsCSV(w io.Writer, res *sparql.Results) error {
+	cw := csv.NewWriter(w)
+	if res.IsAsk {
+		if err := cw.Write([]string{"boolean"}); err != nil {
+			return err
+		}
+		v := "false"
+		if res.Boolean {
+			v = "true"
+		}
+		if err := cw.Write([]string{v}); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	if err := cw.Write(res.Vars); err != nil {
+		return err
+	}
+	record := make([]string, len(res.Vars))
+	for _, row := range res.Rows {
+		for i, t := range row {
+			if sparql.Bound(t) {
+				record[i] = t.Value
+			} else {
+				record[i] = ""
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

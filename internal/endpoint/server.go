@@ -1,0 +1,104 @@
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+)
+
+// Server is an http.Handler implementing the SPARQL 1.1 protocol query
+// operation over a local store: GET with ?query= or POST with a form
+// body, returning application/sparql-results+json.
+type Server struct {
+	engine *sparql.Engine
+	// MaxQueryLen bounds accepted query text; defaults to 1 MiB.
+	MaxQueryLen int
+}
+
+// NewServer returns a SPARQL protocol handler over st.
+func NewServer(st *store.Store) *Server {
+	return &Server{engine: sparql.NewEngine(st), MaxQueryLen: 1 << 20}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "malformed form body", http.StatusBadRequest)
+			return
+		}
+		query = r.PostForm.Get("query")
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if query == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	if len(query) > s.MaxQueryLen {
+		http.Error(w, "query too long", http.StatusRequestEntityTooLarge)
+		return
+	}
+	res, err := s.engine.QueryStringContext(r.Context(), query)
+	if err != nil {
+		var se *sparql.SyntaxError
+		if errors.As(err, &se) {
+			http.Error(w, fmt.Sprintf("malformed query: %v", err), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, fmt.Sprintf("query execution failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if res.IsConstruct {
+		// CONSTRUCT results are an RDF graph, served as N-Triples.
+		w.Header().Set("Content-Type", "application/n-triples")
+		enc := rdf.NewEncoder(w)
+		for _, t := range res.Triples {
+			if err := enc.Encode(t); err != nil {
+				return
+			}
+		}
+		_ = enc.Flush()
+		return
+	}
+	// Content negotiation: XML or CSV when the client asks for them,
+	// JSON otherwise (the SPARQL protocol default here).
+	accept := r.Header.Get("Accept")
+	if wantsXML(accept) {
+		w.Header().Set("Content-Type", XMLResultsContentType)
+		_ = EncodeResultsXML(w, res)
+		return
+	}
+	if strings.Contains(accept, CSVResultsContentType) && !strings.Contains(accept, ResultsContentType) {
+		w.Header().Set("Content-Type", CSVResultsContentType)
+		_ = EncodeResultsCSV(w, res)
+		return
+	}
+	w.Header().Set("Content-Type", ResultsContentType)
+	if err := EncodeResults(w, res); err != nil {
+		// Headers are already sent; nothing more to do.
+		return
+	}
+}
+
+// wantsXML reports whether the Accept header prefers the XML results
+// format: it lists the XML media type and does not list the JSON one
+// earlier.
+func wantsXML(accept string) bool {
+	xmlPos := strings.Index(accept, XMLResultsContentType)
+	if xmlPos < 0 {
+		return false
+	}
+	jsonPos := strings.Index(accept, ResultsContentType)
+	return jsonPos < 0 || xmlPos < jsonPos
+}

@@ -1,0 +1,146 @@
+package endpoint
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+)
+
+// XMLResultsContentType is the media type of SPARQL XML results.
+const XMLResultsContentType = "application/sparql-results+xml"
+
+// xmlResults mirrors the SPARQL Query Results XML Format.
+type xmlResults struct {
+	XMLName xml.Name        `xml:"sparql"`
+	Xmlns   string          `xml:"xmlns,attr"`
+	Head    xmlHead         `xml:"head"`
+	Boolean *bool           `xml:"boolean,omitempty"`
+	Results *xmlResultsElem `xml:"results,omitempty"`
+}
+
+type xmlHead struct {
+	Variables []xmlVariable `xml:"variable"`
+}
+
+type xmlVariable struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlResultsElem struct {
+	Results []xmlResult `xml:"result"`
+}
+
+type xmlResult struct {
+	Bindings []xmlBinding `xml:"binding"`
+}
+
+type xmlBinding struct {
+	Name    string      `xml:"name,attr"`
+	URI     *string     `xml:"uri,omitempty"`
+	BNode   *string     `xml:"bnode,omitempty"`
+	Literal *xmlLiteral `xml:"literal,omitempty"`
+}
+
+type xmlLiteral struct {
+	Lang     string `xml:"http://www.w3.org/XML/1998/namespace lang,attr,omitempty"`
+	Datatype string `xml:"datatype,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+const sparqlResultsNS = "http://www.w3.org/2005/sparql-results#"
+
+// EncodeResultsXML writes res in the SPARQL Query Results XML Format.
+func EncodeResultsXML(w io.Writer, res *sparql.Results) error {
+	out := xmlResults{Xmlns: sparqlResultsNS}
+	if res.IsAsk {
+		b := res.Boolean
+		out.Boolean = &b
+	} else {
+		for _, v := range res.Vars {
+			out.Head.Variables = append(out.Head.Variables, xmlVariable{Name: v})
+		}
+		out.Results = &xmlResultsElem{}
+		for _, row := range res.Rows {
+			var xr xmlResult
+			for i, t := range row {
+				if !sparql.Bound(t) {
+					continue
+				}
+				b := xmlBinding{Name: res.Vars[i]}
+				switch t.Kind {
+				case rdf.TermIRI:
+					v := t.Value
+					b.URI = &v
+				case rdf.TermBlank:
+					v := t.Value
+					b.BNode = &v
+				default:
+					b.Literal = &xmlLiteral{Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+				}
+				xr.Bindings = append(xr.Bindings, b)
+			}
+			out.Results.Results = append(out.Results.Results, xr)
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("endpoint: encode xml results: %w", err)
+	}
+	return enc.Close()
+}
+
+// DecodeResultsXML parses the SPARQL Query Results XML Format.
+func DecodeResultsXML(r io.Reader) (*sparql.Results, error) {
+	var in xmlResults
+	if err := xml.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("endpoint: decode xml results: %w", err)
+	}
+	if in.Boolean != nil {
+		return &sparql.Results{IsAsk: true, Boolean: *in.Boolean}, nil
+	}
+	res := &sparql.Results{}
+	for _, v := range in.Head.Variables {
+		res.Vars = append(res.Vars, v.Name)
+	}
+	col := map[string]int{}
+	for i, v := range res.Vars {
+		col[v] = i
+	}
+	if in.Results == nil {
+		return res, nil
+	}
+	for _, xr := range in.Results.Results {
+		row := make([]rdf.Term, len(res.Vars))
+		for _, b := range xr.Bindings {
+			i, ok := col[b.Name]
+			if !ok {
+				return nil, fmt.Errorf("endpoint: binding for undeclared variable %q", b.Name)
+			}
+			switch {
+			case b.URI != nil:
+				row[i] = rdf.NewIRI(*b.URI)
+			case b.BNode != nil:
+				row[i] = rdf.NewBlank(*b.BNode)
+			case b.Literal != nil:
+				switch {
+				case b.Literal.Lang != "":
+					row[i] = rdf.NewLangString(b.Literal.Value, b.Literal.Lang)
+				case b.Literal.Datatype != "":
+					row[i] = rdf.NewTyped(b.Literal.Value, b.Literal.Datatype)
+				default:
+					row[i] = rdf.NewString(b.Literal.Value)
+				}
+			default:
+				return nil, fmt.Errorf("endpoint: empty binding for %q", b.Name)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

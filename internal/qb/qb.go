@@ -1,0 +1,76 @@
+// Package qb defines the statistical-knowledge-graph vocabulary and
+// model from Section 3 of the paper: observations, measures,
+// dimensions, hierarchy levels, and level attributes, following the RDF
+// Data Cube (QB) vocabulary. The only structural assumption, as in the
+// paper, is that observations are instances of a known RDF class; all
+// multidimensional structure is inferred by the bootstrap crawler in
+// internal/vgraph.
+package qb
+
+import "strings"
+
+// RDF Data Cube vocabulary IRIs (the W3C QB standard).
+const (
+	NS = "http://purl.org/linked-data/cube#"
+
+	// Observation is the default observation class, qb:Observation.
+	Observation = NS + "Observation"
+	// MeasureProperty marks measure predicates.
+	MeasureProperty = NS + "MeasureProperty"
+	// DimensionProperty marks dimension predicates.
+	DimensionProperty = NS + "DimensionProperty"
+	// DataSet relates observations to their dataset.
+	DataSet = NS + "dataSet"
+)
+
+// Config describes how to interpret a statistical KG: the SPARQL
+// endpoint knows the data, and the observation class anchors the
+// crawl. This mirrors the paper's system bootstrap inputs ("the address
+// of the SPARQL endpoint, the list of named graphs to query, and the
+// RDF class identifying the observations").
+type Config struct {
+	// ObservationClass is the RDF class of observation nodes;
+	// defaults to qb:Observation.
+	ObservationClass string
+	// MaxHierarchyDepth bounds the hierarchy crawl; defaults to 8.
+	MaxHierarchyDepth int
+	// IgnorePredicates are never treated as dimension or measure
+	// predicates (rdf:type is always ignored).
+	IgnorePredicates []string
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.ObservationClass == "" {
+		c.ObservationClass = Observation
+	}
+	if c.MaxHierarchyDepth == 0 {
+		c.MaxHierarchyDepth = 8
+	}
+	return c
+}
+
+// Ignored reports whether p must not be treated as a cube predicate.
+func (c Config) Ignored(p string) bool {
+	if p == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+		return true
+	}
+	for _, ig := range c.IgnorePredicates {
+		if ig == p {
+			return true
+		}
+	}
+	return false
+}
+
+// LocalName extracts the fragment or last path segment of an IRI, used
+// as a fallback display name when no rdfs:label exists.
+func LocalName(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}

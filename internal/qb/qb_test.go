@@ -1,0 +1,44 @@
+package qb
+
+import "testing"
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.ObservationClass != Observation {
+		t.Errorf("class = %q", c.ObservationClass)
+	}
+	if c.MaxHierarchyDepth != 8 {
+		t.Errorf("depth = %d", c.MaxHierarchyDepth)
+	}
+	custom := Config{ObservationClass: "http://x/Obs", MaxHierarchyDepth: 3}.WithDefaults()
+	if custom.ObservationClass != "http://x/Obs" || custom.MaxHierarchyDepth != 3 {
+		t.Errorf("custom overridden: %+v", custom)
+	}
+}
+
+func TestIgnored(t *testing.T) {
+	c := Config{IgnorePredicates: []string{"http://x/skip"}}.WithDefaults()
+	if !c.Ignored("http://www.w3.org/1999/02/22-rdf-syntax-ns#type") {
+		t.Error("rdf:type not ignored")
+	}
+	if !c.Ignored("http://x/skip") {
+		t.Error("configured predicate not ignored")
+	}
+	if c.Ignored("http://x/keep") {
+		t.Error("unconfigured predicate ignored")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"http://ex.org/path/name", "name"},
+		{"http://ex.org/ns#frag", "frag"},
+		{"plain", "plain"},
+		{"http://ex.org/trailing/", "http://ex.org/trailing/"},
+	}
+	for _, tt := range tests {
+		if got := LocalName(tt.in); got != tt.want {
+			t.Errorf("LocalName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func decodeString(t *testing.T, src string) []Triple {
+	t.Helper()
+	ts, err := NewDecoder(strings.NewReader(src)).DecodeAll()
+	if err != nil {
+		t.Fatalf("DecodeAll(%q): %v", src, err)
+	}
+	return ts
+}
+
+func TestDecodeNTriples(t *testing.T) {
+	src := `<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .
+<http://ex.org/s> <http://ex.org/q> "hello" .
+<http://ex.org/s> <http://ex.org/r> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/s> <http://ex.org/t> "bonjour"@fr .
+_:b1 <http://ex.org/p> _:b2 .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 5 {
+		t.Fatalf("got %d triples, want 5", len(ts))
+	}
+	if ts[0].O != NewIRI("http://ex.org/o") {
+		t.Errorf("triple 0 object = %v", ts[0].O)
+	}
+	if ts[2].O != NewTyped("5", XSDInteger) {
+		t.Errorf("triple 2 object = %v", ts[2].O)
+	}
+	if ts[3].O != NewLangString("bonjour", "fr") {
+		t.Errorf("triple 3 object = %v", ts[3].O)
+	}
+	if !ts[4].S.IsBlank() || !ts[4].O.IsBlank() {
+		t.Errorf("triple 4 blanks = %v", ts[4])
+	}
+}
+
+func TestDecodeTurtlePrefixes(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+@prefix qb: <http://purl.org/linked-data/cube#> .
+ex:obs1 a qb:Observation ;
+    ex:value 42 ;
+    ex:labels "a" , "b" .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4: %v", len(ts), ts)
+	}
+	if ts[0].P.Value != RDFType {
+		t.Errorf("'a' not expanded: %v", ts[0].P)
+	}
+	if ts[0].O.Value != "http://purl.org/linked-data/cube#Observation" {
+		t.Errorf("prefixed name not expanded: %v", ts[0].O)
+	}
+	if ts[1].O != NewTyped("42", XSDInteger) {
+		t.Errorf("bare integer = %v", ts[1].O)
+	}
+	if ts[2].O.Value != "a" || ts[3].O.Value != "b" {
+		t.Errorf("object list wrong: %v %v", ts[2].O, ts[3].O)
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	src := `# leading comment
+<http://ex.org/s> <http://ex.org/p> "v" . # trailing comment
+# another
+`
+	ts := decodeString(t, src)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples, want 1", len(ts))
+	}
+}
+
+func TestDecodeDottedIRIs(t *testing.T) {
+	// Dots inside IRIs must not terminate the statement.
+	src := `<http://ex.org/v1.0/s.x> <http://ex.org/p.y> <http://ex.org/o.z> .`
+	ts := decodeString(t, src)
+	if len(ts) != 1 || ts[0].S.Value != "http://ex.org/v1.0/s.x" {
+		t.Fatalf("dotted IRI mangled: %v", ts)
+	}
+}
+
+func TestDecodeDecimalNumbers(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:s ex:p 3.5 .
+ex:s ex:q -7 .
+ex:s ex:r true .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 3 {
+		t.Fatalf("got %d triples, want 3", len(ts))
+	}
+	if ts[0].O != NewTyped("3.5", XSDDouble) {
+		t.Errorf("decimal = %v", ts[0].O)
+	}
+	if ts[1].O != NewTyped("-7", XSDInteger) {
+		t.Errorf("negative int = %v", ts[1].O)
+	}
+	if ts[2].O != NewTyped("true", XSDBoolean) {
+		t.Errorf("boolean = %v", ts[2].O)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> .`,                  // missing object
+		`<http://s> .`,                             // missing predicate
+		`<http://s> <http://p> ex:o .`,             // unknown prefix
+		`<http://s> <http://p> "unterminated .`,    // bad string: consumed till EOF then malformed
+		`<http://s> <http://p> "v"^^garbage .`,     // malformed datatype
+		`<http://s> <http://p> "a" "b" <http://c>`, // too many terms
+	}
+	for _, src := range bad {
+		if ts, err := NewDecoder(strings.NewReader(src)).DecodeAll(); err == nil {
+			t.Errorf("DecodeAll(%q) accepted: %v", src, ts)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	triples := []Triple{
+		NewTriple(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewIRI("http://ex.org/o")),
+		NewTriple(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewString("tricky \"quote\"\nnewline")),
+		NewTriple(NewBlank("b7"), NewIRI("http://ex.org/p"), NewInteger(-3)),
+		NewTriple(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLangString("ciao", "it")),
+		NewTriple(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewDouble(0.125)),
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, tr := range triples {
+		if err := enc.Encode(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).DecodeAll()
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("got %d triples, want %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], triples[i])
+		}
+	}
+}
+
+// Property: triples with arbitrary literal objects survive an
+// encode→decode round trip.
+func TestQuickTripleRoundTrip(t *testing.T) {
+	f := func(s, p, o string) bool {
+		tr := NewTriple(NewIRI("http://ex.org/"+sanitizeIRI(s)), NewIRI("http://ex.org/"+sanitizeIRI(p)), NewString(o))
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if enc.Encode(tr) != nil || enc.Flush() != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).DecodeAll()
+		return err == nil && len(got) == 1 && got[0] == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeIRI strips characters that are not legal inside IRIs so that
+// random strings can be used as IRI suffixes.
+func sanitizeIRI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > ' ' && r != '<' && r != '>' && r != '"' && r != '{' && r != '}' && r != '|' && r != '\\' && r != '^' && r != '`' && r < 0x80 {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := NewDecoder(strings.NewReader("line1 is bad .")).DecodeAll()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !errorsAs(err, &pe) {
+		t.Fatalf("error %T is not *ParseError", err)
+	}
+	if !strings.Contains(pe.Error(), "line") {
+		t.Errorf("message %q lacks line info", pe.Error())
+	}
+}
+
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestDecodeNeverPanics feeds mangled input to the decoder.
+func TestDecodeNeverPanics(t *testing.T) {
+	base := `@prefix ex: <http://ex.org/> .
+ex:s ex:p "v"@en , 3.5 ; ex:q <http://o> .
+_:b ex:r true .`
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decoder panicked: %v", r)
+		}
+	}()
+	for cut := 0; cut <= len(base); cut += 2 {
+		_, _ = NewDecoder(strings.NewReader(base[:cut])).DecodeAll()
+		_, _ = NewDecoder(strings.NewReader(base[cut:])).DecodeAll()
+	}
+	mangled := []string{
+		strings.ReplaceAll(base, "<", ">"),
+		strings.ReplaceAll(base, ".", ";"),
+		strings.Repeat(`"`, 99),
+		"\x00\xff\xfe .",
+	}
+	for _, src := range mangled {
+		_, _ = NewDecoder(strings.NewReader(src)).DecodeAll()
+	}
+}
+
+func TestDecodeBlankNodePropertyList(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:obs ex:refPeriod [ ex:month 10 ; ex:year 2014 ] ; ex:value 5 .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4: %v", len(ts), ts)
+	}
+	// The bracket group introduces one blank node used as the object of
+	// refPeriod and the subject of month/year.
+	var blank Term
+	for _, tr := range ts {
+		if tr.P.Value == "http://ex.org/refPeriod" {
+			blank = tr.O
+		}
+	}
+	if !blank.IsBlank() {
+		t.Fatalf("refPeriod object = %v", blank)
+	}
+	monthSeen := false
+	for _, tr := range ts {
+		if tr.P.Value == "http://ex.org/month" {
+			monthSeen = true
+			if tr.S != blank {
+				t.Errorf("month subject = %v, want %v", tr.S, blank)
+			}
+		}
+	}
+	if !monthSeen {
+		t.Error("nested property missing")
+	}
+}
+
+func TestDecodeNestedBlankNodes(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:a ex:p [ ex:q [ ex:r ex:b ] ] .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 3 {
+		t.Fatalf("got %d triples, want 3: %v", len(ts), ts)
+	}
+}
+
+func TestDecodeAnonymousSubject(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+[ ex:p ex:o ; ex:q "v" ] .
+`
+	ts := decodeString(t, src)
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2: %v", len(ts), ts)
+	}
+	if ts[0].S != ts[1].S || !ts[0].S.IsBlank() {
+		t.Errorf("shared blank subject broken: %v / %v", ts[0].S, ts[1].S)
+	}
+}
+
+func TestDecodeLongStrings(t *testing.T) {
+	src := "@prefix ex: <http://ex.org/> .\n" +
+		"ex:s ex:doc \"\"\"line one\nline \"two\" with quotes.\nline three\"\"\"@en .\n" +
+		"ex:s ex:p ex:o .\n"
+	ts := decodeString(t, src)
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2: %v", len(ts), ts)
+	}
+	want := "line one\nline \"two\" with quotes.\nline three"
+	if ts[0].O != NewLangString(want, "en") {
+		t.Errorf("long string = %#v", ts[0].O)
+	}
+}
+
+func TestDecodeBracketErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> [ <http://q> .`,         // unterminated
+		`<http://s> <http://p> [ "lit" <http://o> ] .`, // literal predicate
+	}
+	for _, src := range bad {
+		if ts, err := NewDecoder(strings.NewReader(src)).DecodeAll(); err == nil {
+			t.Errorf("DecodeAll(%q) accepted: %v", src, ts)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package refine
+
+import (
+	"fmt"
+	"strings"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/vgraph"
+)
+
+// Disaggregate solves Problem 2a: it enumerates, purely over the
+// virtual schema graph (no triplestore access, O(|L̄|)), the levels
+// that can be added to the query to produce results at a finer
+// granularity. A level qualifies if its dimension is not grouped yet
+// (a new drill-down dimension), or if it is strictly finer than the
+// level currently grouped for its dimension (drill-down within the
+// dimension); coarser levels are discarded because they would
+// aggregate upward instead of disaggregating. The existing grouping
+// columns are kept, so every refined result still subsumes the user
+// example (T_E ⊑ T_r).
+func Disaggregate(g *vgraph.Graph, q *core.OLAPQuery) []Refinement {
+	var out []Refinement
+	for _, l := range g.Levels {
+		if q.HasLevel(l) {
+			continue
+		}
+		di := q.DimOfDimension(l.Dimension)
+		if di >= 0 {
+			existing := q.Dims[di].Level
+			if !strictlyFiner(l, existing) {
+				continue
+			}
+		}
+		nq := q.Clone()
+		nq.AddDim(l)
+		nq.Description = nq.Describe()
+		why := fmt.Sprintf("disaggregate by %q", levelPath(l))
+		if di >= 0 {
+			why = fmt.Sprintf("drill down %q to the finer level %q", levelPath(q.Dims[di].Level), levelPath(l))
+		}
+		out = append(out, Refinement{Kind: KindDisaggregate, Query: nq, Why: why})
+	}
+	return out
+}
+
+// strictlyFiner reports whether candidate is a strict ancestor of
+// existing on the same hierarchy path, i.e. a finer granularity of the
+// same data (country is finer than country/continent).
+func strictlyFiner(candidate, existing *vgraph.Level) bool {
+	if len(candidate.Path) >= len(existing.Path) {
+		return false
+	}
+	for i, p := range candidate.Path {
+		if existing.Path[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// levelPath renders a level as a human-readable hierarchy path using
+// the labels collected at bootstrap.
+func levelPath(l *vgraph.Level) string {
+	var labels []string
+	for cur := l; cur != nil; cur = cur.Parent {
+		labels = append([]string{cur.Label}, labels...)
+	}
+	return strings.Join(labels, " / ")
+}

@@ -1,0 +1,42 @@
+// Package refine implements ExRef, the example-driven query refinement
+// suite of Section 6: Disaggregate (Problem 2a, a drill-down),
+// Top-K and Percentile subsetting (Problem 2b, dice on aggregate
+// values), and Similarity search (Problem 2c, dice on members similar
+// to the example). Every refinement clones the input query, carries a
+// human-readable explanation (the paper's explainability criterion),
+// and keeps the user's example in the refined result set.
+package refine
+
+import (
+	"fmt"
+
+	"re2xolap/internal/core"
+)
+
+// Kind identifies a refinement method.
+type Kind string
+
+// The four ExRef refinement kinds (Algorithm 2's ExRef set), plus the
+// clustering refinement from the paper's preliminary prototype
+// (Section 7.2).
+const (
+	KindDisaggregate Kind = "disaggregate"
+	KindTopK         Kind = "topk"
+	KindPercentile   Kind = "percentile"
+	KindSimilarity   Kind = "similarity"
+	KindCluster      Kind = "cluster"
+	KindRollUp       Kind = "rollup"
+)
+
+// Refinement is one proposed refined query.
+type Refinement struct {
+	Kind  Kind
+	Query *core.OLAPQuery
+	// Why explains the refinement to the user in one sentence.
+	Why string
+}
+
+// String renders the refinement for display.
+func (r Refinement) String() string {
+	return fmt.Sprintf("[%s] %s", r.Kind, r.Why)
+}

@@ -1,0 +1,110 @@
+package refine
+
+import (
+	"fmt"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/vgraph"
+)
+
+// RollUp is the inverse of Disaggregate (Section 4.2 names both
+// drill-down and roll-up): it aggregates the current results upward by
+// either dropping a previously-added dimension or replacing a
+// dimension's level with a coarser one on the same hierarchy path.
+// Dimensions anchored by the user example are never dropped or
+// coarsened — doing so would remove the example member from the
+// results and break the T_E ⊑ T_r invariant every refinement keeps.
+func RollUp(g *vgraph.Graph, q *core.OLAPQuery) []Refinement {
+	var out []Refinement
+	for di, d := range q.Dims {
+		if d.Example != nil {
+			continue // anchored: rolling up would lose the example
+		}
+		// Option (a): drop the dimension entirely, re-aggregating over
+		// it — but only if at least one dimension remains.
+		if len(q.Dims) > 1 {
+			nq := q.Clone()
+			if ok := removeDim(nq, di); ok {
+				nq.Description = nq.Describe()
+				out = append(out, Refinement{
+					Kind:  KindRollUp,
+					Query: nq,
+					Why:   fmt.Sprintf("roll up: aggregate away %q", levelPath(d.Level)),
+				})
+			}
+		}
+		// Option (b): coarsen to each child (coarser) level on the same
+		// hierarchy path.
+		for _, coarser := range coarserLevels(g, d.Level) {
+			if q.HasLevel(coarser) {
+				continue
+			}
+			nq := q.Clone()
+			nq.Dims[di].Level = coarser
+			nq.Dims[di].Example = nil
+			nq.Description = nq.Describe()
+			out = append(out, Refinement{
+				Kind:  KindRollUp,
+				Query: nq,
+				Why: fmt.Sprintf("roll up %q to the coarser level %q",
+					levelPath(d.Level), levelPath(coarser)),
+			})
+		}
+	}
+	return out
+}
+
+// removeDim deletes dimension di from the query, dropping any member
+// filters that referenced it (their combinations no longer apply). It
+// reports false when a DimValuesFilter spans this dimension together
+// with an anchored one, in which case dropping the filter would also
+// drop the example restriction semantics.
+func removeDim(q *core.OLAPQuery, di int) bool {
+	var filters []core.DimValuesFilter
+	for _, f := range q.DimFilters {
+		uses := false
+		for _, idx := range f.DimIdx {
+			if idx == di {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			// The filter pins member combinations that include this
+			// dimension; removing the dimension invalidates it. Keep the
+			// roll-up simple: drop the filter entirely.
+			continue
+		}
+		// Reindex references past the removed dimension.
+		nf := f
+		nf.DimIdx = append([]int(nil), f.DimIdx...)
+		for i, idx := range nf.DimIdx {
+			if idx > di {
+				nf.DimIdx[i] = idx - 1
+			}
+		}
+		filters = append(filters, nf)
+	}
+	q.DimFilters = filters
+	q.Dims = append(q.Dims[:di], q.Dims[di+1:]...)
+	return true
+}
+
+// coarserLevels returns the levels reachable upward from l (its
+// children in the virtual graph point to coarser levels).
+func coarserLevels(g *vgraph.Graph, l *vgraph.Level) []*vgraph.Level {
+	current := g.LevelByKey(l.Key())
+	if current == nil {
+		return nil
+	}
+	var out []*vgraph.Level
+	var walk func(lv *vgraph.Level)
+	walk = func(lv *vgraph.Level) {
+		for _, c := range lv.Children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(current)
+	return out
+}

@@ -1,0 +1,167 @@
+package refine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/rdf"
+)
+
+// DefaultSimilarK is the number of most-similar member combinations a
+// similarity refinement keeps.
+const DefaultSimilarK = 5
+
+// Similarity solves Problem 2c following Figure 5: the dimensions
+// matching the user example identify "items"; the remaining (refined-in)
+// dimensions identify feature coordinates; each item's feature vector
+// holds the measure value per feature combination (zero when absent).
+// The refinement keeps the k items whose vectors are most
+// cosine-similar to the example item's vector, restricting the query
+// with a VALUES filter over those member combinations. One refinement
+// is produced per aggregate column.
+func Similarity(rs *core.ResultSet, k int) []Refinement {
+	if k <= 0 {
+		k = DefaultSimilarK
+	}
+	q := rs.Query
+	var itemDims, featureDims []int
+	for i, d := range q.Dims {
+		if d.Example != nil {
+			itemDims = append(itemDims, i)
+		} else {
+			featureDims = append(featureDims, i)
+		}
+	}
+	if len(itemDims) == 0 || len(featureDims) == 0 {
+		// Without added dimensions there are no features to compare on;
+		// without example dimensions there is no anchor item.
+		return nil
+	}
+	var out []Refinement
+	for _, agg := range q.Aggregates {
+		if r, ok := similarityOne(rs, itemDims, featureDims, agg.OutVar, k); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func similarityOne(rs *core.ResultSet, itemDims, featureDims []int, col string, k int) (Refinement, bool) {
+	q := rs.Query
+	key := func(t core.Tuple, dims []int) string {
+		parts := make([]string, len(dims))
+		for i, d := range dims {
+			parts[i] = t.Dims[d].String()
+		}
+		return strings.Join(parts, "\x00")
+	}
+	// Collect feature coordinates and item vectors.
+	featIdx := map[string]int{}
+	type item struct {
+		members []rdf.Term
+		vec     map[int]float64
+	}
+	items := map[string]*item{}
+	var order []string
+	for _, t := range rs.Tuples {
+		fk := key(t, featureDims)
+		if _, ok := featIdx[fk]; !ok {
+			featIdx[fk] = len(featIdx)
+		}
+		ik := key(t, itemDims)
+		it, ok := items[ik]
+		if !ok {
+			members := make([]rdf.Term, len(itemDims))
+			for i, d := range itemDims {
+				members[i] = t.Dims[d]
+			}
+			it = &item{members: members, vec: map[int]float64{}}
+			items[ik] = it
+			order = append(order, ik)
+		}
+		it.vec[featIdx[fk]] += t.Measures[col]
+	}
+	// The example item's vector anchors the similarity.
+	exampleMembers := make([]rdf.Term, len(itemDims))
+	for i, d := range itemDims {
+		exampleMembers[i] = *q.Dims[d].Example
+	}
+	exKey := func() string {
+		parts := make([]string, len(exampleMembers))
+		for i, m := range exampleMembers {
+			parts[i] = m.String()
+		}
+		return strings.Join(parts, "\x00")
+	}()
+	ex, ok := items[exKey]
+	if !ok {
+		return Refinement{}, false
+	}
+	type scored struct {
+		key string
+		sim float64
+	}
+	var scores []scored
+	for _, ik := range order {
+		if ik == exKey {
+			continue
+		}
+		scores = append(scores, scored{key: ik, sim: cosine(ex.vec, items[ik].vec)})
+	}
+	if len(scores) == 0 {
+		return Refinement{}, false
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].sim > scores[j].sim })
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	rows := [][]rdf.Term{exampleMembers}
+	var names []string
+	for _, s := range scores {
+		rows = append(rows, items[s.key].members)
+		names = append(names, displayMembers(items[s.key].members))
+	}
+	nq := q.Clone()
+	why := fmt.Sprintf("the %d member combinations most similar to %s by %s: %s",
+		len(scores), displayMembers(exampleMembers), col, strings.Join(names, "; "))
+	nq.DimFilters = append(nq.DimFilters, core.DimValuesFilter{
+		DimIdx: append([]int(nil), itemDims...),
+		Rows:   rows,
+		Why:    why,
+	})
+	nq.Description = nq.Describe()
+	return Refinement{Kind: KindSimilarity, Query: nq, Why: why}, true
+}
+
+// cosine computes cosine similarity between sparse vectors.
+func cosine(a, b map[int]float64) float64 {
+	var dot, na, nb float64
+	for i, va := range a {
+		na += va * va
+		if vb, ok := b[i]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func displayMembers(ms []rdf.Term) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		v := m.Value
+		if j := strings.LastIndexAny(v, "/#"); j >= 0 && j+1 < len(v) {
+			v = v[j+1:]
+		}
+		parts[i] = v
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

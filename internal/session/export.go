@@ -1,0 +1,69 @@
+package session
+
+import (
+	"encoding/json"
+	"io"
+
+	"re2xolap/internal/refine"
+)
+
+// ExportedStep is one step of a serialized exploration history.
+type ExportedStep struct {
+	// Step is the 1-based position in the walked path.
+	Step int `json:"step"`
+	// Kind is the refinement that led here ("" for the initial query).
+	Kind refine.Kind `json:"kind,omitempty"`
+	// Why is the refinement's explanation.
+	Why string `json:"why,omitempty"`
+	// Description is the natural-language query description.
+	Description string `json:"description"`
+	// SPARQL is the executable query text.
+	SPARQL string `json:"sparql"`
+	// Tuples is the result cardinality observed.
+	Tuples int `json:"tuples"`
+	// ExampleTuples is how many results matched the user example.
+	ExampleTuples int `json:"example_tuples"`
+	// Offered records the refinement fan-out the user saw, per method.
+	Offered map[refine.Kind]int `json:"offered,omitempty"`
+}
+
+// Export is a serialized exploration session: enough to audit, share,
+// or replay the walked path (each step carries its executable SPARQL).
+type Export struct {
+	Steps []ExportedStep `json:"steps"`
+}
+
+// Export captures the session history.
+func (s *Session) Export() Export {
+	var out Export
+	for i, step := range s.steps {
+		es := ExportedStep{
+			Step:          i + 1,
+			Kind:          step.Via.Kind,
+			Why:           step.Via.Why,
+			Description:   step.Query.Description,
+			SPARQL:        step.Query.ToSPARQL(),
+			Tuples:        step.Results.Len(),
+			ExampleTuples: len(step.Results.ExampleTuples()),
+		}
+		if len(step.Offered) > 0 {
+			es.Offered = step.Offered
+		}
+		out.Steps = append(out.Steps, es)
+	}
+	return out
+}
+
+// WriteJSON writes the exported session as indented JSON.
+func (s *Session) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// ReadExport parses a previously exported session.
+func ReadExport(r io.Reader) (Export, error) {
+	var out Export
+	err := json.NewDecoder(r).Decode(&out)
+	return out, err
+}

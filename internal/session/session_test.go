@@ -1,0 +1,244 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/refine"
+	"re2xolap/internal/testkg"
+)
+
+func newSession(t *testing.T) (*Session, *core.OLAPQuery) {
+	t.Helper()
+	_, c, g := testkg.BootstrapFixture(t, nil)
+	e := core.NewEngine(c, g, testkg.Config())
+	cands, err := e.Synthesize(context.Background(), core.Keywords("Germany"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q *core.OLAPQuery
+	for _, cand := range cands {
+		if cand.Query.Dims[0].Level.String() == "dest" {
+			q = cand.Query
+		}
+	}
+	if q == nil {
+		t.Fatal("destination interpretation missing")
+	}
+	return New(e, g), q
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s, q := newSession(t)
+	ctx := context.Background()
+
+	if s.Current() != nil || s.Depth() != 0 {
+		t.Error("fresh session not empty")
+	}
+	if _, err := s.Options(ctx, refine.KindTopK); err != ErrNoCurrentQuery {
+		t.Errorf("Options before Start = %v", err)
+	}
+
+	rs, err := s.Start(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 3 { // de, fr, se destinations
+		t.Errorf("initial results = %d, want 3", rs.Len())
+	}
+	if s.Depth() != 1 || s.Current().Query != q {
+		t.Error("history wrong after Start")
+	}
+
+	// Full workflow: Disaggregate → Similarity → TopK.
+	dis, err := s.Options(ctx, refine.KindDisaggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dis) != 5 {
+		t.Fatalf("disaggregate options = %d, want 5", len(dis))
+	}
+	if s.Current().Offered[refine.KindDisaggregate] != 5 {
+		t.Error("offered count not recorded")
+	}
+	var yearRef *refine.Refinement
+	for i := range dis {
+		for _, d := range dis[i].Query.Dims {
+			if d.Level.String() == "refPeriod/inYear" {
+				yearRef = &dis[i]
+			}
+		}
+	}
+	if yearRef == nil {
+		t.Fatal("year refinement missing")
+	}
+	rs2, err := s.Apply(ctx, *yearRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 2 {
+		t.Errorf("depth = %d", s.Depth())
+	}
+	if rs2.Len() != 6 {
+		t.Errorf("disaggregated results = %d, want 6", rs2.Len())
+	}
+
+	sim, err := s.Options(ctx, refine.KindSimilarity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) == 0 {
+		t.Fatal("no similarity options")
+	}
+	if _, err := s.Apply(ctx, sim[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	topk, err := s.Options(ctx, refine.KindTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) > 0 {
+		if _, err := s.Apply(ctx, topk[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every step's results still contain the example (Problem 2's
+	// invariant).
+	for i, step := range s.History() {
+		if len(step.Results.ExampleTuples()) == 0 {
+			t.Errorf("step %d lost the example (%s)", i, step.Via.Why)
+		}
+	}
+}
+
+func TestSessionBacktrack(t *testing.T) {
+	s, q := newSession(t)
+	ctx := context.Background()
+	if s.Backtrack() {
+		t.Error("backtrack on empty session")
+	}
+	if _, err := s.Start(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backtrack() {
+		t.Error("backtrack past the first step")
+	}
+	dis, _ := s.Options(ctx, refine.KindDisaggregate)
+	if _, err := s.Apply(ctx, dis[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Backtrack() {
+		t.Error("backtrack failed")
+	}
+	if s.Depth() != 1 || s.Current().Query != q {
+		t.Error("backtrack did not restore the initial query")
+	}
+	// A different branch can now be taken.
+	if _, err := s.Apply(ctx, dis[1]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 2 {
+		t.Errorf("depth after re-apply = %d", s.Depth())
+	}
+}
+
+func TestSessionUnknownKind(t *testing.T) {
+	s, q := newSession(t)
+	ctx := context.Background()
+	if _, err := s.Start(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Options(ctx, refine.Kind("nope")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker()
+	tr.Record(4, 3)  // ReOLAP offered 4 queries, chosen one returned 3 tuples
+	tr.Record(5, 18) // Disaggregate offered 5, result had 18 tuples
+	tr.Record(0, 18) // a method offering nothing keeps the path count
+	stats := tr.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Paths != 4 || stats[0].Tuples != 3 {
+		t.Errorf("step 1 = %+v", stats[0])
+	}
+	if stats[1].Paths != 20 || stats[1].Tuples != 21 {
+		t.Errorf("step 2 = %+v", stats[1])
+	}
+	if stats[2].Paths != 20 || stats[2].Tuples != 39 {
+		t.Errorf("step 3 = %+v", stats[2])
+	}
+	if stats[2].Interactions != 3 {
+		t.Errorf("interactions = %d", stats[2].Interactions)
+	}
+}
+
+func TestSessionExport(t *testing.T) {
+	s, q := newSession(t)
+	ctx := context.Background()
+	if _, err := s.Start(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	dis, err := s.Options(ctx, refine.KindDisaggregate)
+	if err != nil || len(dis) == 0 {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(ctx, dis[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(exp.Steps))
+	}
+	first, second := exp.Steps[0], exp.Steps[1]
+	if first.Step != 1 || first.Kind != "" || first.Tuples != 3 {
+		t.Errorf("first step = %+v", first)
+	}
+	if first.Offered[refine.KindDisaggregate] != 5 {
+		t.Errorf("offered = %v", first.Offered)
+	}
+	if second.Kind != refine.KindDisaggregate || second.Why == "" {
+		t.Errorf("second step = %+v", second)
+	}
+	if !strings.Contains(second.SPARQL, "GROUP BY") {
+		t.Errorf("exported SPARQL = %s", second.SPARQL)
+	}
+	// Each exported step's SPARQL is independently executable.
+	for _, st := range exp.Steps {
+		res, err := s.Engine.Client.Query(ctx, st.SPARQL)
+		if err != nil {
+			t.Fatalf("step %d SPARQL does not execute: %v", st.Step, err)
+		}
+		if res.Len() != st.Tuples {
+			t.Errorf("step %d replay = %d tuples, recorded %d", st.Step, res.Len(), st.Tuples)
+		}
+	}
+}
+
+func TestTrackerSaturation(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 100; i++ {
+		tr.Record(1000000, 1)
+	}
+	stats := tr.Stats()
+	last := stats[len(stats)-1]
+	if last.Paths <= 0 || last.Paths > maxPaths {
+		t.Errorf("paths overflowed: %d", last.Paths)
+	}
+}

@@ -1,0 +1,1439 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+// Engine executes parsed queries against a store.
+type Engine struct {
+	st *store.Store
+	// DisableTextIndex turns off the full-text rewrite of keyword
+	// filters (used by the ablation benchmarks).
+	DisableTextIndex bool
+	// DisableJoinOrdering makes the executor join patterns in syntactic
+	// order (used by the ablation benchmarks).
+	DisableJoinOrdering bool
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+
+// QueryString parses and executes src.
+func (e *Engine) QueryString(src string) (*Results, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(q)
+}
+
+// QueryStringContext parses and executes src under ctx: cancellation
+// or deadline expiry aborts the join mid-flight.
+func (e *Engine) QueryStringContext(ctx context.Context, src string) (*Results, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryContext(ctx, q)
+}
+
+// Query executes a parsed query without cancellation.
+func (e *Engine) Query(q *Query) (*Results, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext executes a parsed query, aborting with ctx.Err() when
+// the context is cancelled. Cancellation is checked every few thousand
+// row extensions, so long-running analytical joins stop promptly (the
+// paper's evaluation relies on endpoint timeouts for the similarity
+// blow-up cases).
+func (e *Engine) QueryContext(ctx context.Context, q *Query) (*Results, error) {
+	ex := &executor{eng: e, st: e.st, dict: e.st.Dict(), slots: map[string]int{}, ctx: ctx}
+	// Short-circuit budget: ASK and plain LIMIT queries stop the join
+	// as soon as enough full solutions exist, so their cost does not
+	// grow with the number of matching observations (mirroring a real
+	// triplestore's early-exit ASK).
+	switch {
+	case q.Ask:
+		ex.limit = 1
+	case !q.IsAggregate() && !q.Distinct && len(q.OrderBy) == 0 && q.Limit >= 0:
+		ex.limit = q.Limit + q.Offset
+	}
+	rows, err := ex.evalWhere(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q.Ask {
+		return &Results{IsAsk: true, Boolean: len(rows) > 0}, nil
+	}
+	if q.Construct != nil {
+		return ex.construct(q, rows)
+	}
+	var res *Results
+	if q.IsAggregate() {
+		res, err = ex.aggregate(q, rows)
+	} else {
+		res, err = ex.project(q, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := applyModifiers(q, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// executor holds per-query state: the variable slot table and the
+// binding rows.
+type executor struct {
+	eng    *Engine
+	st     *store.Store
+	dict   *store.Dict
+	slots  map[string]int
+	varSeq []string // slot → name, in first-seen order
+	// limit > 0 enables the short-circuit DFS join: evaluation stops
+	// once that many full solutions exist.
+	limit int
+	// ctx cancels long joins; ticks counts row extensions between
+	// cancellation checks.
+	ctx   context.Context
+	ticks int
+}
+
+// cancelCheckInterval is how many row extensions pass between context
+// checks.
+const cancelCheckInterval = 8192
+
+// cancelled reports whether the query's context has been cancelled,
+// checking at most every cancelCheckInterval calls.
+func (ex *executor) cancelled() bool {
+	if ex.ctx == nil {
+		return false
+	}
+	ex.ticks++
+	if ex.ticks%cancelCheckInterval != 0 {
+		return false
+	}
+	return ex.ctx.Err() != nil
+}
+
+func (ex *executor) slot(name string) int {
+	if s, ok := ex.slots[name]; ok {
+		return s
+	}
+	s := len(ex.varSeq)
+	ex.slots[name] = s
+	ex.varSeq = append(ex.varSeq, name)
+	return s
+}
+
+// row is a partial solution: one term ID per slot, 0 = unbound.
+type row []store.ID
+
+func (ex *executor) extendRows(rows []row) []row {
+	n := len(ex.varSeq)
+	for i, r := range rows {
+		for len(r) < n {
+			r = append(r, 0)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// evalWhere evaluates the WHERE clause and returns binding rows.
+func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
+	var patterns []TriplePattern
+	var filters []Expr
+	var values []ValuesElement
+	var optionals []OptionalElement
+	var unions []UnionElement
+	var closures []ClosurePattern
+	var subs []SubSelectElement
+	var binds []BindElement
+	for _, el := range elems {
+		switch x := el.(type) {
+		case TriplePattern:
+			patterns = append(patterns, x)
+		case FilterElement:
+			filters = append(filters, x.Expr)
+		case ValuesElement:
+			values = append(values, x)
+		case OptionalElement:
+			optionals = append(optionals, x)
+		case UnionElement:
+			unions = append(unions, x)
+		case ClosurePattern:
+			closures = append(closures, x)
+		case SubSelectElement:
+			subs = append(subs, x)
+		case BindElement:
+			binds = append(binds, x)
+		}
+	}
+	// Pre-register pattern variables so slots are stable.
+	for _, tp := range patterns {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar {
+				ex.slot(n.Var)
+			}
+		}
+	}
+	rows := []row{make(row, len(ex.varSeq))}
+	// Subqueries run first: their solutions seed the join like VALUES.
+	for _, sub := range subs {
+		var err error
+		rows, err = ex.joinSubSelect(rows, sub)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// VALUES blocks join first: they are small and selective.
+	for _, v := range values {
+		var err error
+		rows, err = ex.joinValues(rows, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Full-text rewrite: keyword filters become candidate-set joins.
+	if !ex.eng.DisableTextIndex {
+		for _, f := range filters {
+			if v, kw, ok := textConstraint(f); ok {
+				rows = ex.joinCandidates(rows, v, ex.st.TextSearch(kw))
+			}
+		}
+	}
+	var err error
+	if ex.limit > 0 && len(optionals) == 0 && len(unions) == 0 && len(closures) == 0 && len(subs) == 0 && len(binds) == 0 {
+		return ex.joinDFS(rows, patterns, filters)
+	}
+	rows, err = ex.joinPatterns(rows, patterns, filters)
+	if err != nil {
+		return nil, err
+	}
+	for _, cp := range closures {
+		rows, err = ex.joinClosure(rows, cp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range unions {
+		rows, err = ex.joinUnion(rows, u)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, opt := range optionals {
+		rows, err = ex.joinOptional(rows, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// BIND assignments compute per-row values once all patterns are
+	// joined. A failed or unbound expression leaves the variable unbound
+	// (SPARQL semantics).
+	for _, be := range binds {
+		slot := ex.slot(be.Var)
+		rows = ex.extendRows(rows)
+		for i, r := range rows {
+			v, err := evalExpr(be.Expr, rowBinding{ex: ex, r: r})
+			if err != nil || !v.Bound {
+				continue
+			}
+			if r[slot] != 0 {
+				continue // already bound: BIND does not overwrite
+			}
+			nr := append(row(nil), r...)
+			nr[slot] = ex.dict.Encode(v.Term)
+			rows[i] = nr
+		}
+	}
+	// Any filters not consumed during the pattern join run now
+	// (joinPatterns marks consumed filters by nil-ing them).
+	for _, f := range filters {
+		if f == nil {
+			continue
+		}
+		rows = ex.applyFilter(rows, f)
+	}
+	return rows, nil
+}
+
+// textConstraint recognizes CONTAINS(LCASE(STR(?v)), "kw"),
+// CONTAINS(STR(?v), "kw"), and CONTAINS(?v, "kw") filter shapes.
+func textConstraint(e Expr) (string, string, bool) {
+	f, ok := e.(FuncExpr)
+	if !ok || f.Name != "CONTAINS" || len(f.Args) != 2 {
+		return "", "", false
+	}
+	c, ok := f.Args[1].(ConstExpr)
+	if !ok || !c.Term.IsLiteral() {
+		return "", "", false
+	}
+	arg := f.Args[0]
+	for {
+		if inner, ok := arg.(FuncExpr); ok && len(inner.Args) == 1 && (inner.Name == "LCASE" || inner.Name == "STR" || inner.Name == "UCASE") {
+			arg = inner.Args[0]
+			continue
+		}
+		break
+	}
+	v, ok := arg.(VarExpr)
+	if !ok {
+		return "", "", false
+	}
+	return v.Name, c.Term.Value, true
+}
+
+// joinCandidates restricts (or seeds) a variable with an explicit
+// candidate ID set.
+func (ex *executor) joinCandidates(rows []row, varName string, ids []store.ID) []row {
+	slot := ex.slot(varName)
+	rows = ex.extendRows(rows)
+	inSet := make(map[store.ID]struct{}, len(ids))
+	for _, id := range ids {
+		inSet[id] = struct{}{}
+	}
+	var out []row
+	for _, r := range rows {
+		if r[slot] != 0 {
+			if _, ok := inSet[r[slot]]; ok {
+				out = append(out, r)
+			}
+			continue
+		}
+		for _, id := range ids {
+			nr := append(row(nil), r...)
+			nr[slot] = id
+			out = append(out, nr)
+		}
+	}
+	return out
+}
+
+func (ex *executor) joinValues(rows []row, v ValuesElement) ([]row, error) {
+	slots := make([]int, len(v.Vars))
+	for i, name := range v.Vars {
+		slots[i] = ex.slot(name)
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, r := range rows {
+		for _, dataRow := range v.Rows {
+			nr := append(row(nil), r...)
+			ok := true
+			for i, term := range dataRow {
+				if term == nil {
+					continue // UNDEF leaves the var as-is
+				}
+				id := ex.dict.Encode(*term)
+				if nr[slots[i]] != 0 && nr[slots[i]] != id {
+					ok = false
+					break
+				}
+				nr[slots[i]] = id
+			}
+			if ok {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinPatterns joins all patterns into rows using greedy selectivity
+// ordering, applying filters as soon as their variables are bound.
+// Consumed filters are set to nil in the filters slice.
+func (ex *executor) joinPatterns(rows []row, patterns []TriplePattern, filters []Expr) ([]row, error) {
+	remaining := make([]TriplePattern, len(patterns))
+	copy(remaining, patterns)
+	boundVars := map[string]bool{}
+	// Vars bound by VALUES/text seeding: a var is bound if any row
+	// binds it. (All rows bind the same slots at this point.)
+	if len(rows) > 0 {
+		for name, s := range ex.slots {
+			if s < len(rows[0]) && rows[0][s] != 0 {
+				boundVars[name] = true
+			}
+		}
+	}
+	applyReady := func() {
+		for i, f := range filters {
+			if f == nil {
+				continue
+			}
+			if containsAggregate(f) {
+				continue
+			}
+			ready := true
+			for _, v := range exprVars(f, nil) {
+				if !boundVars[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				rows = ex.applyFilter(rows, f)
+				filters[i] = nil
+			}
+		}
+	}
+	applyReady()
+	for len(remaining) > 0 {
+		idx := 0
+		if !ex.eng.DisableJoinOrdering {
+			idx = ex.cheapestPattern(remaining, boundVars)
+		}
+		tp := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		var err error
+		rows, err = ex.joinPattern(rows, tp)
+		if err != nil {
+			return nil, err
+		}
+		if ex.ctx != nil {
+			if err := ex.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar {
+				boundVars[n.Var] = true
+			}
+		}
+		applyReady()
+		if len(rows) == 0 {
+			return rows, nil
+		}
+	}
+	return rows, nil
+}
+
+// cheapestPattern estimates each pattern's cost and returns the index
+// of the cheapest. Constant positions use exact index counts; positions
+// holding an already-bound variable divide the estimate since the join
+// will be index-driven per row. Patterns sharing a bound variable are
+// always preferred over disconnected ones — joining a disconnected
+// pattern is a cartesian product, which dwarfs any per-pattern count
+// difference. (Disconnected remains possible when the query itself is
+// a product of independent components.)
+func (ex *executor) cheapestPattern(patterns []TriplePattern, bound map[string]bool) int {
+	anyBound := len(bound) > 0
+	best, bestCost, bestConnected := 0, -1, false
+	for i, tp := range patterns {
+		s, p, o := ex.constID(tp.S), ex.constID(tp.P), ex.constID(tp.O)
+		cost := ex.st.MatchCount(s, p, o)
+		div := 1
+		connected := !anyBound
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar && bound[n.Var] {
+				div *= 16
+				connected = true
+			}
+		}
+		cost = cost/div + 1
+		better := false
+		switch {
+		case bestCost < 0:
+			better = true
+		case connected != bestConnected:
+			better = connected
+		default:
+			better = cost < bestCost
+		}
+		if better {
+			best, bestCost, bestConnected = i, cost, connected
+		}
+	}
+	return best
+}
+
+// constID returns the dictionary ID of a constant node, or 0 for
+// variables and unknown terms.
+func (ex *executor) constID(n Node) store.ID {
+	if n.IsVar {
+		return 0
+	}
+	id, _ := ex.dict.Lookup(n.Term)
+	return id
+}
+
+// joinPattern extends each row with all matches of tp.
+func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
+	type pos struct {
+		slot  int // variable slot, -1 for constants
+		id    store.ID
+		known bool // constant exists in the dictionary
+	}
+	mk := func(n Node) pos {
+		if n.IsVar {
+			return pos{slot: ex.slot(n.Var)}
+		}
+		id, ok := ex.dict.Lookup(n.Term)
+		return pos{slot: -1, id: id, known: ok}
+	}
+	ps, pp, po := mk(tp.S), mk(tp.P), mk(tp.O)
+	if ps.slot < 0 && !ps.known || pp.slot < 0 && !pp.known || po.slot < 0 && !po.known {
+		return nil, nil // constant term absent from the data: no matches
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, r := range rows {
+		get := func(p pos) store.ID {
+			if p.slot < 0 {
+				return p.id
+			}
+			return r[p.slot]
+		}
+		sID, pID, oID := get(ps), get(pp), get(po)
+		ex.st.Match(sID, pID, oID, func(ts, tp2, to store.ID) bool {
+			if ex.cancelled() {
+				return false
+			}
+			// repeated variable within the pattern (e.g. ?x ?p ?x)
+			if ps.slot >= 0 && ps.slot == po.slot && ts != to {
+				return true
+			}
+			nr := append(row(nil), r...)
+			if ps.slot >= 0 {
+				if nr[ps.slot] != 0 && nr[ps.slot] != ts {
+					return true
+				}
+				nr[ps.slot] = ts
+			}
+			if pp.slot >= 0 {
+				if nr[pp.slot] != 0 && nr[pp.slot] != tp2 {
+					return true
+				}
+				nr[pp.slot] = tp2
+			}
+			if po.slot >= 0 {
+				if nr[po.slot] != 0 && nr[po.slot] != to {
+					return true
+				}
+				nr[po.slot] = to
+			}
+			out = append(out, nr)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// joinDFS is the short-circuit join used when a solution budget is
+// set (ASK, plain LIMIT queries): patterns are ordered once with the
+// greedy heuristic, then solutions are produced one at a time by
+// depth-first backtracking, applying each filter at the first depth
+// where its variables are bound, and stopping at ex.limit solutions.
+func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr) ([]row, error) {
+	// Static greedy order, simulating bound variables.
+	bound := map[string]bool{}
+	if len(seed) > 0 {
+		for name, s := range ex.slots {
+			if s < len(seed[0]) && seed[0][s] != 0 {
+				bound[name] = true
+			}
+		}
+	}
+	order := make([]TriplePattern, 0, len(patterns))
+	remaining := append([]TriplePattern(nil), patterns...)
+	for len(remaining) > 0 {
+		idx := 0
+		if !ex.eng.DisableJoinOrdering {
+			idx = ex.cheapestPattern(remaining, bound)
+		}
+		tp := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		order = append(order, tp)
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar {
+				bound[n.Var] = true
+			}
+		}
+	}
+	// Schedule each filter at the first depth where it is evaluable;
+	// depth -1 means before any pattern join (seed filters).
+	type schedFilter struct {
+		expr  Expr
+		depth int
+	}
+	var sched []schedFilter
+	for _, f := range filters {
+		if f == nil || containsAggregate(f) {
+			continue
+		}
+		vars := exprVars(f, nil)
+		depth := -1
+		for i := range order {
+			covered := true
+			for _, v := range vars {
+				if !ex.varCoveredBy(v, seed, order[:i+1]) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				depth = i
+				break
+			}
+			if i == len(order)-1 {
+				depth = i // evaluate at the end; unbound vars error out
+			}
+		}
+		if len(order) == 0 {
+			depth = -1
+		}
+		sched = append(sched, schedFilter{expr: f, depth: depth})
+	}
+	filtersAt := func(depth int) []Expr {
+		var out []Expr
+		for _, sf := range sched {
+			if sf.depth == depth {
+				out = append(out, sf.expr)
+			}
+		}
+		return out
+	}
+
+	var out []row
+	seedFilters := filtersAt(-1)
+	var rec func(r row, depth int) bool
+	rec = func(r row, depth int) bool {
+		if depth == len(order) {
+			out = append(out, r)
+			return len(out) < ex.limit
+		}
+		cont := true
+		for _, nr := range ex.matchOne(r, order[depth]) {
+			ok := true
+			for _, f := range filtersAt(depth) {
+				keep, err := evalBool(f, rowBinding{ex: ex, r: nr})
+				if err != nil || !keep {
+					ok = false
+					break
+				}
+			}
+			if ok && !rec(nr, depth+1) {
+				cont = false
+				break
+			}
+		}
+		return cont
+	}
+	for _, r := range seed {
+		r = ex.extendOne(r)
+		ok := true
+		for _, f := range seedFilters {
+			keep, err := evalBool(f, rowBinding{ex: ex, r: r})
+			if err != nil || !keep {
+				ok = false
+				break
+			}
+		}
+		if ok && !rec(r, 0) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// varCoveredBy reports whether the variable is bound by the seed rows
+// or by any of the given patterns.
+func (ex *executor) varCoveredBy(name string, seed []row, patterns []TriplePattern) bool {
+	if s, ok := ex.slots[name]; ok && len(seed) > 0 && s < len(seed[0]) && seed[0][s] != 0 {
+		return true
+	}
+	for _, tp := range patterns {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar && n.Var == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// extendOne pads a single row to the current slot count.
+func (ex *executor) extendOne(r row) row {
+	for len(r) < len(ex.varSeq) {
+		r = append(r, 0)
+	}
+	return r
+}
+
+// matchOne returns the extensions of one row by one pattern (the
+// single-row version of joinPattern).
+func (ex *executor) matchOne(r row, tp TriplePattern) []row {
+	rows, _ := ex.joinPattern([]row{ex.extendOne(r)}, tp)
+	return rows
+}
+
+// joinSubSelect evaluates a nested SELECT with a fresh executor and
+// joins its solutions with the current rows on shared variables.
+func (ex *executor) joinSubSelect(rows []row, sub SubSelectElement) ([]row, error) {
+	res, err := ex.eng.Query(sub.Query)
+	if err != nil {
+		return nil, fmt.Errorf("subquery: %w", err)
+	}
+	slots := make([]int, len(res.Vars))
+	for i, v := range res.Vars {
+		slots[i] = ex.slot(v)
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, r := range rows {
+		for _, srow := range res.Rows {
+			nr := append(row(nil), r...)
+			ok := true
+			for i, t := range srow {
+				if !Bound(t) {
+					continue
+				}
+				id := ex.dict.Encode(t)
+				if nr[slots[i]] != 0 && nr[slots[i]] != id {
+					ok = false
+					break
+				}
+				nr[slots[i]] = id
+			}
+			if ok {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinClosure joins a transitive path pattern S <p>+/<p>* O. Bound
+// endpoints drive a breadth-first closure over the predicate; with
+// both endpoints unbound, the closure is computed from every subject
+// carrying the predicate.
+func (ex *executor) joinClosure(rows []row, cp ClosurePattern) ([]row, error) {
+	pid, ok := ex.dict.Lookup(cp.Pred)
+	if !ok {
+		if cp.MinZero {
+			// Zero-length paths still hold: S = O.
+			return ex.joinZeroLength(rows, cp), nil
+		}
+		return nil, nil
+	}
+	sPos, oPos := -1, -1
+	if cp.S.IsVar {
+		sPos = ex.slot(cp.S.Var)
+	}
+	if cp.O.IsVar {
+		oPos = ex.slot(cp.O.Var)
+	}
+	rows = ex.extendRows(rows)
+	constID := func(n Node) store.ID {
+		if n.IsVar {
+			return 0
+		}
+		id, _ := ex.dict.Lookup(n.Term)
+		return id
+	}
+	var out []row
+	for _, r := range rows {
+		get := func(pos int, n Node) store.ID {
+			if pos >= 0 {
+				return r[pos]
+			}
+			return constID(n)
+		}
+		sID, oID := get(sPos, cp.S), get(oPos, cp.O)
+		switch {
+		case sID != 0:
+			targets := ex.closureFrom(sID, pid, true, cp.MinZero)
+			for _, t := range targets {
+				if oID != 0 {
+					if t == oID {
+						out = append(out, r)
+						break
+					}
+					continue
+				}
+				nr := append(row(nil), r...)
+				nr[oPos] = t
+				out = append(out, nr)
+			}
+		case oID != 0:
+			sources := ex.closureFrom(oID, pid, false, cp.MinZero)
+			for _, src := range sources {
+				nr := append(row(nil), r...)
+				nr[sPos] = src
+				out = append(out, nr)
+			}
+		default:
+			// Both unbound: start from every distinct subject of pid.
+			seen := map[store.ID]bool{}
+			ex.st.Match(0, pid, 0, func(sub, _, _ store.ID) bool {
+				seen[sub] = true
+				return true
+			})
+			for sub := range seen {
+				for _, t := range ex.closureFrom(sub, pid, true, cp.MinZero) {
+					nr := append(row(nil), r...)
+					nr[sPos] = sub
+					nr[oPos] = t
+					out = append(out, nr)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinZeroLength handles <p>* when p has no edges at all: S = O.
+func (ex *executor) joinZeroLength(rows []row, cp ClosurePattern) []row {
+	if !cp.S.IsVar && !cp.O.IsVar {
+		if cp.S.Term == cp.O.Term {
+			return rows
+		}
+		return nil
+	}
+	// Binding an unconstrained S = O pair to "every term" is
+	// unbounded; restrict to rows where at least one side is bound.
+	sPos, oPos := -1, -1
+	if cp.S.IsVar {
+		sPos = ex.slot(cp.S.Var)
+	}
+	if cp.O.IsVar {
+		oPos = ex.slot(cp.O.Var)
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, r := range rows {
+		var sID, oID store.ID
+		if sPos >= 0 {
+			sID = r[sPos]
+		} else {
+			sID, _ = ex.dict.Lookup(cp.S.Term)
+		}
+		if oPos >= 0 {
+			oID = r[oPos]
+		} else {
+			oID, _ = ex.dict.Lookup(cp.O.Term)
+		}
+		switch {
+		case sID != 0 && oID != 0:
+			if sID == oID {
+				out = append(out, r)
+			}
+		case sID != 0:
+			nr := append(row(nil), r...)
+			nr[oPos] = sID
+			out = append(out, nr)
+		case oID != 0:
+			nr := append(row(nil), r...)
+			nr[sPos] = oID
+			out = append(out, nr)
+		}
+	}
+	return out
+}
+
+// closureFrom computes the forward (or backward) transitive closure of
+// pid starting at id, optionally including the start node (MinZero).
+func (ex *executor) closureFrom(id store.ID, pid store.ID, forward, includeStart bool) []store.ID {
+	// visited dedupes expansion; emitted dedupes output. They differ
+	// only for the start node, which belongs to the output when it is
+	// re-reached through a cycle (c1 <p>+ c1) or when includeStart.
+	visited := map[store.ID]bool{id: true}
+	emitted := map[store.ID]bool{}
+	frontier := []store.ID{id}
+	var out []store.ID
+	if includeStart {
+		emitted[id] = true
+		out = append(out, id)
+	}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			visit := func(n store.ID) {
+				if !emitted[n] {
+					emitted[n] = true
+					out = append(out, n)
+				}
+				if !visited[n] {
+					visited[n] = true
+					next = append(next, n)
+				}
+			}
+			if forward {
+				ex.st.Match(cur, pid, 0, func(_, _, o store.ID) bool {
+					visit(o)
+					return true
+				})
+			} else {
+				ex.st.Match(0, pid, cur, func(s, _, _ store.ID) bool {
+					visit(s)
+					return true
+				})
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// joinUnion joins the current rows with the union of the branches:
+// each branch is evaluated as an inner join seeded with the current
+// rows, and the branch results are concatenated.
+func (ex *executor) joinUnion(rows []row, u UnionElement) ([]row, error) {
+	// Pre-register branch variables so all branches share slots.
+	for _, br := range u.Branches {
+		for _, el := range br {
+			if tp, ok := el.(TriplePattern); ok {
+				for _, n := range []Node{tp.S, tp.P, tp.O} {
+					if n.IsVar {
+						ex.slot(n.Var)
+					}
+				}
+			}
+		}
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, br := range u.Branches {
+		var patterns []TriplePattern
+		var filters []Expr
+		for _, el := range br {
+			switch x := el.(type) {
+			case TriplePattern:
+				patterns = append(patterns, x)
+			case FilterElement:
+				filters = append(filters, x.Expr)
+			}
+		}
+		seed := make([]row, len(rows))
+		for i, r := range rows {
+			seed[i] = append(row(nil), r...)
+		}
+		joined, err := ex.joinPatterns(seed, patterns, filters)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range filters {
+			if f != nil {
+				joined = ex.applyFilter(joined, f)
+			}
+		}
+		out = append(out, joined...)
+	}
+	return ex.extendRows(out), nil
+}
+
+// joinOptional left-joins an OPTIONAL block.
+func (ex *executor) joinOptional(rows []row, opt OptionalElement) ([]row, error) {
+	for _, tp := range opt.Patterns {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar {
+				ex.slot(n.Var)
+			}
+		}
+	}
+	rows = ex.extendRows(rows)
+	var out []row
+	for _, r := range rows {
+		sub := []row{append(row(nil), r...)}
+		filters := append([]Expr(nil), opt.Filters...)
+		sub, err := ex.joinPatterns(sub, opt.Patterns, filters)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range filters {
+			if f != nil {
+				sub = ex.applyFilter(sub, f)
+			}
+		}
+		if len(sub) == 0 {
+			out = append(out, r)
+		} else {
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}
+
+// rowBinding adapts a row to the expression binding interface.
+type rowBinding struct {
+	ex *executor
+	r  row
+}
+
+// exists evaluates an EXISTS sub-group correlated with this row: the
+// inner patterns are joined seeded with the current bindings, stopping
+// at the first solution.
+func (b rowBinding) exists(e ExistsExpr) bool {
+	ex := b.ex
+	saved := ex.limit
+	ex.limit = 1
+	defer func() { ex.limit = saved }()
+	seed := []row{append(row(nil), b.r...)}
+	filters := append([]Expr(nil), e.Filters...)
+	rows, err := ex.joinDFS(seed, e.Patterns, filters)
+	return err == nil && len(rows) > 0
+}
+
+func (b rowBinding) value(name string) Value {
+	s, ok := b.ex.slots[name]
+	if !ok || s >= len(b.r) || b.r[s] == 0 {
+		return Value{}
+	}
+	return boundValue(b.ex.dict.Decode(b.r[s]))
+}
+
+func (ex *executor) applyFilter(rows []row, f Expr) []row {
+	out := rows[:0]
+	for _, r := range rows {
+		keep, err := evalBool(f, rowBinding{ex: ex, r: r})
+		if err == nil && keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// project builds the result set for a non-aggregate query.
+func (ex *executor) project(q *Query, rows []row) (*Results, error) {
+	items := q.Select
+	if q.Star {
+		items = nil
+		for _, name := range ex.varSeq {
+			if !strings.HasPrefix(name, internalVarPrefix) {
+				items = append(items, SelectItem{Var: name})
+			}
+		}
+	}
+	res := &Results{}
+	for _, it := range items {
+		res.Vars = append(res.Vars, it.Var)
+	}
+	for _, r := range rows {
+		b := rowBinding{ex: ex, r: r}
+		line := make([]rdf.Term, len(items))
+		for i, it := range items {
+			if it.Expr == nil {
+				if v := b.value(it.Var); v.Bound {
+					line[i] = v.Term
+				}
+			} else {
+				if v, err := evalExpr(it.Expr, b); err == nil && v.Bound {
+					line[i] = v.Term
+				}
+			}
+		}
+		res.Rows = append(res.Rows, line)
+	}
+	return res, nil
+}
+
+// construct instantiates the CONSTRUCT template once per solution,
+// skipping instantiations with unbound variables or invalid triples,
+// and deduplicating the output graph.
+func (ex *executor) construct(q *Query, rows []row) (*Results, error) {
+	res := &Results{IsConstruct: true}
+	seen := map[rdf.Triple]bool{}
+	emit := func(t rdf.Triple) {
+		if t.Validate() != nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		res.Triples = append(res.Triples, t)
+	}
+	resolve := func(n Node, b rowBinding) (rdf.Term, bool) {
+		if !n.IsVar {
+			return n.Term, true
+		}
+		v := b.value(n.Var)
+		return v.Term, v.Bound
+	}
+	for _, r := range rows {
+		b := rowBinding{ex: ex, r: r}
+		for _, tp := range q.Construct {
+			s, ok1 := resolve(tp.S, b)
+			p, ok2 := resolve(tp.P, b)
+			o, ok3 := resolve(tp.O, b)
+			if ok1 && ok2 && ok3 {
+				emit(rdf.Triple{S: s, P: p, O: o})
+			}
+		}
+	}
+	// Respect LIMIT/OFFSET on the constructed graph.
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Triples) {
+			res.Triples = nil
+		} else {
+			res.Triples = res.Triples[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Triples) {
+		res.Triples = res.Triples[:q.Limit]
+	}
+	return res, nil
+}
+
+// group holds per-group aggregation state.
+type group struct {
+	rep  row // representative row (first member) for key vars
+	rows []row
+}
+
+// aggregate builds the result set for a GROUP BY / aggregate query.
+func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
+	keySlots := make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		keySlots[i] = ex.slot(v)
+	}
+	rows = ex.extendRows(rows)
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, s := range keySlots {
+			fmt.Fprintf(&kb, "%d,", r[s])
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: r}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	// A query with aggregates but no GROUP BY over zero rows yields one
+	// empty group (COUNT = 0).
+	if len(groups) == 0 && len(q.GroupBy) == 0 {
+		groups[""] = &group{rep: make(row, len(ex.varSeq))}
+		order = append(order, "")
+	}
+
+	// Collect every aggregate expression used anywhere.
+	var aggs []AggExpr
+	seen := map[string]int{}
+	collect := func(e Expr) {
+		walkAggregates(e, func(a AggExpr) {
+			if _, dup := seen[a.String()]; !dup {
+				seen[a.String()] = len(aggs)
+				aggs = append(aggs, a)
+			}
+		})
+	}
+	for _, it := range q.Select {
+		if it.Expr != nil {
+			collect(it.Expr)
+		}
+	}
+	for _, h := range q.Having {
+		collect(h)
+	}
+	for _, o := range q.OrderBy {
+		collect(o.Expr)
+	}
+
+	res := &Results{}
+	for _, it := range q.Select {
+		res.Vars = append(res.Vars, it.Var)
+	}
+	for _, k := range order {
+		g := groups[k]
+		vals := make([]Value, len(aggs))
+		for i, a := range aggs {
+			vals[i] = ex.computeAggregate(a, g)
+		}
+		gb := groupBinding{ex: ex, g: g, aggVals: vals, aggIdx: seen}
+		// HAVING
+		keep := true
+		for _, h := range q.Having {
+			ok, err := evalBool(substituteAggregates(h, gb), gb)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		line := make([]rdf.Term, len(q.Select))
+		for i, it := range q.Select {
+			var v Value
+			if it.Expr == nil {
+				v = gb.value(it.Var)
+			} else {
+				var err error
+				v, err = evalExpr(substituteAggregates(it.Expr, gb), gb)
+				if err != nil {
+					v = Value{}
+				}
+			}
+			if v.Bound {
+				line[i] = v.Term
+			}
+		}
+		res.Rows = append(res.Rows, line)
+	}
+	return res, nil
+}
+
+// groupBinding resolves group-by variables from the representative row
+// and aggregates from the precomputed values.
+type groupBinding struct {
+	ex      *executor
+	g       *group
+	aggVals []Value
+	aggIdx  map[string]int
+}
+
+func (b groupBinding) value(name string) Value {
+	s, ok := b.ex.slots[name]
+	if !ok || s >= len(b.g.rep) || b.g.rep[s] == 0 {
+		return Value{}
+	}
+	return boundValue(b.ex.dict.Decode(b.g.rep[s]))
+}
+
+// substituteAggregates replaces AggExpr nodes with constants from the
+// group's precomputed values so evalExpr never sees an aggregate.
+func substituteAggregates(e Expr, b groupBinding) Expr {
+	switch x := e.(type) {
+	case AggExpr:
+		idx, ok := b.aggIdx[x.String()]
+		if !ok || !b.aggVals[idx].Bound {
+			// Unbound aggregate: substitute an always-erroring marker by
+			// referencing an unbound variable.
+			return VarExpr{Name: internalVarPrefix + "_unboundagg"}
+		}
+		return ConstExpr{Term: b.aggVals[idx].Term}
+	case BinaryExpr:
+		return BinaryExpr{Op: x.Op, L: substituteAggregates(x.L, b), R: substituteAggregates(x.R, b)}
+	case UnaryExpr:
+		return UnaryExpr{Op: x.Op, E: substituteAggregates(x.E, b)}
+	case InExpr:
+		list := make([]Expr, len(x.List))
+		for i, y := range x.List {
+			list[i] = substituteAggregates(y, b)
+		}
+		return InExpr{E: substituteAggregates(x.E, b), List: list, Not: x.Not}
+	case FuncExpr:
+		args := make([]Expr, len(x.Args))
+		for i, y := range x.Args {
+			args[i] = substituteAggregates(y, b)
+		}
+		return FuncExpr{Name: x.Name, Args: args}
+	}
+	return e
+}
+
+func walkAggregates(e Expr, fn func(AggExpr)) {
+	switch x := e.(type) {
+	case AggExpr:
+		fn(x)
+	case BinaryExpr:
+		walkAggregates(x.L, fn)
+		walkAggregates(x.R, fn)
+	case UnaryExpr:
+		walkAggregates(x.E, fn)
+	case InExpr:
+		walkAggregates(x.E, fn)
+		for _, y := range x.List {
+			walkAggregates(y, fn)
+		}
+	case FuncExpr:
+		for _, y := range x.Args {
+			walkAggregates(y, fn)
+		}
+	}
+}
+
+// computeAggregate evaluates one aggregate over a group.
+func (ex *executor) computeAggregate(a AggExpr, g *group) Value {
+	distinctSeen := map[rdf.Term]struct{}{}
+	isDup := func(t rdf.Term) bool {
+		if !a.Distinct {
+			return false
+		}
+		if _, dup := distinctSeen[t]; dup {
+			return true
+		}
+		distinctSeen[t] = struct{}{}
+		return false
+	}
+	switch a.Fn {
+	case "COUNT":
+		n := 0
+		for _, r := range g.rows {
+			if a.Arg == nil {
+				if a.Distinct {
+					// COUNT(DISTINCT *) — treat the whole row as the key.
+					t := rdf.NewString(fmt.Sprint(r))
+					if isDup(t) {
+						continue
+					}
+				}
+				n++
+				continue
+			}
+			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+			if err != nil || !v.Bound || isDup(v.Term) {
+				continue
+			}
+			n++
+		}
+		return numValue(float64(n))
+	case "SUM", "AVG":
+		sum, cnt := 0.0, 0
+		for _, r := range g.rows {
+			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+			if err != nil || !v.Bound || isDup(v.Term) {
+				continue
+			}
+			n, err := v.numeric()
+			if err != nil {
+				continue
+			}
+			sum += n
+			cnt++
+		}
+		if a.Fn == "SUM" {
+			return numValue(sum)
+		}
+		if cnt == 0 {
+			return Value{}
+		}
+		return numValue(sum / float64(cnt))
+	case "MIN", "MAX":
+		var best Value
+		for _, r := range g.rows {
+			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+			if err != nil || !v.Bound {
+				continue
+			}
+			if !best.Bound {
+				best = v
+				continue
+			}
+			if a.Fn == "MIN" && orderLess(v, best) || a.Fn == "MAX" && orderLess(best, v) {
+				best = v
+			}
+		}
+		return best
+	case "SAMPLE":
+		for _, r := range g.rows {
+			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+			if err == nil && v.Bound {
+				return v
+			}
+		}
+		return Value{}
+	case "GROUP_CONCAT":
+		sep := a.Sep
+		if sep == "" {
+			sep = " "
+		}
+		var parts []string
+		for _, r := range g.rows {
+			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+			if err != nil || !v.Bound || isDup(v.Term) {
+				continue
+			}
+			parts = append(parts, v.Term.Value)
+		}
+		return boundValue(rdf.NewString(strings.Join(parts, sep)))
+	}
+	return Value{}
+}
+
+// outBinding resolves variables from a projected output row, used by
+// ORDER BY and DISTINCT.
+type outBinding struct {
+	vars []string
+	row  []rdf.Term
+}
+
+func (b outBinding) value(name string) Value {
+	for i, v := range b.vars {
+		if v == name && Bound(b.row[i]) {
+			return boundValue(b.row[i])
+		}
+	}
+	return Value{}
+}
+
+// applyModifiers applies ORDER BY, DISTINCT, OFFSET, and LIMIT to a
+// materialized result set.
+func applyModifiers(q *Query, res *Results) error {
+	if len(q.OrderBy) > 0 {
+		type keyed struct {
+			row  []rdf.Term
+			keys []Value
+		}
+		ks := make([]keyed, len(res.Rows))
+		for i, r := range res.Rows {
+			b := outBinding{vars: res.Vars, row: r}
+			keys := make([]Value, len(q.OrderBy))
+			for j, o := range q.OrderBy {
+				v, err := evalExpr(o.Expr, b)
+				if err == nil {
+					keys[j] = v
+				}
+			}
+			ks[i] = keyed{row: r, keys: keys}
+		}
+		sort.SliceStable(ks, func(i, j int) bool {
+			for k, o := range q.OrderBy {
+				a, b := ks[i].keys[k], ks[j].keys[k]
+				if orderLess(a, b) {
+					return !o.Desc
+				}
+				if orderLess(b, a) {
+					return o.Desc
+				}
+			}
+			return false
+		})
+		for i := range ks {
+			res.Rows[i] = ks[i].row
+		}
+	}
+	if q.Distinct {
+		seen := map[string]struct{}{}
+		out := res.Rows[:0]
+		for _, r := range res.Rows {
+			var kb strings.Builder
+			for _, t := range r {
+				kb.WriteString(t.String())
+				kb.WriteByte('\x00')
+			}
+			k := kb.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, r)
+		}
+		res.Rows = out
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return nil
+}

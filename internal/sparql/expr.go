@@ -1,0 +1,216 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"re2xolap/internal/rdf"
+)
+
+// Expr is a SPARQL expression node.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// ConstExpr is a constant RDF term.
+type ConstExpr struct{ Term rdf.Term }
+
+// BinaryExpr applies a binary operator. Op is one of
+// "||", "&&", "=", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/".
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies "!" or "-".
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+// InExpr tests membership: E [NOT] IN (list...).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// FuncExpr is a builtin function call (STR, LCASE, CONTAINS, REGEX, ...).
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+// ExistsExpr is FILTER [NOT] EXISTS { patterns }: it holds when the
+// inner group has at least one solution under the current bindings.
+type ExistsExpr struct {
+	Patterns []TriplePattern
+	Filters  []Expr
+	Not      bool
+}
+
+// AggExpr is an aggregate function application.
+type AggExpr struct {
+	Fn       string // COUNT, SUM, AVG, MIN, MAX, SAMPLE, GROUP_CONCAT
+	Distinct bool
+	// Arg is nil for COUNT(*).
+	Arg Expr
+	// Sep is the GROUP_CONCAT separator (default " ").
+	Sep string
+}
+
+func (VarExpr) expr()    {}
+func (ExistsExpr) expr() {}
+func (ConstExpr) expr()  {}
+func (BinaryExpr) expr() {}
+func (UnaryExpr) expr()  {}
+func (InExpr) expr()     {}
+func (FuncExpr) expr()   {}
+func (AggExpr) expr()    {}
+
+func (e VarExpr) String() string   { return "?" + e.Name }
+func (e ConstExpr) String() string { return e.Term.String() }
+
+func (e BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e UnaryExpr) String() string { return e.Op + e.E.String() }
+
+func (e InExpr) String() string {
+	var parts []string
+	for _, x := range e.List {
+		parts = append(parts, x.String())
+	}
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sIN (%s)", e.E, not, strings.Join(parts, ", "))
+}
+
+func (e FuncExpr) String() string {
+	var parts []string
+	for _, a := range e.Args {
+		parts = append(parts, a.String())
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ", "))
+}
+
+func (e ExistsExpr) String() string {
+	var b strings.Builder
+	if e.Not {
+		b.WriteString("NOT ")
+	}
+	b.WriteString("EXISTS {")
+	for _, tp := range e.Patterns {
+		b.WriteByte(' ')
+		b.WriteString(tp.String())
+	}
+	for _, f := range e.Filters {
+		fmt.Fprintf(&b, " FILTER (%s)", f)
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+func (e AggExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.Fn)
+	b.WriteByte('(')
+	if e.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if e.Arg == nil {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(e.Arg.String())
+	}
+	if e.Fn == "GROUP_CONCAT" && e.Sep != "" {
+		fmt.Fprintf(&b, "; SEPARATOR=%q", e.Sep)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// containsAggregate reports whether any AggExpr occurs in e.
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case AggExpr:
+		return true
+	case BinaryExpr:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case UnaryExpr:
+		return containsAggregate(x.E)
+	case InExpr:
+		if containsAggregate(x.E) {
+			return true
+		}
+		for _, y := range x.List {
+			if containsAggregate(y) {
+				return true
+			}
+		}
+	case FuncExpr:
+		for _, y := range x.Args {
+			if containsAggregate(y) {
+				return true
+			}
+		}
+	case ExistsExpr:
+		for _, y := range x.Filters {
+			if containsAggregate(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprVars appends the names of all variables referenced by e
+// (excluding those inside aggregates, which are evaluated per group
+// member) to dst and returns it.
+func exprVars(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case VarExpr:
+		dst = append(dst, x.Name)
+	case BinaryExpr:
+		dst = exprVars(x.L, dst)
+		dst = exprVars(x.R, dst)
+	case UnaryExpr:
+		dst = exprVars(x.E, dst)
+	case InExpr:
+		dst = exprVars(x.E, dst)
+		for _, y := range x.List {
+			dst = exprVars(y, dst)
+		}
+	case FuncExpr:
+		for _, y := range x.Args {
+			dst = exprVars(y, dst)
+		}
+	case AggExpr:
+		if x.Arg != nil {
+			dst = exprVars(x.Arg, dst)
+		}
+	case ExistsExpr:
+		// Report every inner variable. Purely-existential inner
+		// variables are never bound by the outer query, so scheduling
+		// defers the filter to the end of the join — after all shared
+		// variables are bound, which keeps the correlation correct.
+		for _, tp := range x.Patterns {
+			for _, n := range []Node{tp.S, tp.P, tp.O} {
+				if n.IsVar {
+					dst = append(dst, n.Var)
+				}
+			}
+		}
+		for _, f := range x.Filters {
+			dst = exprVars(f, dst)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,269 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF    tokenKind = iota
+	tokIRI              // <...>
+	tokPName            // prefix:local or prefix:
+	tokVar              // ?x or $x
+	tokString           // "..." with optional @lang or ^^<dt>
+	tokNumber
+	tokKeyword // bare word: SELECT, WHERE, a, true, ...
+	tokPunct   // { } ( ) . , ; * / + - = ! < > <= >= != && || ^
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	// lang / datatype for string tokens
+	lang, dtype string
+	pos         int
+}
+
+// SyntaxError reports a SPARQL syntax error with byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '<':
+		// IRI if a '>' occurs before whitespace; otherwise comparison.
+		if end := l.iriEnd(); end > 0 {
+			iri := l.src[l.pos+1 : end]
+			l.pos = end + 1
+			return token{kind: tokIRI, text: iri, pos: start}, nil
+		}
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokPunct, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokPunct, text: "<", pos: start}, nil
+	case c == '?' || c == '$':
+		l.pos++
+		name := l.readName()
+		if name == "" {
+			return token{}, &SyntaxError{start, "empty variable name"}
+		}
+		return token{kind: tokVar, text: name, pos: start}, nil
+	case c == '"' || c == '\'':
+		return l.readString(c)
+	case c >= '0' && c <= '9' || (c == '.' && l.digitAt(1)) ||
+		((c == '+' || c == '-') && l.digitAt(1)):
+		return l.readNumber()
+	case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == ',' || c == ';' || c == '*' || c == '/' || c == '+' || c == '-' || c == '=' || c == '^':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	case c == '!':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokPunct, text: "!=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokPunct, text: "!", pos: start}, nil
+	case c == '>':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokPunct, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokPunct, text: ">", pos: start}, nil
+	case c == '&':
+		if l.peekAt(1) == '&' {
+			l.pos += 2
+			return token{kind: tokPunct, text: "&&", pos: start}, nil
+		}
+		return token{}, &SyntaxError{start, "single '&'"}
+	case c == '|':
+		if l.peekAt(1) == '|' {
+			l.pos += 2
+			return token{kind: tokPunct, text: "||", pos: start}, nil
+		}
+		return token{}, &SyntaxError{start, "single '|' (alternative paths unsupported)"}
+	default:
+		word := l.readName()
+		if word == "" {
+			return token{}, &SyntaxError{start, fmt.Sprintf("unexpected character %q", c)}
+		}
+		// prefixed name?
+		if l.pos < len(l.src) && l.src[l.pos] == ':' {
+			l.pos++
+			local := l.readName()
+			return token{kind: tokPName, text: word + ":" + local, pos: start}, nil
+		}
+		return token{kind: tokKeyword, text: word, pos: start}, nil
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// iriEnd returns the index of the closing '>' if the text starting at
+// l.pos looks like an IRIREF (no whitespace before '>'), else -1.
+func (l *lexer) iriEnd() int {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		switch l.src[i] {
+		case '>':
+			return i
+		case ' ', '\t', '\n', '\r', '<', '"':
+			return -1
+		}
+	}
+	return -1
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) digitAt(off int) bool {
+	c := l.peekAt(off)
+	return c >= '0' && c <= '9'
+}
+
+func (l *lexer) readName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c >= 0x80 {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) readString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(l.src[l.pos])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == quote {
+			l.pos++
+			tok := token{kind: tokString, text: b.String(), pos: start}
+			// optional @lang
+			if l.pos < len(l.src) && l.src[l.pos] == '@' {
+				l.pos++
+				tok.lang = l.readName()
+			} else if l.pos+1 < len(l.src) && l.src[l.pos] == '^' && l.src[l.pos+1] == '^' {
+				l.pos += 2
+				if l.pos < len(l.src) && l.src[l.pos] == '<' {
+					if end := l.iriEnd(); end > 0 {
+						tok.dtype = l.src[l.pos+1 : end]
+						l.pos = end + 1
+					} else {
+						return token{}, &SyntaxError{l.pos, "malformed datatype IRI"}
+					}
+				} else {
+					return token{}, &SyntaxError{l.pos, "expected <IRI> after ^^"}
+				}
+			}
+			return tok, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, &SyntaxError{start, "unterminated string"}
+}
+
+func (l *lexer) readNumber() (token, error) {
+	start := l.pos
+	if c := l.src[l.pos]; c == '+' || c == '-' {
+		l.pos++
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp && l.digitAt(1):
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if n := l.peekAt(0); n == '+' || n == '-' {
+				l.pos++
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}

@@ -1,0 +1,1016 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"re2xolap/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT or ASK query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	i        int
+	prefixes map[string]string
+	pathN    int
+	aggN     int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance()   { p.i++ }
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{p.cur().pos, fmt.Sprintf(format, args...)}
+}
+
+// keyword reports whether the current token is the given bare keyword
+// (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.keyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.punct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+// prefixesCopy snapshots the prologue for nested queries.
+func (p *parser) prefixesCopy() map[string]string {
+	out := make(map[string]string, len(p.prefixes))
+	for k, v := range p.prefixes {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1, Prefixes: map[string]string{}}
+	// prologue
+	for p.acceptKeyword("PREFIX") {
+		t := p.cur()
+		if t.kind != tokPName {
+			return nil, p.errf("expected prefixed name after PREFIX")
+		}
+		name := strings.TrimSuffix(t.text, ":")
+		p.advance()
+		if p.cur().kind != tokIRI {
+			return nil, p.errf("expected IRI in PREFIX")
+		}
+		p.prefixes[name] = p.cur().text
+		q.Prefixes[name] = p.cur().text
+		p.advance()
+	}
+	switch {
+	case p.acceptKeyword("SELECT"):
+		if err := p.parseSelectClause(q); err != nil {
+			return nil, err
+		}
+	case p.acceptKeyword("ASK"):
+		q.Ask = true
+	case p.acceptKeyword("CONSTRUCT"):
+		tmpl, err := p.parseConstructTemplate()
+		if err != nil {
+			return nil, err
+		}
+		q.Construct = tmpl
+	default:
+		return nil, p.errf("expected SELECT, ASK, or CONSTRUCT, got %q", p.cur().text)
+	}
+	p.acceptKeyword("WHERE")
+	where, err := p.parseGroupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	if err := p.parseSolutionModifiers(q); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectClause(q *Query) error {
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else {
+		p.acceptKeyword("REDUCED")
+	}
+	if p.acceptPunct("*") {
+		q.Star = true
+		return nil
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokVar:
+			q.Select = append(q.Select, SelectItem{Var: t.text})
+			p.advance()
+		case p.punct("("):
+			p.advance()
+			expr, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if !p.acceptKeyword("AS") {
+				return p.errf("expected AS in projection expression")
+			}
+			if p.cur().kind != tokVar {
+				return p.errf("expected variable after AS")
+			}
+			q.Select = append(q.Select, SelectItem{Var: p.cur().text, Expr: expr})
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		case t.kind == tokKeyword && isAggregateName(t.text):
+			// bare aggregate without AS: auto-name the column.
+			expr, err := p.parsePrimary()
+			if err != nil {
+				return err
+			}
+			agg, ok := expr.(AggExpr)
+			if !ok {
+				return p.errf("expected aggregate call")
+			}
+			name := autoAggName(agg, p.aggN)
+			p.aggN++
+			q.Select = append(q.Select, SelectItem{Var: name, Expr: agg})
+		default:
+			if len(q.Select) == 0 {
+				return p.errf("empty SELECT clause")
+			}
+			return nil
+		}
+	}
+}
+
+func isAggregateName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT":
+		return true
+	}
+	return false
+}
+
+// autoAggName names a bare aggregate projection, e.g. SUM(?obsValue)
+// becomes "sum_obsValue".
+func autoAggName(a AggExpr, n int) string {
+	base := strings.ToLower(a.Fn)
+	if v, ok := a.Arg.(VarExpr); ok {
+		return base + "_" + v.Name
+	}
+	return fmt.Sprintf("%s_%d", base, n)
+}
+
+func (p *parser) parseSolutionModifiers(q *Query) error {
+	for {
+		switch {
+		case p.acceptKeyword("GROUP"):
+			if !p.acceptKeyword("BY") {
+				return p.errf("expected BY after GROUP")
+			}
+			for p.cur().kind == tokVar {
+				q.GroupBy = append(q.GroupBy, p.cur().text)
+				p.advance()
+			}
+			if len(q.GroupBy) == 0 {
+				return p.errf("empty GROUP BY")
+			}
+		case p.acceptKeyword("HAVING"):
+			for p.punct("(") {
+				p.advance()
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.Having = append(q.Having, e)
+			}
+			if len(q.Having) == 0 {
+				return p.errf("empty HAVING")
+			}
+		case p.acceptKeyword("ORDER"):
+			if !p.acceptKeyword("BY") {
+				return p.errf("expected BY after ORDER")
+			}
+			parsing := true
+			for parsing {
+				var key OrderKey
+				switch {
+				case p.acceptKeyword("DESC"):
+					key.Desc = true
+					if err := p.expectPunct("("); err != nil {
+						return err
+					}
+					e, err := p.parseExpr()
+					if err != nil {
+						return err
+					}
+					key.Expr = e
+					if err := p.expectPunct(")"); err != nil {
+						return err
+					}
+				case p.acceptKeyword("ASC"):
+					if err := p.expectPunct("("); err != nil {
+						return err
+					}
+					e, err := p.parseExpr()
+					if err != nil {
+						return err
+					}
+					key.Expr = e
+					if err := p.expectPunct(")"); err != nil {
+						return err
+					}
+				case p.cur().kind == tokVar:
+					key.Expr = VarExpr{Name: p.cur().text}
+					p.advance()
+				case p.cur().kind == tokKeyword && isAggregateName(p.cur().text):
+					e, err := p.parsePrimary()
+					if err != nil {
+						return err
+					}
+					key.Expr = e
+				default:
+					if len(q.OrderBy) == 0 {
+						return p.errf("empty ORDER BY")
+					}
+					parsing = false
+				}
+				if parsing {
+					q.OrderBy = append(q.OrderBy, key)
+				}
+			}
+		case p.acceptKeyword("LIMIT"):
+			if p.cur().kind != tokNumber {
+				return p.errf("expected number after LIMIT")
+			}
+			var n int
+			fmt.Sscanf(p.cur().text, "%d", &n)
+			q.Limit = n
+			p.advance()
+		case p.acceptKeyword("OFFSET"):
+			if p.cur().kind != tokNumber {
+				return p.errf("expected number after OFFSET")
+			}
+			var n int
+			fmt.Sscanf(p.cur().text, "%d", &n)
+			q.Offset = n
+			p.advance()
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseGroupGraphPattern() ([]PatternElement, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var elems []PatternElement
+	for {
+		switch {
+		case p.acceptPunct("}"):
+			return elems, nil
+		case p.cur().kind == tokEOF:
+			return nil, p.errf("unterminated group pattern")
+		case p.acceptKeyword("FILTER"):
+			e, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, FilterElement{Expr: e})
+			p.acceptPunct(".")
+		case p.acceptKeyword("BIND"):
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("AS") {
+				return nil, p.errf("expected AS in BIND")
+			}
+			if p.cur().kind != tokVar {
+				return nil, p.errf("expected variable after AS")
+			}
+			be := BindElement{Expr: e, Var: p.cur().text}
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			elems = append(elems, be)
+			p.acceptPunct(".")
+		case p.acceptKeyword("VALUES"):
+			v, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, v)
+			p.acceptPunct(".")
+		case p.acceptKeyword("OPTIONAL"):
+			inner, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			opt := OptionalElement{}
+			for _, el := range inner {
+				switch x := el.(type) {
+				case TriplePattern:
+					opt.Patterns = append(opt.Patterns, x)
+				case FilterElement:
+					opt.Filters = append(opt.Filters, x.Expr)
+				default:
+					return nil, p.errf("unsupported element inside OPTIONAL")
+				}
+			}
+			elems = append(elems, opt)
+			p.acceptPunct(".")
+		case p.punct("{"):
+			// Lookahead: a nested SELECT is a subquery, not a UNION
+			// branch.
+			if p.toks[p.i+1].kind == tokKeyword && strings.EqualFold(p.toks[p.i+1].text, "SELECT") {
+				p.advance() // '{'
+				sub := &Query{Limit: -1, Prefixes: p.prefixesCopy()}
+				if !p.acceptKeyword("SELECT") {
+					return nil, p.errf("expected SELECT")
+				}
+				if err := p.parseSelectClause(sub); err != nil {
+					return nil, err
+				}
+				p.acceptKeyword("WHERE")
+				where, err := p.parseGroupGraphPattern()
+				if err != nil {
+					return nil, err
+				}
+				sub.Where = where
+				if err := p.parseSolutionModifiers(sub); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("}"); err != nil {
+					return nil, err
+				}
+				elems = append(elems, SubSelectElement{Query: sub})
+				p.acceptPunct(".")
+				continue
+			}
+			branch, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			u := UnionElement{Branches: [][]PatternElement{branch}}
+			for p.acceptKeyword("UNION") {
+				branch, err = p.parseGroupGraphPattern()
+				if err != nil {
+					return nil, err
+				}
+				u.Branches = append(u.Branches, branch)
+			}
+			if len(u.Branches) == 1 {
+				// A plain nested group: splice its elements in.
+				elems = append(elems, u.Branches[0]...)
+			} else {
+				for _, br := range u.Branches {
+					for _, el := range br {
+						switch el.(type) {
+						case TriplePattern, FilterElement:
+						default:
+							return nil, p.errf("unsupported element inside UNION branch")
+						}
+					}
+				}
+				elems = append(elems, u)
+			}
+			p.acceptPunct(".")
+		case p.keyword("GRAPH") || p.keyword("MINUS") || p.keyword("SERVICE"):
+			return nil, p.errf("unsupported SPARQL feature %q", p.cur().text)
+		default:
+			pats, err := p.parseTriplesSameSubject()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, pats...)
+			p.acceptPunct(".")
+		}
+	}
+}
+
+// parseConstructTemplate parses the CONSTRUCT { ... } template: plain
+// triple patterns only (no paths, filters, or nested groups).
+func (p *parser) parseConstructTemplate() ([]TriplePattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	tmpl := []TriplePattern{}
+	for !p.acceptPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated CONSTRUCT template")
+		}
+		pats, err := p.parseTriplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		for _, el := range pats {
+			tp, ok := el.(TriplePattern)
+			if !ok {
+				return nil, p.errf("property paths not allowed in CONSTRUCT templates")
+			}
+			// Sequence paths expand into chains over internal variables,
+			// which can never be bound in a template.
+			for _, n := range []Node{tp.S, tp.P, tp.O} {
+				if n.IsVar && strings.HasPrefix(n.Var, internalVarPrefix) {
+					return nil, p.errf("property paths not allowed in CONSTRUCT templates")
+				}
+			}
+			tmpl = append(tmpl, tp)
+		}
+		p.acceptPunct(".")
+	}
+	return tmpl, nil
+}
+
+// parseConstraint parses either a bracketed expression or a bare
+// function call, as allowed after FILTER.
+func (p *parser) parseConstraint() (Expr, error) {
+	if p.punct("(") {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parseValues() (ValuesElement, error) {
+	v := ValuesElement{}
+	multi := p.acceptPunct("(")
+	for p.cur().kind == tokVar {
+		v.Vars = append(v.Vars, p.cur().text)
+		p.advance()
+	}
+	if multi {
+		if err := p.expectPunct(")"); err != nil {
+			return v, err
+		}
+	}
+	if len(v.Vars) == 0 {
+		return v, p.errf("VALUES with no variables")
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return v, err
+	}
+	for !p.acceptPunct("}") {
+		if p.cur().kind == tokEOF {
+			return v, p.errf("unterminated VALUES block")
+		}
+		var row []*rdf.Term
+		if multi {
+			if err := p.expectPunct("("); err != nil {
+				return v, err
+			}
+			for !p.acceptPunct(")") {
+				t, err := p.parseDataTerm()
+				if err != nil {
+					return v, err
+				}
+				row = append(row, t)
+			}
+		} else {
+			t, err := p.parseDataTerm()
+			if err != nil {
+				return v, err
+			}
+			row = append(row, t)
+		}
+		if len(row) != len(v.Vars) {
+			return v, p.errf("VALUES row has %d terms, want %d", len(row), len(v.Vars))
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	return v, nil
+}
+
+// parseDataTerm parses a concrete term (or UNDEF) inside VALUES.
+func (p *parser) parseDataTerm() (*rdf.Term, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && strings.EqualFold(t.text, "UNDEF"):
+		p.advance()
+		return nil, nil
+	default:
+		term, err := p.parseTermToken()
+		if err != nil {
+			return nil, err
+		}
+		return &term, nil
+	}
+}
+
+// parseTermToken parses one concrete RDF term.
+func (p *parser) parseTermToken() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIRI:
+		p.advance()
+		return rdf.NewIRI(t.text), nil
+	case tokPName:
+		p.advance()
+		return p.expandPName(t)
+	case tokString:
+		p.advance()
+		switch {
+		case t.lang != "":
+			return rdf.NewLangString(t.text, t.lang), nil
+		case t.dtype != "":
+			return rdf.NewTyped(t.text, t.dtype), nil
+		default:
+			return rdf.NewString(t.text), nil
+		}
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			return rdf.NewTyped(t.text, rdf.XSDDouble), nil
+		}
+		return rdf.NewTyped(t.text, rdf.XSDInteger), nil
+	case tokKeyword:
+		switch {
+		case strings.EqualFold(t.text, "true"):
+			p.advance()
+			return rdf.NewBoolean(true), nil
+		case strings.EqualFold(t.text, "false"):
+			p.advance()
+			return rdf.NewBoolean(false), nil
+		}
+	}
+	return rdf.Term{}, p.errf("expected RDF term, got %q", t.text)
+}
+
+func (p *parser) expandPName(t token) (rdf.Term, error) {
+	colon := strings.IndexByte(t.text, ':')
+	prefix, local := t.text[:colon], t.text[colon+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, &SyntaxError{t.pos, fmt.Sprintf("unknown prefix %q", prefix)}
+	}
+	return rdf.NewIRI(base + local), nil
+}
+
+// parseNode parses a subject/object position: variable, term, or blank
+// node.
+func (p *parser) parseNode() (Node, error) {
+	t := p.cur()
+	if t.kind == tokVar {
+		p.advance()
+		return NewVarNode(t.text), nil
+	}
+	if t.kind == tokKeyword && strings.HasPrefix(t.text, "_") {
+		// unlikely; blank nodes arrive as keyword '_' + pname — not
+		// supported in queries we accept.
+		return Node{}, p.errf("blank nodes not supported in query patterns")
+	}
+	term, err := p.parseTermToken()
+	if err != nil {
+		return Node{}, err
+	}
+	return NewTermNode(term), nil
+}
+
+// pathStep is one step of a sequence property path.
+type pathStep struct {
+	pred    Node
+	inverse bool
+	// closure is 0 (none), '+' (one or more), or '*' (zero or more).
+	closure byte
+}
+
+// parsePath parses a property path: step ('/' step)*, where each step
+// is an optionally inverted IRI, 'a', or a variable (single-step only).
+func (p *parser) parsePath() ([]pathStep, error) {
+	var steps []pathStep
+	for {
+		var st pathStep
+		if p.acceptPunct("^") {
+			st.inverse = true
+		}
+		t := p.cur()
+		switch {
+		case t.kind == tokVar:
+			p.advance()
+			st.pred = NewVarNode(t.text)
+		case t.kind == tokKeyword && t.text == "a":
+			p.advance()
+			st.pred = NewTermNode(rdf.NewIRI(rdf.RDFType))
+		case t.kind == tokIRI:
+			p.advance()
+			st.pred = NewTermNode(rdf.NewIRI(t.text))
+		case t.kind == tokPName:
+			p.advance()
+			term, err := p.expandPName(t)
+			if err != nil {
+				return nil, err
+			}
+			st.pred = NewTermNode(term)
+		default:
+			return nil, p.errf("expected predicate, got %q", t.text)
+		}
+		if p.punct("+") || p.punct("*") {
+			if st.pred.IsVar {
+				return nil, p.errf("closure over a variable predicate")
+			}
+			st.closure = p.cur().text[0]
+			p.advance()
+		}
+		steps = append(steps, st)
+		if !p.acceptPunct("/") {
+			return steps, nil
+		}
+	}
+}
+
+// parseTriplesSameSubject parses one subject with its predicate-object
+// lists, expanding property paths into fresh-variable chains.
+func (p *parser) parseTriplesSameSubject() ([]PatternElement, error) {
+	subj, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	var out []PatternElement
+	for {
+		steps, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if len(steps) > 1 {
+			for _, st := range steps {
+				if st.pred.IsVar {
+					return nil, p.errf("variable predicates not allowed in sequence paths")
+				}
+			}
+		}
+		for {
+			obj, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p.expandPath(subj, steps, obj)...)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if !p.acceptPunct(";") {
+			return out, nil
+		}
+		// allow trailing ';' before '.' or '}'
+		if p.punct(".") || p.punct("}") {
+			return out, nil
+		}
+	}
+}
+
+// expandPath turns subj —steps→ obj into a chain of simple triple (or
+// closure) patterns over fresh internal variables.
+func (p *parser) expandPath(subj Node, steps []pathStep, obj Node) []PatternElement {
+	out := make([]PatternElement, 0, len(steps))
+	cur := subj
+	for i, st := range steps {
+		var next Node
+		if i == len(steps)-1 {
+			next = obj
+		} else {
+			next = NewVarNode(fmt.Sprintf("%s%d", internalVarPrefix, p.pathN))
+			p.pathN++
+		}
+		s, o := cur, next
+		if st.inverse {
+			s, o = o, s
+		}
+		if st.closure != 0 {
+			out = append(out, ClosurePattern{S: s, O: o, Pred: st.pred.Term, MinZero: st.closure == '*'})
+		} else {
+			out = append(out, TriplePattern{S: s, P: st.pred, O: o})
+		}
+		cur = next
+	}
+	return out
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&&") {
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.punct(op) {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	not := false
+	if p.keyword("NOT") {
+		// lookahead for IN
+		save := p.i
+		p.advance()
+		if !p.keyword("IN") {
+			p.i = save
+			return l, nil
+		}
+		not = true
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for !p.acceptPunct(")") {
+			if len(list) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+		}
+		return InExpr{E: l, List: list, Not: not}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinaryExpr{Op: "+", L: l, R: r}
+		case p.acceptPunct("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinaryExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinaryExpr{Op: "*", L: l, R: r}
+		case p.acceptPunct("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinaryExpr{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.acceptPunct("!"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "!", E: e}, nil
+	case p.acceptPunct("-"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", E: e}, nil
+	case p.acceptPunct("+"):
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+// builtinFuncs is the set of supported non-aggregate builtins.
+var builtinFuncs = map[string]int{ // name → arity (-1 = variadic)
+	"STR": 1, "LCASE": 1, "UCASE": 1, "STRLEN": 1,
+	"CONTAINS": 2, "STRSTARTS": 2, "STRENDS": 2,
+	"REGEX": -1, "BOUND": 1, "ABS": 1, "ROUND": 1, "FLOOR": 1, "CEIL": 1,
+	"CONCAT": -1, "STRBEFORE": 2, "STRAFTER": 2, "REPLACE": -1, "SUBSTR": -1,
+	"ISIRI": 1, "ISURI": 1, "ISLITERAL": 1, "ISNUMERIC": 1, "ISBLANK": 1,
+	"LANG": 1, "DATATYPE": 1, "COALESCE": -1, "IF": 3,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.punct("("):
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case t.kind == tokVar:
+		p.advance()
+		return VarExpr{Name: t.text}, nil
+	case t.kind == tokKeyword && isAggregateName(t.text):
+		return p.parseAggregate()
+	case t.kind == tokKeyword && (strings.EqualFold(t.text, "EXISTS") || strings.EqualFold(t.text, "NOT")):
+		not := false
+		if p.acceptKeyword("NOT") {
+			not = true
+		}
+		if !p.acceptKeyword("EXISTS") {
+			return nil, p.errf("expected EXISTS")
+		}
+		group, err := p.parseGroupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		ee := ExistsExpr{Not: not}
+		for _, el := range group {
+			switch x := el.(type) {
+			case TriplePattern:
+				ee.Patterns = append(ee.Patterns, x)
+			case FilterElement:
+				ee.Filters = append(ee.Filters, x.Expr)
+			default:
+				return nil, p.errf("unsupported element inside EXISTS")
+			}
+		}
+		return ee, nil
+	case t.kind == tokKeyword:
+		upper := strings.ToUpper(t.text)
+		if arity, ok := builtinFuncs[upper]; ok {
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			for !p.acceptPunct(")") {
+				if len(args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			if arity >= 0 && len(args) != arity {
+				return nil, p.errf("%s expects %d arguments, got %d", upper, arity, len(args))
+			}
+			return FuncExpr{Name: upper, Args: args}, nil
+		}
+		// true/false or a bare prefixed name fall through to term.
+		term, err := p.parseTermToken()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: term}, nil
+	default:
+		term, err := p.parseTermToken()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: term}, nil
+	}
+}
+
+func (p *parser) parseAggregate() (Expr, error) {
+	fn := strings.ToUpper(p.cur().text)
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	agg := AggExpr{Fn: fn}
+	if p.acceptKeyword("DISTINCT") {
+		agg.Distinct = true
+	}
+	if p.acceptPunct("*") {
+		if fn != "COUNT" {
+			return nil, p.errf("* argument only valid for COUNT")
+		}
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if p.acceptPunct(";") {
+		if !p.acceptKeyword("SEPARATOR") {
+			return nil, p.errf("expected SEPARATOR")
+		}
+		if !p.acceptPunct("=") {
+			return nil, p.errf("expected '=' after SEPARATOR")
+		}
+		if p.cur().kind != tokString {
+			return nil, p.errf("expected string separator")
+		}
+		agg.Sep = p.cur().text
+		p.advance()
+	}
+	return agg, p.expectPunct(")")
+}

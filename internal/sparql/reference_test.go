@@ -1,0 +1,440 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+// This file cross-checks the executor against a brute-force reference
+// evaluator on randomly generated graphs and BGP queries: same
+// solutions, same aggregates, independent of join order, index
+// selection, or the DFS short-circuit path.
+
+// refBinding is a variable assignment in the reference evaluator.
+type refBinding map[string]rdf.Term
+
+// refSolve enumerates all solutions of the patterns over the triples
+// by naive backtracking in syntactic order.
+func refSolve(triples []rdf.Triple, patterns []TriplePattern) []refBinding {
+	var out []refBinding
+	var rec func(b refBinding, i int)
+	match := func(n Node, t rdf.Term, b refBinding) (refBinding, bool) {
+		if !n.IsVar {
+			if n.Term == t {
+				return b, true
+			}
+			return nil, false
+		}
+		if cur, ok := b[n.Var]; ok {
+			if cur == t {
+				return b, true
+			}
+			return nil, false
+		}
+		nb := refBinding{}
+		for k, v := range b {
+			nb[k] = v
+		}
+		nb[n.Var] = t
+		return nb, true
+	}
+	rec = func(b refBinding, i int) {
+		if i == len(patterns) {
+			out = append(out, b)
+			return
+		}
+		tp := patterns[i]
+		for _, tr := range triples {
+			b1, ok := match(tp.S, tr.S, b)
+			if !ok {
+				continue
+			}
+			b2, ok := match(tp.P, tr.P, b1)
+			if !ok {
+				continue
+			}
+			b3, ok := match(tp.O, tr.O, b2)
+			if !ok {
+				continue
+			}
+			rec(b3, i+1)
+		}
+	}
+	rec(refBinding{}, 0)
+	return out
+}
+
+// canonical renders a solution multiset deterministically.
+func canonical(vars []string, sols []refBinding) []string {
+	out := make([]string, len(sols))
+	for i, s := range sols {
+		var b strings.Builder
+		for _, v := range vars {
+			if t, ok := s[v]; ok {
+				b.WriteString(t.String())
+			}
+			b.WriteByte('\x00')
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomGraph builds a small random graph mixing IRIs and numeric
+// literals.
+func randomGraph(rng *rand.Rand, n int) []rdf.Triple {
+	var ts []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	for len(ts) < n {
+		var obj rdf.Term
+		if rng.Intn(3) == 0 {
+			obj = rdf.NewInteger(int64(rng.Intn(20)))
+		} else {
+			obj = rdf.NewIRI(fmt.Sprintf("http://r/n%d", rng.Intn(8)))
+		}
+		tr := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://r/n%d", rng.Intn(8))),
+			rdf.NewIRI(fmt.Sprintf("http://r/p%d", rng.Intn(4))),
+			obj,
+		)
+		if !seen[tr] {
+			seen[tr] = true
+			ts = append(ts, tr)
+		}
+	}
+	return ts
+}
+
+// randomPatterns builds 1–3 patterns over a shared variable pool so
+// joins actually connect.
+func randomPatterns(rng *rand.Rand) []TriplePattern {
+	vars := []string{"a", "b", "c", "d"}
+	node := func(allowLiteral bool) Node {
+		switch rng.Intn(3) {
+		case 0:
+			return NewVarNode(vars[rng.Intn(len(vars))])
+		case 1:
+			return NewTermNode(rdf.NewIRI(fmt.Sprintf("http://r/n%d", rng.Intn(8))))
+		default:
+			if allowLiteral && rng.Intn(2) == 0 {
+				return NewTermNode(rdf.NewInteger(int64(rng.Intn(20))))
+			}
+			return NewVarNode(vars[rng.Intn(len(vars))])
+		}
+	}
+	n := 1 + rng.Intn(3)
+	ps := make([]TriplePattern, n)
+	for i := range ps {
+		pred := NewTermNode(rdf.NewIRI(fmt.Sprintf("http://r/p%d", rng.Intn(4))))
+		if rng.Intn(4) == 0 {
+			pred = NewVarNode(vars[rng.Intn(len(vars))])
+		}
+		ps[i] = TriplePattern{S: node(false), P: pred, O: node(true)}
+	}
+	return ps
+}
+
+func patternVars(ps []TriplePattern) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, tp := range ps {
+		for _, n := range []Node{tp.S, tp.P, tp.O} {
+			if n.IsVar && !seen[n.Var] {
+				seen[n.Var] = true
+				out = append(out, n.Var)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func buildQuerySrc(ps []TriplePattern, vars []string, limit int) string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	for _, v := range vars {
+		b.WriteString(" ?" + v)
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tp := range ps {
+		b.WriteString("  " + tp.String() + "\n")
+	}
+	b.WriteString("}")
+	if limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", limit)
+	}
+	return b.String()
+}
+
+func TestExecutorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		triples := randomGraph(rng, 5+rng.Intn(40))
+		ps := randomPatterns(rng)
+		vars := patternVars(ps)
+		if len(vars) == 0 {
+			continue
+		}
+		st := store.New()
+		if err := st.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		src := buildQuerySrc(ps, vars, -1)
+		res, err := NewEngine(st).QueryString(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		ref := refSolve(triples, ps)
+
+		gotSols := make([]refBinding, len(res.Rows))
+		for i, row := range res.Rows {
+			b := refBinding{}
+			for j, v := range res.Vars {
+				if Bound(row[j]) {
+					b[v] = row[j]
+				}
+			}
+			gotSols[i] = b
+		}
+		got := canonical(vars, gotSols)
+		want := canonical(vars, ref)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d solutions, reference %d\n%s", trial, len(got), len(want), src)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: solution %d differs\n got %q\nwant %q\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}
+
+func TestExecutorLimitMatchesReferenceCount(t *testing.T) {
+	// The DFS short-circuit path must return exactly min(limit, total)
+	// solutions.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		triples := randomGraph(rng, 5+rng.Intn(40))
+		ps := randomPatterns(rng)
+		vars := patternVars(ps)
+		if len(vars) == 0 {
+			continue
+		}
+		st := store.New()
+		if err := st.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		total := len(refSolve(triples, ps))
+		limit := rng.Intn(5)
+		src := buildQuerySrc(ps, vars, limit)
+		res, err := NewEngine(st).QueryString(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		want := total
+		if limit < want {
+			want = limit
+		}
+		if res.Len() != want {
+			t.Fatalf("trial %d: rows = %d, want %d (total %d, limit %d)\n%s",
+				trial, res.Len(), want, total, limit, src)
+		}
+	}
+}
+
+func TestExecutorAggregatesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		triples := randomGraph(rng, 10+rng.Intn(40))
+		st := store.New()
+		if err := st.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		pred := fmt.Sprintf("http://r/p%d", rng.Intn(4))
+		ps := []TriplePattern{{
+			S: NewVarNode("s"),
+			P: NewTermNode(rdf.NewIRI(pred)),
+			O: NewVarNode("v"),
+		}}
+		src := fmt.Sprintf(`SELECT ?s (SUM(?v) AS ?sum) (COUNT(?v) AS ?n) WHERE { ?s <%s> ?v . } GROUP BY ?s`, pred)
+		res, err := NewEngine(st).QueryString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference aggregation.
+		sums := map[rdf.Term]float64{}
+		counts := map[rdf.Term]int{}
+		groups := map[rdf.Term]bool{}
+		for _, b := range refSolve(triples, ps) {
+			s := b["s"]
+			groups[s] = true
+			counts[s]++ // COUNT counts bound values, numeric or not
+			if n, ok := b["v"].Numeric(); ok {
+				sums[s] += n
+			}
+		}
+		if res.Len() != len(groups) {
+			t.Fatalf("trial %d: groups = %d, want %d", trial, res.Len(), len(groups))
+		}
+		si, sumi, ni := res.Column("s"), res.Column("sum"), res.Column("n")
+		for _, row := range res.Rows {
+			s := row[si]
+			gotSum, _ := row[sumi].Numeric()
+			gotN, _ := row[ni].Numeric()
+			if gotSum != sums[s] {
+				t.Fatalf("trial %d: SUM(%v) = %v, want %v", trial, s, gotSum, sums[s])
+			}
+			if int(gotN) != counts[s] {
+				t.Fatalf("trial %d: COUNT(%v) = %v, want %d", trial, s, gotN, counts[s])
+			}
+		}
+	}
+}
+
+// refSolveOptional computes the left join of base solutions with an
+// optional pattern group, per SPARQL OPTIONAL semantics.
+func refSolveOptional(triples []rdf.Triple, base []refBinding, optional []TriplePattern) []refBinding {
+	var out []refBinding
+	for _, b := range base {
+		// Substitute bound vars into the optional patterns, then solve.
+		ext := refSolve(triples, substitute(optional, b))
+		if len(ext) == 0 {
+			out = append(out, b)
+			continue
+		}
+		for _, e := range ext {
+			merged := refBinding{}
+			for k, v := range b {
+				merged[k] = v
+			}
+			for k, v := range e {
+				merged[k] = v
+			}
+			out = append(out, merged)
+		}
+	}
+	return out
+}
+
+func substitute(ps []TriplePattern, b refBinding) []TriplePattern {
+	out := make([]TriplePattern, len(ps))
+	for i, tp := range ps {
+		sub := func(n Node) Node {
+			if n.IsVar {
+				if t, ok := b[n.Var]; ok {
+					return NewTermNode(t)
+				}
+			}
+			return n
+		}
+		out[i] = TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+	}
+	return out
+}
+
+func TestExecutorOptionalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 150; trial++ {
+		triples := randomGraph(rng, 5+rng.Intn(30))
+		base := randomPatterns(rng)[:1]
+		opt := randomPatterns(rng)[:1]
+		vars := patternVars(append(append([]TriplePattern(nil), base...), opt...))
+		if len(vars) == 0 {
+			continue
+		}
+		st := store.New()
+		if err := st.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString("SELECT")
+		for _, v := range vars {
+			b.WriteString(" ?" + v)
+		}
+		b.WriteString(" WHERE {\n  " + base[0].String() + "\n  OPTIONAL { " + opt[0].String() + " }\n}")
+		src := b.String()
+		res, err := NewEngine(st).QueryString(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		ref := refSolveOptional(triples, refSolve(triples, base), opt)
+
+		gotSols := make([]refBinding, len(res.Rows))
+		for i, row := range res.Rows {
+			rb := refBinding{}
+			for j, v := range res.Vars {
+				if Bound(row[j]) {
+					rb[v] = row[j]
+				}
+			}
+			gotSols[i] = rb
+		}
+		got := canonical(vars, gotSols)
+		want := canonical(vars, ref)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d solutions, reference %d\n%s", trial, len(got), len(want), src)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: solution %d differs\n got %q\nwant %q\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}
+
+func TestExecutorUnionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 150; trial++ {
+		triples := randomGraph(rng, 5+rng.Intn(30))
+		left := randomPatterns(rng)[:1]
+		right := randomPatterns(rng)[:1]
+		vars := patternVars(append(append([]TriplePattern(nil), left...), right...))
+		if len(vars) == 0 {
+			continue
+		}
+		st := store.New()
+		if err := st.AddAll(triples); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString("SELECT")
+		for _, v := range vars {
+			b.WriteString(" ?" + v)
+		}
+		b.WriteString(" WHERE {\n  { " + left[0].String() + " } UNION { " + right[0].String() + " }\n}")
+		src := b.String()
+		res, err := NewEngine(st).QueryString(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		ref := append(refSolve(triples, left), refSolve(triples, right)...)
+
+		gotSols := make([]refBinding, len(res.Rows))
+		for i, row := range res.Rows {
+			rb := refBinding{}
+			for j, v := range res.Vars {
+				if Bound(row[j]) {
+					rb[v] = row[j]
+				}
+			}
+			gotSols[i] = rb
+		}
+		got := canonical(vars, gotSols)
+		want := canonical(vars, ref)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d solutions, reference %d\n%s", trial, len(got), len(want), src)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: solution %d differs\n got %q\nwant %q\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}

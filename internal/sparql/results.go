@@ -1,0 +1,100 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"re2xolap/internal/rdf"
+)
+
+// Results is a SPARQL result set. For ASK queries only Boolean is
+// meaningful; for CONSTRUCT queries only Triples. An unbound cell is
+// the zero rdf.Term; use Bound to test.
+type Results struct {
+	Vars    []string
+	Rows    [][]rdf.Term
+	IsAsk   bool
+	Boolean bool
+	// Triples holds the CONSTRUCT output (nil for SELECT/ASK).
+	Triples []rdf.Triple
+	// IsConstruct marks a CONSTRUCT result.
+	IsConstruct bool
+}
+
+// Bound reports whether a result cell holds a value.
+func Bound(t rdf.Term) bool { return t != (rdf.Term{}) }
+
+// Len returns the number of result rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Column returns the index of the named variable, or -1.
+func (r *Results) Column(name string) int {
+	for i, v := range r.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the results as an aligned text table, suitable for CLI
+// display.
+func (r *Results) String() string {
+	if r.IsAsk {
+		return fmt.Sprintf("ASK => %v", r.Boolean)
+	}
+	if r.IsConstruct {
+		var b strings.Builder
+		for _, t := range r.Triples {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	widths := make([]int, len(r.Vars))
+	cells := make([][]string, 0, len(r.Rows)+1)
+	head := make([]string, len(r.Vars))
+	for i, v := range r.Vars {
+		head[i] = "?" + v
+		widths[i] = len(head[i])
+	}
+	cells = append(cells, head)
+	for _, row := range r.Rows {
+		line := make([]string, len(r.Vars))
+		for i, t := range row {
+			s := ""
+			if Bound(t) {
+				if t.IsLiteral() {
+					s = t.Value
+				} else {
+					s = t.String()
+				}
+			}
+			line[i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+		cells = append(cells, line)
+	}
+	var b strings.Builder
+	for rowIdx, line := range cells {
+		for i, s := range line {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+		if rowIdx == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("-+-")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

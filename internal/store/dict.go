@@ -1,0 +1,96 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple
+// store with three sorted index permutations (SPO, POS, OSP), an
+// LSM-style delta buffer for incremental inserts, cardinality statistics
+// for join ordering, and an inverted full-text index over literals.
+//
+// It plays the role of the external triplestore (Virtuoso in the paper):
+// the SPARQL engine in internal/sparql executes against it, and
+// internal/endpoint exposes it over the SPARQL protocol.
+package store
+
+import (
+	"strconv"
+	"sync"
+
+	"re2xolap/internal/rdf"
+)
+
+// ID is a dictionary-assigned term identifier. 0 is reserved and never
+// denotes a term.
+type ID uint32
+
+// Dict maps RDF terms to dense integer IDs and back. It is safe for
+// concurrent use.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[rdf.Term]ID
+	terms []rdf.Term // terms[id-1]
+	// nums caches the parsed numeric value of numeric literals so
+	// aggregation never re-parses lexical forms.
+	nums []float64
+	isN  []bool
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[rdf.Term]ID, 1024)}
+}
+
+// Encode returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Encode(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.ids[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	n, isNum := t.Numeric()
+	d.nums = append(d.nums, n)
+	d.isN = append(d.isN, isNum)
+	id = ID(len(d.terms))
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without assigning one. The second result
+// reports whether t is known.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Decode returns the term for id. It panics on an unknown id, which
+// indicates a programming error (IDs only come from this dictionary).
+func (d *Dict) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id-1]
+}
+
+// Numeric returns the cached numeric value of the term with the given
+// id. The second result reports whether the term is a numeric literal.
+func (d *Dict) Numeric(id ID) (float64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nums[id-1], d.isN[id-1]
+}
+
+// Len returns the number of distinct terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// String renders a summary, useful in logs.
+func (d *Dict) String() string {
+	return "dict(" + strconv.Itoa(d.Len()) + " terms)"
+}

@@ -1,0 +1,138 @@
+// Package testkg builds small, fully-known statistical knowledge graphs
+// used by tests across the repository. The fixture mirrors the paper's
+// Figure 1: asylum-request observations with origin and destination
+// (country → continent), reference period (month → year), sex, and a
+// numApplicants measure, with labels on every member and predicate.
+package testkg
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+	"re2xolap/internal/vgraph"
+)
+
+// NS is the IRI namespace of the fixture.
+const NS = "http://ex.org/"
+
+// ObservationClass is the fixture's observation class IRI.
+const ObservationClass = NS + "Observation"
+
+// IRI builds a fixture IRI term.
+func IRI(local string) rdf.Term { return rdf.NewIRI(NS + local) }
+
+// Obs is one observation row of the fixture.
+type Obs struct {
+	Origin, Dest, Month, Sex string
+	Value                    int64
+}
+
+// DefaultObservations is the canonical observation set. Origins and
+// destinations are country codes; months are "m<year>-<mm>".
+var DefaultObservations = []Obs{
+	{"sy", "de", "m2014-01", "male", 100},
+	{"sy", "de", "m2014-02", "female", 150},
+	{"sy", "fr", "m2014-01", "male", 50},
+	{"sy", "se", "m2014-01", "female", 70},
+	{"cn", "de", "m2015-01", "male", 30},
+	{"cn", "fr", "m2014-01", "female", 20},
+	{"cn", "se", "m2015-01", "male", 60},
+	{"de", "fr", "m2015-01", "male", 5},
+	{"de", "se", "m2014-02", "female", 3},
+	{"fr", "de", "m2014-02", "female", 8},
+	{"sy", "de", "m2015-01", "male", 200},
+}
+
+// Countries maps country code to continent code.
+var Countries = map[string]string{
+	"de": "europe", "fr": "europe", "se": "europe",
+	"sy": "asia", "cn": "asia",
+}
+
+// CountryLabels maps country code to label.
+var CountryLabels = map[string]string{
+	"de": "Germany", "fr": "France", "se": "Sweden",
+	"sy": "Syria", "cn": "China",
+}
+
+// Build constructs the fixture store from the given observations (pass
+// nil for DefaultObservations).
+func Build(tb testing.TB, observations []Obs) *store.Store {
+	tb.Helper()
+	if observations == nil {
+		observations = DefaultObservations
+	}
+	st := store.New()
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(IRI(s), IRI(p), o))
+	}
+	label := func(n, l string) {
+		ts = append(ts, rdf.NewTriple(IRI(n), rdf.NewIRI(rdf.RDFSLabel), rdf.NewString(l)))
+	}
+	years := map[string]bool{}
+	months := map[string]bool{}
+	for _, o := range observations {
+		months[o.Month] = true
+		years["y"+o.Month[1:5]] = true
+	}
+	for c, cont := range Countries {
+		add(c, "inContinent", IRI(cont))
+		label(c, CountryLabels[c])
+	}
+	label("europe", "Europe")
+	label("asia", "Asia")
+	for m := range months {
+		add(m, "inYear", IRI("y"+m[1:5]))
+		label(m, m[1:])
+	}
+	for y := range years {
+		label(y, y[1:])
+	}
+	label("male", "male")
+	label("female", "female")
+	// Predicate labels, used by the NL descriptions.
+	label("origin", "Country of Origin")
+	label("dest", "Country of Destination")
+	label("inContinent", "In Continent")
+	label("refPeriod", "Reference Period")
+	label("inYear", "In Year")
+	label("sex", "Sex")
+	label("numApplicants", "Num Applicants")
+	for i, o := range observations {
+		n := fmt.Sprintf("obs%d", i)
+		ts = append(ts, rdf.NewTriple(IRI(n), rdf.NewIRI(rdf.RDFType), IRI("Observation")))
+		add(n, "origin", IRI(o.Origin))
+		add(n, "dest", IRI(o.Dest))
+		add(n, "refPeriod", IRI(o.Month))
+		add(n, "sex", IRI(o.Sex))
+		add(n, "numApplicants", rdf.NewInteger(o.Value))
+	}
+	if err := st.AddAll(ts); err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// Config returns the qb.Config for the fixture.
+func Config() qb.Config {
+	return qb.Config{ObservationClass: ObservationClass}
+}
+
+// BootstrapFixture builds the store, an in-process client, and the
+// bootstrapped virtual graph in one call.
+func BootstrapFixture(tb testing.TB, observations []Obs) (*store.Store, *endpoint.InProcess, *vgraph.Graph) {
+	tb.Helper()
+	st := Build(tb, observations)
+	c := endpoint.NewInProcess(st)
+	g, err := vgraph.Bootstrap(context.Background(), c, Config())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st, c, g
+}

@@ -1,0 +1,226 @@
+package vgraph
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+	"re2xolap/internal/sparql"
+)
+
+// Bootstrap builds the virtual schema graph by crawling the endpoint,
+// exactly as in Section 5.2: it enumerates predicates linking
+// observations to non-literal nodes (dimension predicates and members),
+// then recursively discovers coarser hierarchy levels with a
+// depth-first traversal that handles cycles, and records measure
+// predicates (numeric literals) and level attributes (other literals).
+// Only SPARQL queries are issued; no direct store access.
+func Bootstrap(ctx context.Context, c endpoint.Client, cfg qb.Config) (*Graph, error) {
+	cfg = cfg.WithDefaults()
+	g := &Graph{ObservationClass: cfg.ObservationClass}
+
+	n, err := countQuery(ctx, c, fmt.Sprintf(
+		`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?o a <%s> . }`, cfg.ObservationClass))
+	if err != nil {
+		return nil, fmt.Errorf("vgraph: counting observations: %w", err)
+	}
+	g.ObservationCount = n
+	if n == 0 {
+		return nil, fmt.Errorf("vgraph: no instances of observation class <%s>", cfg.ObservationClass)
+	}
+
+	// Measure predicates: observation → numeric literal.
+	measures, err := predicateQuery(ctx, c, fmt.Sprintf(
+		`SELECT DISTINCT ?p WHERE { ?o a <%s> . ?o ?p ?v . FILTER (ISNUMERIC(?v)) }`, cfg.ObservationClass))
+	if err != nil {
+		return nil, fmt.Errorf("vgraph: discovering measures: %w", err)
+	}
+	for _, p := range measures {
+		if cfg.Ignored(p) {
+			continue
+		}
+		g.Measures = append(g.Measures, Measure{Predicate: p, Label: predicateLabel(ctx, c, p)})
+	}
+	sort.Slice(g.Measures, func(i, j int) bool { return g.Measures[i].Predicate < g.Measures[j].Predicate })
+
+	// Dimension predicates: observation → IRI.
+	dims, err := predicateQuery(ctx, c, fmt.Sprintf(
+		`SELECT DISTINCT ?p WHERE { ?o a <%s> . ?o ?p ?m . FILTER (ISIRI(?m)) }`, cfg.ObservationClass))
+	if err != nil {
+		return nil, fmt.Errorf("vgraph: discovering dimensions: %w", err)
+	}
+	sort.Strings(dims)
+
+	// Depth-first hierarchy discovery from each base level.
+	var stack []*Level
+	for _, p := range dims {
+		if cfg.Ignored(p) {
+			continue
+		}
+		l := g.addLevel(&Level{
+			Dimension: p,
+			Path:      []string{p},
+			Depth:     1,
+			Label:     qb.LocalName(p),
+		})
+		stack = append(stack, l)
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := describeLevel(ctx, c, cfg, l); err != nil {
+			return nil, fmt.Errorf("vgraph: describing level %s: %w", l, err)
+		}
+		if l.Depth >= cfg.MaxHierarchyDepth {
+			continue
+		}
+		children, err := childPredicates(ctx, c, cfg, l)
+		if err != nil {
+			return nil, fmt.Errorf("vgraph: expanding level %s: %w", l, err)
+		}
+		for _, q := range children {
+			path := append(append([]string(nil), l.Path...), q)
+			key := strings.Join(path, "\x00")
+			if g.byKey[key] != nil {
+				continue // already discovered through another traversal
+			}
+			child := g.addLevel(&Level{
+				Dimension: l.Dimension,
+				Path:      path,
+				Depth:     l.Depth + 1,
+				Parent:    l,
+				Label:     qb.LocalName(q),
+			})
+			l.Children = append(l.Children, child)
+			stack = append(stack, child)
+		}
+	}
+	return g, nil
+}
+
+// describeLevel fills member count, attributes, and the M-to-N flag.
+func describeLevel(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Level) error {
+	path := pathExpr(l.Path)
+	n, err := countQuery(ctx, c, fmt.Sprintf(
+		`SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o a <%s> . ?o %s ?m . }`,
+		cfg.ObservationClass, path))
+	if err != nil {
+		return err
+	}
+	l.MemberCount = n
+
+	l.Label = predicateLabel(ctx, c, l.Path[len(l.Path)-1])
+
+	attrs, err := predicateQuery(ctx, c, fmt.Sprintf(
+		`SELECT DISTINCT ?q WHERE { ?o a <%s> . ?o %s ?m . ?m ?q ?lit . FILTER (ISLITERAL(?lit)) }`,
+		cfg.ObservationClass, path))
+	if err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		if !cfg.Ignored(a) {
+			l.Attributes = append(l.Attributes, a)
+		}
+	}
+	sort.Strings(l.Attributes)
+
+	if l.Depth > 1 {
+		// M-to-N check: does some finer member link to two members here?
+		parentPath := pathExpr(l.Path[:len(l.Path)-1])
+		last := l.Path[len(l.Path)-1]
+		res, err := c.Query(ctx, fmt.Sprintf(
+			`ASK { ?o a <%s> . ?o %s ?f . ?f <%s> ?m1 . ?f <%s> ?m2 . FILTER (?m1 != ?m2) }`,
+			cfg.ObservationClass, parentPath, last, last))
+		if err != nil {
+			return err
+		}
+		l.ManyToMany = res.Boolean
+	}
+	return nil
+}
+
+// childPredicates finds predicates from members of l to other IRIs,
+// excluding cycles (predicates already on the path) and ignored
+// predicates.
+func childPredicates(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Level) ([]string, error) {
+	preds, err := predicateQuery(ctx, c, fmt.Sprintf(
+		`SELECT DISTINCT ?q WHERE { ?o a <%s> . ?o %s ?m . ?m ?q ?x . FILTER (ISIRI(?x)) }`,
+		cfg.ObservationClass, pathExpr(l.Path)))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, q := range preds {
+		if cfg.Ignored(q) {
+			continue
+		}
+		onPath := false
+		for _, p := range l.Path {
+			if p == q {
+				onPath = true // cycle: the same predicate repeats
+				break
+			}
+		}
+		if !onPath {
+			out = append(out, q)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// predicateLabel fetches the rdfs:label of a predicate IRI, falling
+// back to its local name. The paper uses these in-data annotations to
+// present queries in natural language (Section 5.1).
+func predicateLabel(ctx context.Context, c endpoint.Client, pred string) string {
+	res, err := c.Query(ctx, fmt.Sprintf(
+		`SELECT ?l WHERE { <%s> <http://www.w3.org/2000/01/rdf-schema#label> ?l . } LIMIT 1`, pred))
+	if err == nil && res.Len() > 0 && sparql.Bound(res.Rows[0][0]) {
+		return res.Rows[0][0].Value
+	}
+	return qb.LocalName(pred)
+}
+
+// pathExpr renders a predicate sequence as a SPARQL property path.
+func pathExpr(path []string) string {
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = "<" + p + ">"
+	}
+	return strings.Join(parts, "/")
+}
+
+// predicateQuery runs a single-variable SELECT and returns the IRI
+// values of the first column.
+func predicateQuery(ctx context.Context, c endpoint.Client, q string) ([]string, error) {
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, row := range res.Rows {
+		if sparql.Bound(row[0]) && row[0].IsIRI() {
+			out = append(out, row[0].Value)
+		}
+	}
+	return out, nil
+}
+
+// countQuery runs a COUNT query and returns the integer result.
+func countQuery(ctx context.Context, c endpoint.Client, q string) (int, error) {
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	if res.Len() == 0 || !sparql.Bound(res.Rows[0][0]) {
+		return 0, fmt.Errorf("vgraph: count query returned no value")
+	}
+	n, ok := res.Rows[0][0].Numeric()
+	if !ok {
+		return 0, fmt.Errorf("vgraph: count query returned non-numeric %v", res.Rows[0][0])
+	}
+	return int(n), nil
+}

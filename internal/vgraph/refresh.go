@@ -1,0 +1,51 @@
+package vgraph
+
+import (
+	"context"
+	"fmt"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+)
+
+// Refresh updates the data-dependent statistics of an existing virtual
+// graph — observation count, per-level member counts, and M-to-N flags
+// — without re-discovering the schema. This implements the paper's
+// incremental maintenance claim (Section 7.1): "if the schema does not
+// change and only new data is added, all the in-memory data structures
+// are updated efficiently without the need for re-computation". It
+// issues two queries per level instead of the full bootstrap crawl.
+func Refresh(ctx context.Context, c endpoint.Client, cfg qb.Config, g *Graph) error {
+	cfg = cfg.WithDefaults()
+	if cfg.ObservationClass != g.ObservationClass {
+		return fmt.Errorf("vgraph: refresh with different observation class (%s vs %s)",
+			cfg.ObservationClass, g.ObservationClass)
+	}
+	n, err := countQuery(ctx, c, fmt.Sprintf(
+		`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?o a <%s> . }`, cfg.ObservationClass))
+	if err != nil {
+		return fmt.Errorf("vgraph: refresh: counting observations: %w", err)
+	}
+	g.ObservationCount = n
+	for _, l := range g.Levels {
+		count, err := countQuery(ctx, c, fmt.Sprintf(
+			`SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o a <%s> . ?o %s ?m . }`,
+			cfg.ObservationClass, pathExpr(l.Path)))
+		if err != nil {
+			return fmt.Errorf("vgraph: refresh: level %s: %w", l, err)
+		}
+		l.MemberCount = count
+		if l.Depth > 1 && !l.ManyToMany {
+			parentPath := pathExpr(l.Path[:len(l.Path)-1])
+			last := l.Path[len(l.Path)-1]
+			res, err := c.Query(ctx, fmt.Sprintf(
+				`ASK { ?o a <%s> . ?o %s ?f . ?f <%s> ?m1 . ?f <%s> ?m2 . FILTER (?m1 != ?m2) }`,
+				cfg.ObservationClass, parentPath, last, last))
+			if err != nil {
+				return fmt.Errorf("vgraph: refresh: level %s: %w", l, err)
+			}
+			l.ManyToMany = res.Boolean
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package vgraph implements the Virtual Schema Graph of Section 5.2: a
+// small in-memory directed graph with one node per hierarchy level per
+// dimension (plus the observation root), built once at bootstrap by
+// crawling the SPARQL endpoint. It lets query generation and the
+// Disaggregate refinement enumerate dimension/level paths without
+// touching the triplestore.
+package vgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Level is one node of the virtual schema graph: a hierarchy level
+// within a dimension, identified by the predicate path that leads from
+// an observation to members of this level.
+type Level struct {
+	// ID indexes the level within Graph.Levels.
+	ID int
+	// Dimension is the dimension predicate: the first predicate on the
+	// path, linking observations to base members.
+	Dimension string
+	// Path is the full predicate sequence from the observation node to
+	// members of this level. len(Path) == Depth.
+	Path []string
+	// Depth is 1 for base levels (directly attached to observations).
+	Depth int
+	// Parent is the finer level this one is reached from; nil for base
+	// levels (their parent is the observation root).
+	Parent *Level
+	// Children are the coarser levels reachable from this level's
+	// members (roll-up targets).
+	Children []*Level
+	// MemberCount is the number of distinct members observed at this
+	// level during bootstrap.
+	MemberCount int
+	// Attributes are predicates linking members of this level to
+	// literals (the level attributes P_A, e.g. rdfs:label).
+	Attributes []string
+	// Label is a human-readable name for the level, derived from the
+	// last predicate on the path.
+	Label string
+	// ManyToMany records whether some member at the finer level links
+	// to more than one member of this level (M-to-N hierarchy step, as
+	// in the paper's DBpedia dataset).
+	ManyToMany bool
+}
+
+// Key returns the canonical identity of a level: its predicate path.
+func (l *Level) Key() string { return strings.Join(l.Path, "\x00") }
+
+// String renders the level as "pred1/pred2" using local names.
+func (l *Level) String() string {
+	parts := make([]string, len(l.Path))
+	for i, p := range l.Path {
+		parts[i] = localName(p)
+	}
+	return strings.Join(parts, "/")
+}
+
+func localName(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// Measure describes one measure predicate found on observations.
+type Measure struct {
+	// Predicate links observations to numeric literal values.
+	Predicate string
+	// Label is a display name.
+	Label string
+}
+
+// Graph is the virtual schema graph.
+type Graph struct {
+	// ObservationClass anchors the graph.
+	ObservationClass string
+	// ObservationCount is the number of observation instances.
+	ObservationCount int
+	// Levels holds every level node; base levels first, then coarser
+	// levels in discovery order.
+	Levels []*Level
+	// Measures holds the measure predicates.
+	Measures []Measure
+
+	byKey map[string]*Level
+}
+
+// LevelByKey returns the level with the given predicate-path key.
+func (g *Graph) LevelByKey(key string) *Level { return g.byKey[key] }
+
+// LevelByPath returns the level with the given predicate path.
+func (g *Graph) LevelByPath(path []string) *Level {
+	return g.byKey[strings.Join(path, "\x00")]
+}
+
+// BaseLevels returns the levels directly attached to observations.
+func (g *Graph) BaseLevels() []*Level {
+	var out []*Level
+	for _, l := range g.Levels {
+		if l.Depth == 1 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Dimensions returns the distinct dimension predicates in a stable
+// order.
+func (g *Graph) Dimensions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range g.Levels {
+		if !seen[l.Dimension] {
+			seen[l.Dimension] = true
+			out = append(out, l.Dimension)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LevelsOf returns all levels of one dimension, finest first.
+func (g *Graph) LevelsOf(dimension string) []*Level {
+	var out []*Level
+	for _, l := range g.Levels {
+		if l.Dimension == dimension {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth < out[j].Depth
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// HierarchyCount returns the number of hierarchies: maximal root-to-leaf
+// paths in the level forest (a level with no children terminates a
+// hierarchy).
+func (g *Graph) HierarchyCount() int {
+	n := 0
+	for _, l := range g.Levels {
+		if len(l.Children) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberTotal returns the total number of distinct members across all
+// levels (the |N_D| statistic of Table 3; members shared between levels
+// are counted per level, matching how the bootstrap observes them).
+func (g *Graph) MemberTotal() int {
+	n := 0
+	for _, l := range g.Levels {
+		n += l.MemberCount
+	}
+	return n
+}
+
+// Stats summarizes the graph with the Table 3 statistics.
+type Stats struct {
+	Dimensions  int
+	Measures    int
+	Hierarchies int
+	Levels      int
+	Members     int
+}
+
+// Stats computes the Table 3 statistics for the graph.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Dimensions:  len(g.Dimensions()),
+		Measures:    len(g.Measures),
+		Hierarchies: g.HierarchyCount(),
+		Levels:      len(g.Levels),
+		Members:     g.MemberTotal(),
+	}
+}
+
+// addLevel registers a level node, assigning its ID.
+func (g *Graph) addLevel(l *Level) *Level {
+	if g.byKey == nil {
+		g.byKey = map[string]*Level{}
+	}
+	if existing, ok := g.byKey[l.Key()]; ok {
+		return existing
+	}
+	l.ID = len(g.Levels)
+	g.Levels = append(g.Levels, l)
+	g.byKey[l.Key()] = l
+	return l
+}
+
+// String renders a compact description of the schema, e.g. for the CLI
+// profile command.
+func (g *Graph) String() string {
+	var b strings.Builder
+	st := g.Stats()
+	fmt.Fprintf(&b, "virtual schema graph: %d dimensions, %d measures, %d hierarchies, %d levels, %d members\n",
+		st.Dimensions, st.Measures, st.Hierarchies, st.Levels, st.Members)
+	for _, dim := range g.Dimensions() {
+		fmt.Fprintf(&b, "  dimension %s\n", localName(dim))
+		for _, l := range g.LevelsOf(dim) {
+			mm := ""
+			if l.ManyToMany {
+				mm = " [M:N]"
+			}
+			fmt.Fprintf(&b, "    level %-40s depth=%d members=%d%s\n", l.String(), l.Depth, l.MemberCount, mm)
+		}
+	}
+	for _, m := range g.Measures {
+		fmt.Fprintf(&b, "  measure %s\n", localName(m.Predicate))
+	}
+	return b.String()
+}
+
+// EstimatedBytes approximates the in-memory footprint of the virtual
+// graph, to compare against the underlying store (the paper's
+// "orders of magnitude smaller" claim and Table 3's VGraph column).
+func (g *Graph) EstimatedBytes() int64 {
+	var n int64
+	for _, l := range g.Levels {
+		n += 96 // struct overhead
+		for _, p := range l.Path {
+			n += int64(len(p)) + 16
+		}
+		for _, a := range l.Attributes {
+			n += int64(len(a)) + 16
+		}
+		n += int64(len(l.Label) + len(l.Dimension))
+	}
+	for _, m := range g.Measures {
+		n += int64(len(m.Predicate)+len(m.Label)) + 32
+	}
+	return n
+}

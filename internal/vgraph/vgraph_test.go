@@ -1,0 +1,328 @@
+package vgraph
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+const ex = "http://ex.org/"
+
+// asylumFixture builds a miniature version of the paper's Figure 1 KG:
+// observations with origin (country→continent), destination
+// (country→continent), refPeriod (month→year), sex (flat), and one
+// measure numApplicants. All members carry labels.
+func asylumFixture(t testing.TB) *store.Store {
+	t.Helper()
+	st := store.New()
+	var ts []rdf.Triple
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ex + s) }
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.NewTriple(iri(s), iri(p), o))
+	}
+	label := func(n, l string) { add(n, "label", rdf.NewString(l)) }
+
+	countries := map[string]string{"de": "europe", "fr": "europe", "sy": "asia", "cn": "asia"}
+	countryLabels := map[string]string{"de": "Germany", "fr": "France", "sy": "Syria", "cn": "China"}
+	for c, cont := range countries {
+		add(c, "inContinent", iri(cont))
+		label(c, countryLabels[c])
+	}
+	label("europe", "Europe")
+	label("asia", "Asia")
+	months := map[string]string{"m2014-01": "y2014", "m2014-02": "y2014", "m2015-01": "y2015"}
+	for m, y := range months {
+		add(m, "inYear", iri(y))
+		label(m, m[1:])
+	}
+	label("y2014", "2014")
+	label("y2015", "2015")
+	for _, s := range []string{"male", "female"} {
+		label(s, s)
+	}
+
+	type obs struct {
+		origin, dest, month, sex string
+		value                    int64
+	}
+	data := []obs{
+		{"sy", "de", "m2014-01", "male", 100},
+		{"sy", "de", "m2014-02", "female", 150},
+		{"sy", "fr", "m2014-01", "male", 50},
+		{"cn", "de", "m2015-01", "male", 30},
+		{"cn", "fr", "m2014-01", "female", 20},
+		{"de", "fr", "m2015-01", "male", 5},
+	}
+	for i, o := range data {
+		n := fmt.Sprintf("obs%d", i)
+		ts = append(ts, rdf.NewTriple(iri(n), rdf.NewIRI(rdf.RDFType), iri("Observation")))
+		add(n, "origin", iri(o.origin))
+		add(n, "dest", iri(o.dest))
+		add(n, "refPeriod", iri(o.month))
+		add(n, "sex", iri(o.sex))
+		add(n, "numApplicants", rdf.NewInteger(o.value))
+	}
+	if err := st.AddAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testConfig() qb.Config {
+	return qb.Config{ObservationClass: ex + "Observation"}
+}
+
+func bootstrapFixture(t testing.TB) *Graph {
+	t.Helper()
+	g, err := Bootstrap(context.Background(), endpoint.NewInProcess(asylumFixture(t)), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBootstrapStructure(t *testing.T) {
+	g := bootstrapFixture(t)
+	st := g.Stats()
+	if st.Dimensions != 4 {
+		t.Errorf("dimensions = %d, want 4", st.Dimensions)
+	}
+	if st.Measures != 1 {
+		t.Errorf("measures = %d, want 1", st.Measures)
+	}
+	// Levels: origin, origin/inContinent, dest, dest/inContinent,
+	// refPeriod, refPeriod/inYear, sex = 7
+	if st.Levels != 7 {
+		t.Errorf("levels = %d, want 7\n%s", st.Levels, g)
+	}
+	// Hierarchies = leaf levels: origin/inContinent, dest/inContinent,
+	// refPeriod/inYear, sex = 4
+	if st.Hierarchies != 4 {
+		t.Errorf("hierarchies = %d, want 4", st.Hierarchies)
+	}
+	if g.ObservationCount != 6 {
+		t.Errorf("observations = %d, want 6", g.ObservationCount)
+	}
+}
+
+func TestBootstrapLevels(t *testing.T) {
+	g := bootstrapFixture(t)
+	tests := []struct {
+		path    []string
+		members int
+		depth   int
+	}{
+		{[]string{ex + "origin"}, 3, 1},
+		{[]string{ex + "origin", ex + "inContinent"}, 2, 2},
+		{[]string{ex + "dest"}, 2, 1},
+		{[]string{ex + "dest", ex + "inContinent"}, 1, 2}, // only Europe is a destination continent
+		{[]string{ex + "refPeriod"}, 3, 1},
+		{[]string{ex + "refPeriod", ex + "inYear"}, 2, 2},
+		{[]string{ex + "sex"}, 2, 1},
+	}
+	for _, tt := range tests {
+		l := g.LevelByPath(tt.path)
+		if l == nil {
+			t.Errorf("level %v missing", tt.path)
+			continue
+		}
+		if l.MemberCount != tt.members {
+			t.Errorf("level %s members = %d, want %d", l, l.MemberCount, tt.members)
+		}
+		if l.Depth != tt.depth {
+			t.Errorf("level %s depth = %d, want %d", l, l.Depth, tt.depth)
+		}
+		if l.ManyToMany {
+			t.Errorf("level %s wrongly flagged M:N", l)
+		}
+	}
+	// Attributes: country level members carry labels.
+	origin := g.LevelByPath([]string{ex + "origin"})
+	if len(origin.Attributes) != 1 || origin.Attributes[0] != ex+"label" {
+		t.Errorf("origin attributes = %v", origin.Attributes)
+	}
+}
+
+func TestBootstrapParentChild(t *testing.T) {
+	g := bootstrapFixture(t)
+	base := g.LevelByPath([]string{ex + "origin"})
+	coarse := g.LevelByPath([]string{ex + "origin", ex + "inContinent"})
+	if coarse.Parent != base {
+		t.Error("parent link broken")
+	}
+	found := false
+	for _, c := range base.Children {
+		if c == coarse {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("child link broken")
+	}
+	if len(g.LevelsOf(ex+"origin")) != 2 {
+		t.Errorf("LevelsOf(origin) = %v", g.LevelsOf(ex+"origin"))
+	}
+}
+
+func TestBootstrapManyToMany(t *testing.T) {
+	st := asylumFixture(t)
+	// Give Syria a second continent to create an M-to-N step.
+	_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+"sy"), rdf.NewIRI(ex+"inContinent"), rdf.NewIRI(ex+"europe")))
+	g, err := Bootstrap(context.Background(), endpoint.NewInProcess(st), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.LevelByPath([]string{ex + "origin", ex + "inContinent"})
+	if !l.ManyToMany {
+		t.Error("M:N step not detected")
+	}
+}
+
+func TestBootstrapCycleHandling(t *testing.T) {
+	st := asylumFixture(t)
+	// Continent points back to itself through the same predicate.
+	_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+"asia"), rdf.NewIRI(ex+"inContinent"), rdf.NewIRI(ex+"asia")))
+	g, err := Bootstrap(context.Background(), endpoint.NewInProcess(st), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repeated predicate must not create an infinite chain.
+	for _, l := range g.Levels {
+		seen := map[string]bool{}
+		for _, p := range l.Path {
+			if seen[p] {
+				t.Errorf("level %s repeats predicate %s", l, p)
+			}
+			seen[p] = true
+		}
+	}
+	_ = g
+}
+
+func TestBootstrapDepthCap(t *testing.T) {
+	st := store.New()
+	var ts []rdf.Triple
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ex + s) }
+	ts = append(ts, rdf.NewTriple(iri("o1"), rdf.NewIRI(rdf.RDFType), iri("Observation")))
+	ts = append(ts, rdf.NewTriple(iri("o1"), iri("dim"), iri("n0")))
+	ts = append(ts, rdf.NewTriple(iri("o1"), iri("val"), rdf.NewInteger(1)))
+	// a deep chain with distinct predicates
+	for i := 0; i < 12; i++ {
+		ts = append(ts, rdf.NewTriple(iri(fmt.Sprintf("n%d", i)), iri(fmt.Sprintf("up%d", i)), iri(fmt.Sprintf("n%d", i+1))))
+	}
+	if err := st.AddAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.MaxHierarchyDepth = 4
+	g, err := Bootstrap(context.Background(), endpoint.NewInProcess(st), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range g.Levels {
+		if l.Depth > 4 {
+			t.Errorf("level %s exceeds depth cap", l)
+		}
+	}
+}
+
+func TestBootstrapNoObservations(t *testing.T) {
+	st := store.New()
+	_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+"a"), rdf.NewIRI(ex+"p"), rdf.NewIRI(ex+"b")))
+	if _, err := Bootstrap(context.Background(), endpoint.NewInProcess(st), testConfig()); err == nil {
+		t.Error("empty observation class accepted")
+	}
+}
+
+func TestGraphStringAndLookups(t *testing.T) {
+	g := bootstrapFixture(t)
+	if s := g.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	if g.LevelByKey("nope") != nil {
+		t.Error("bogus key found")
+	}
+	if len(g.BaseLevels()) != 4 {
+		t.Errorf("base levels = %d, want 4", len(g.BaseLevels()))
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	st := asylumFixture(t)
+	c := endpoint.NewInProcess(st)
+	g, err := Bootstrap(context.Background(), c, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.ObservationCount
+	origin := g.LevelByPath([]string{ex + "origin"})
+	beforeMembers := origin.MemberCount
+
+	// Add a new observation with a previously-unused origin (se) and a
+	// new M-to-N edge, then refresh.
+	add := func(s, p, o string) {
+		_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+s), rdf.NewIRI(ex+p), rdf.NewIRI(ex+o)))
+	}
+	add("se", "inContinent", "europe")
+	add("obsNew", "origin", "se")
+	add("obsNew", "dest", "de")
+	add("obsNew", "refPeriod", "m2014-01")
+	add("obsNew", "sex", "male")
+	_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+"obsNew"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(ex+"Observation")))
+	_ = st.Add(rdf.NewTriple(rdf.NewIRI(ex+"obsNew"), rdf.NewIRI(ex+"numApplicants"), rdf.NewInteger(9)))
+	add("sy", "inContinent", "europe") // M-to-N
+
+	if err := Refresh(context.Background(), c, testConfig(), g); err != nil {
+		t.Fatal(err)
+	}
+	if g.ObservationCount != before+1 {
+		t.Errorf("observations = %d, want %d", g.ObservationCount, before+1)
+	}
+	if origin.MemberCount != beforeMembers+1 {
+		t.Errorf("origin members = %d, want %d", origin.MemberCount, beforeMembers+1)
+	}
+	cont := g.LevelByPath([]string{ex + "origin", ex + "inContinent"})
+	if !cont.ManyToMany {
+		t.Error("new M-to-N step not detected by refresh")
+	}
+}
+
+func TestRefreshClassMismatch(t *testing.T) {
+	_, c, g := fixtureTriple(t)
+	cfg := testConfig()
+	cfg.ObservationClass = ex + "Other"
+	if err := Refresh(context.Background(), c, cfg, g); err == nil {
+		t.Error("class mismatch accepted")
+	}
+}
+
+// fixtureTriple is a small helper returning store, client, and graph.
+func fixtureTriple(t *testing.T) (*store.Store, *endpoint.InProcess, *Graph) {
+	t.Helper()
+	st := asylumFixture(t)
+	c := endpoint.NewInProcess(st)
+	g, err := Bootstrap(context.Background(), c, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, c, g
+}
+
+func TestEstimatedBytes(t *testing.T) {
+	st, _, g := fixtureTriple(t)
+	if g.EstimatedBytes() <= 0 {
+		t.Error("vgraph bytes = 0")
+	}
+	// The virtual graph must be smaller than the store even on this
+	// tiny fixture; the "orders of magnitude" gap appears at scale
+	// (vgraph size is independent of the member/observation count),
+	// which the Table 3 harness reports.
+	if g.EstimatedBytes() >= st.EstimatedBytes() {
+		t.Errorf("vgraph %d bytes not < store %d bytes", g.EstimatedBytes(), st.EstimatedBytes())
+	}
+}

@@ -1,0 +1,102 @@
+package webui
+
+import "html/template"
+
+const baseCSS = `
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.5rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; font-size: .9rem; }
+th { background: #f3f3f3; }
+form.inline { display: inline; }
+button { margin: .1rem; }
+.error { color: #b00020; font-weight: 600; }
+.muted { color: #777; font-size: .85rem; }
+ol.history li { margin: .2rem 0; }
+pre { background: #f7f7f7; padding: .7rem; overflow-x: auto; font-size: .8rem; }
+input[type=text] { width: 28rem; padding: .3rem; }
+`
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!DOCTYPE html>
+<html><head><title>RE2xOLAP</title><style>` + baseCSS + `</style></head><body>
+<h1>RE2xOLAP — example-driven exploratory analytics</h1>
+<p class="muted">{{.Stats.Dimensions}} dimensions · {{.Stats.Hierarchies}} hierarchies ·
+{{.Stats.Levels}} levels · {{.Stats.Members}} members —
+<a href="/profile">dataset profile</a>{{if .HasCurrent}} · <a href="/view">current exploration</a>{{end}}</p>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+<h2>Start from examples</h2>
+<form method="post" action="/example">
+  <p><label>Example values (separate with |):<br>
+  <input type="text" name="example" placeholder="Germany | 2014"></label></p>
+  <p><label>Negative examples (optional):<br>
+  <input type="text" name="negatives" placeholder="China"></label></p>
+  <button type="submit">Find analytical queries</button>
+</form>
+<h2>Contrast two example sets</h2>
+<form method="post" action="/contrast">
+  <p><input type="text" name="a" placeholder="Germany"> vs
+  <input type="text" name="b" placeholder="France"></p>
+  <button type="submit">Compare</button>
+</form>
+{{if .Contrasts}}
+{{range .Contrasts}}
+<h2>Contrast — {{.Query.Description}}</h2>
+<table><tr><th>column</th><th>A</th><th>B</th><th>A/B</th></tr>
+{{range .Rows}}<tr><td>{{.Column}}</td><td>{{printf "%.1f" .A}}</td><td>{{printf "%.1f" .B}}</td><td>{{printf "%.2f" .Ratio}}</td></tr>{{end}}
+</table>
+{{end}}
+{{end}}
+{{if .Candidates}}
+<h2>Interpretations</h2>
+<table><tr><th></th><th>query</th><th></th></tr>
+{{range $i, $c := .Candidates}}
+<tr><td>{{$i}}</td><td>{{$c.Query.Description}}</td>
+<td><form class="inline" method="post" action="/pick">
+<input type="hidden" name="i" value="{{$i}}"><button type="submit">run</button></form></td></tr>
+{{end}}
+</table>
+{{end}}
+</body></html>`))
+
+var viewTmpl = template.Must(template.New("view").Parse(`<!DOCTYPE html>
+<html><head><title>RE2xOLAP — exploration</title><style>` + baseCSS + `</style></head><body>
+<h1>Exploration (step {{.Depth}})</h1>
+<p><a href="/">new example</a></p>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+<p>{{.Description}}</p>
+<p class="muted">{{.Total}} result tuples · {{.ExampleHits}} matching your example</p>
+
+<h2>Refine</h2>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="disaggregate"><button>disaggregate</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="topk"><button>top-k</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="percentile"><button>percentile</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="similarity"><button>similar</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="cluster"><button>cluster</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="rollup"><button>roll up</button></form>
+<form class="inline" method="post" action="/refine"><input type="hidden" name="kind" value="disaggregate"><input type="hidden" name="ranked" value="1"><button>disaggregate (ranked)</button></form>
+<form class="inline" method="post" action="/back"><button>◀ back</button></form>
+
+{{if .Options}}
+<h2>Proposed {{.OptionKind}} refinements</h2>
+<table><tr><th></th><th>refinement</th><th></th></tr>
+{{range .Options}}
+<tr><td>{{.Index}}</td><td>{{.Why}}</td>
+<td><form class="inline" method="post" action="/apply">
+<input type="hidden" name="i" value="{{.Index}}"><button type="submit">apply</button></form></td></tr>
+{{end}}
+</table>
+{{end}}
+
+<h2>Results</h2>
+<table>
+<tr>{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{if .Truncated}}<p class="muted">showing the first rows of {{.Total}}</p>{{end}}
+
+<h2>Path</h2>
+<ol class="history">{{range .History}}<li>{{.}}</li>{{end}}</ol>
+
+<h2>SPARQL</h2>
+<pre>{{.SPARQL}}</pre>
+</body></html>`))

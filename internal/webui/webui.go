@@ -1,0 +1,373 @@
+// Package webui is a minimal server-rendered web interface for the
+// RE2xOLAP interactive workflow (Algorithm 2), in the spirit of the
+// paper's "fully functional system": the user types example entities
+// into a form, picks an interpretation, inspects the aggregate
+// results, and clicks through the refinement methods — disaggregate,
+// top-k, percentile, similarity, cluster — with ranking and
+// backtracking. Pure net/http + html/template, no JavaScript.
+package webui
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/refine"
+	"re2xolap/internal/session"
+	"re2xolap/internal/vgraph"
+)
+
+// Handler serves the exploration UI.
+type Handler struct {
+	engine *core.Engine
+	graph  *vgraph.Graph
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*uiSession
+}
+
+// uiSession is the per-browser exploration state.
+type uiSession struct {
+	sess       *session.Session
+	candidates []core.Candidate
+	options    []refine.Refinement
+	optionKind refine.Kind
+	contrasts  []core.Contrast
+	lastError  string
+}
+
+// New returns the UI handler over a synthesis engine.
+func New(engine *core.Engine, g *vgraph.Graph) *Handler {
+	h := &Handler{
+		engine:   engine,
+		graph:    g,
+		sessions: map[string]*uiSession{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.home)
+	mux.HandleFunc("/example", h.example)
+	mux.HandleFunc("/pick", h.pick)
+	mux.HandleFunc("/view", h.view)
+	mux.HandleFunc("/refine", h.refineOptions)
+	mux.HandleFunc("/apply", h.apply)
+	mux.HandleFunc("/back", h.back)
+	mux.HandleFunc("/contrast", h.contrast)
+	mux.HandleFunc("/profile", h.profile)
+	h.mux = mux
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+const cookieName = "r2x_session"
+
+// state fetches (or creates) the browser's session.
+func (h *Handler) state(w http.ResponseWriter, r *http.Request) *uiSession {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, err := r.Cookie(cookieName); err == nil {
+		if s, ok := h.sessions[c.Value]; ok {
+			return s
+		}
+	}
+	buf := make([]byte, 16)
+	_, _ = rand.Read(buf)
+	id := hex.EncodeToString(buf)
+	s := &uiSession{sess: session.New(h.engine, h.graph)}
+	h.sessions[id] = s
+	http.SetCookie(w, &http.Cookie{Name: cookieName, Value: id, Path: "/", HttpOnly: true})
+	return s
+}
+
+func (h *Handler) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s := h.state(w, r)
+	render(w, homeTmpl, h.homeData(s))
+}
+
+type homeData struct {
+	Stats      vgraph.Stats
+	Candidates []core.Candidate
+	Error      string
+	HasCurrent bool
+	Contrasts  []core.Contrast
+}
+
+func (h *Handler) homeData(s *uiSession) homeData {
+	d := homeData{
+		Stats:      h.graph.Stats(),
+		Candidates: s.candidates,
+		Error:      s.lastError,
+		HasCurrent: s.sess.Current() != nil,
+		Contrasts:  s.contrasts,
+	}
+	s.lastError = ""
+	return d
+}
+
+func (h *Handler) contrast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	a := splitItems(r.FormValue("a"))
+	b := splitItems(r.FormValue("b"))
+	if len(a) == 0 || len(b) == 0 {
+		s.lastError = "provide both example sets to contrast"
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	cs, err := h.engine.ContrastSets(r.Context(), core.Keywords(a...), core.Keywords(b...))
+	if err != nil {
+		s.lastError = err.Error()
+	} else if len(cs) == 0 {
+		s.lastError = "no shared interpretation for the two example sets"
+	}
+	s.contrasts = cs
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (h *Handler) example(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	items := splitItems(r.FormValue("example"))
+	if len(items) == 0 {
+		s.lastError = "provide at least one example value (separate with |)"
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	var cands []core.Candidate
+	var err error
+	negatives := splitItems(r.FormValue("negatives"))
+	if len(negatives) > 0 {
+		var negs []core.ExampleTuple
+		for _, n := range negatives {
+			negs = append(negs, core.Keywords(n))
+		}
+		cands, err = h.engine.SynthesizeWithNegatives(r.Context(),
+			[]core.ExampleTuple{core.Keywords(items...)}, negs)
+	} else {
+		cands, err = h.engine.Synthesize(r.Context(), core.Keywords(items...))
+	}
+	if err != nil {
+		s.lastError = err.Error()
+	} else if len(cands) == 0 {
+		s.lastError = "no valid interpretation; try other examples"
+	}
+	s.candidates = cands
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (h *Handler) pick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	i, err := strconv.Atoi(r.FormValue("i"))
+	if err != nil || i < 0 || i >= len(s.candidates) {
+		s.lastError = "pick a listed interpretation"
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	if _, err := s.sess.Start(r.Context(), s.candidates[i].Query); err != nil {
+		s.lastError = err.Error()
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	s.options = nil
+	http.Redirect(w, r, "/view", http.StatusSeeOther)
+}
+
+type viewData struct {
+	Description string
+	Columns     []string
+	Rows        [][]string
+	Total       int
+	Truncated   bool
+	ExampleHits int
+	Depth       int
+	History     []string
+	Options     []optionRow
+	OptionKind  string
+	Error       string
+	SPARQL      string
+}
+
+type optionRow struct {
+	Index int
+	Why   string
+	Score string
+}
+
+const maxRows = 50
+
+func (h *Handler) view(w http.ResponseWriter, r *http.Request) {
+	s := h.state(w, r)
+	cur := s.sess.Current()
+	if cur == nil {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	d := viewData{
+		Description: cur.Query.Description,
+		Total:       cur.Results.Len(),
+		ExampleHits: len(cur.Results.ExampleTuples()),
+		Depth:       s.sess.Depth(),
+		Error:       s.lastError,
+		OptionKind:  string(s.optionKind),
+		SPARQL:      cur.Query.ToSPARQL(),
+	}
+	s.lastError = ""
+	for _, step := range s.sess.History() {
+		label := step.Query.Description
+		if step.Via.Why != "" {
+			label = fmt.Sprintf("[%s] %s", step.Via.Kind, step.Via.Why)
+		}
+		d.History = append(d.History, label)
+	}
+	for _, dim := range cur.Query.Dims {
+		d.Columns = append(d.Columns, dim.Level.String())
+	}
+	for _, a := range cur.Query.Aggregates {
+		d.Columns = append(d.Columns, a.OutVar)
+	}
+	for i, t := range cur.Results.Tuples {
+		if i >= maxRows {
+			d.Truncated = true
+			break
+		}
+		var row []string
+		for _, m := range t.Dims {
+			row = append(row, shortIRI(m.Value))
+		}
+		for _, a := range cur.Query.Aggregates {
+			row = append(row, strconv.FormatFloat(t.Measures[a.OutVar], 'f', 1, 64))
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for i, opt := range s.options {
+		d.Options = append(d.Options, optionRow{Index: i, Why: opt.Why})
+	}
+	render(w, viewTmpl, d)
+}
+
+func (h *Handler) refineOptions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	if s.sess.Current() == nil {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	kind := refine.Kind(r.FormValue("kind"))
+	opts, err := s.sess.Options(r.Context(), kind)
+	if err != nil {
+		s.lastError = err.Error()
+		http.Redirect(w, r, "/view", http.StatusSeeOther)
+		return
+	}
+	if r.FormValue("ranked") != "" {
+		scored := refine.Rank(s.sess.Current().Results, opts)
+		opts = opts[:0]
+		for _, sc := range scored {
+			opts = append(opts, sc.Refinement)
+		}
+	}
+	if len(opts) == 0 {
+		s.lastError = fmt.Sprintf("the %s method offers no refinement here", kind)
+	}
+	s.options = opts
+	s.optionKind = kind
+	http.Redirect(w, r, "/view", http.StatusSeeOther)
+}
+
+func (h *Handler) apply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	i, err := strconv.Atoi(r.FormValue("i"))
+	if err != nil || i < 0 || i >= len(s.options) {
+		s.lastError = "apply a listed refinement"
+		http.Redirect(w, r, "/view", http.StatusSeeOther)
+		return
+	}
+	if _, err := s.sess.Apply(r.Context(), s.options[i]); err != nil {
+		s.lastError = err.Error()
+	} else {
+		s.options = nil
+		s.optionKind = ""
+	}
+	http.Redirect(w, r, "/view", http.StatusSeeOther)
+}
+
+func (h *Handler) back(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.state(w, r)
+	s.sess.Backtrack()
+	s.options = nil
+	s.optionKind = ""
+	http.Redirect(w, r, "/view", http.StatusSeeOther)
+}
+
+func (h *Handler) profile(w http.ResponseWriter, r *http.Request) {
+	p, err := h.engine.Profile(contextOf(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, h.graph.String())
+	fmt.Fprint(w, p.String())
+}
+
+func contextOf(r *http.Request) context.Context { return r.Context() }
+
+func splitItems(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, "|") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func shortIRI(v string) string {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i] == '/' || v[i] == '#' {
+			return v[i+1:]
+		}
+	}
+	return v
+}
+
+func render(w http.ResponseWriter, t *template.Template, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := t.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,203 @@
+package webui
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/testkg"
+	"re2xolap/internal/vgraph"
+)
+
+// uiClient wraps an httptest server with a cookie jar and form helpers.
+type uiClient struct {
+	t    *testing.T
+	srv  *httptest.Server
+	http *http.Client
+}
+
+func newUIClient(t *testing.T) *uiClient {
+	t.Helper()
+	st := testkg.Build(t, nil)
+	client := endpoint.NewInProcess(st)
+	g, err := vgraph.Bootstrap(context.Background(), client, testkg.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.NewEngine(client, g, testkg.Config())
+	srv := httptest.NewServer(New(engine, g))
+	t.Cleanup(srv.Close)
+	jar := newJar()
+	return &uiClient{t: t, srv: srv, http: &http.Client{Jar: jar}}
+}
+
+// newJar is a tiny in-memory cookie jar.
+func newJar() http.CookieJar {
+	return &jar{cookies: map[string][]*http.Cookie{}}
+}
+
+type jar struct{ cookies map[string][]*http.Cookie }
+
+func (j *jar) SetCookies(u *url.URL, cs []*http.Cookie) { j.cookies[u.Host] = cs }
+func (j *jar) Cookies(u *url.URL) []*http.Cookie        { return j.cookies[u.Host] }
+
+func (c *uiClient) get(path string) string {
+	c.t.Helper()
+	resp, err := c.http.Get(c.srv.URL + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func (c *uiClient) post(path string, form url.Values) string {
+	c.t.Helper()
+	resp, err := c.http.PostForm(c.srv.URL+path, form)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("POST %s: %s", path, resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func TestUIFullWorkflow(t *testing.T) {
+	c := newUIClient(t)
+	home := c.get("/")
+	if !strings.Contains(home, "example-driven exploratory analytics") {
+		t.Fatalf("home page:\n%s", home)
+	}
+
+	// Synthesize from the running example.
+	page := c.post("/example", url.Values{"example": {"Asia | Germany"}})
+	if !strings.Contains(page, "Return SUM/MIN/MAX/AVG(Num Applicants)") {
+		t.Fatalf("candidates missing:\n%s", page)
+	}
+
+	// Run the first interpretation.
+	page = c.post("/pick", url.Values{"i": {"0"}})
+	if !strings.Contains(page, "result tuples") || !strings.Contains(page, "GROUP BY") {
+		t.Fatalf("view missing results or SPARQL:\n%s", page)
+	}
+
+	// Disaggregate, ranked.
+	page = c.post("/refine", url.Values{"kind": {"disaggregate"}, "ranked": {"1"}})
+	if !strings.Contains(page, "Proposed disaggregate refinements") {
+		t.Fatalf("options missing:\n%s", page)
+	}
+
+	// Apply the first option.
+	page = c.post("/apply", url.Values{"i": {"0"}})
+	if !strings.Contains(page, "step 2") {
+		t.Fatalf("apply did not advance:\n%s", page)
+	}
+
+	// Top-k options, then backtrack.
+	page = c.post("/refine", url.Values{"kind": {"topk"}})
+	if !strings.Contains(page, "refinements") {
+		t.Fatalf("topk options:\n%s", page)
+	}
+	page = c.post("/back", nil)
+	if !strings.Contains(page, "step 1") {
+		t.Fatalf("back did not return:\n%s", page)
+	}
+}
+
+func TestUINegativeExamples(t *testing.T) {
+	c := newUIClient(t)
+	page := c.post("/example", url.Values{
+		"example":   {"Germany"},
+		"negatives": {"China"},
+	})
+	// Only the destination interpretation survives: one candidate row.
+	if strings.Count(page, "run</button>") != 1 {
+		t.Fatalf("candidates after negative:\n%s", page)
+	}
+}
+
+func TestUIErrors(t *testing.T) {
+	c := newUIClient(t)
+	page := c.post("/example", url.Values{"example": {""}})
+	if !strings.Contains(page, "provide at least one example") {
+		t.Errorf("empty example not flagged:\n%s", page)
+	}
+	page = c.post("/example", url.Values{"example": {"atlantis"}})
+	if !strings.Contains(page, "no valid interpretation") {
+		t.Errorf("unmatched example not flagged:\n%s", page)
+	}
+	// pick without candidates
+	page = c.post("/pick", url.Values{"i": {"0"}})
+	if !strings.Contains(page, "pick a listed interpretation") {
+		t.Errorf("bad pick not flagged:\n%s", page)
+	}
+	// view without a session redirects home
+	if body := c.get("/view"); !strings.Contains(body, "Start from examples") {
+		t.Errorf("view without session did not land home")
+	}
+	// wrong method
+	resp, err := c.http.Get(c.srv.URL + "/apply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /apply status = %d", resp.StatusCode)
+	}
+	// unknown path
+	resp, err = c.http.Get(c.srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope status = %d", resp.StatusCode)
+	}
+}
+
+func TestUIProfile(t *testing.T) {
+	c := newUIClient(t)
+	body := c.get("/profile")
+	if !strings.Contains(body, "virtual schema graph") || !strings.Contains(body, "Num Applicants") {
+		t.Errorf("profile output:\n%s", body)
+	}
+}
+
+func TestUISessionsAreIsolated(t *testing.T) {
+	cA := newUIClient(t)
+	_ = cA.post("/example", url.Values{"example": {"Germany"}})
+	// A separate server instance with its own jar must have no
+	// candidates; but even on the same server, a different jar gets a
+	// fresh session.
+	cB := &uiClient{t: t, srv: cA.srv, http: &http.Client{Jar: newJar()}}
+	page := cB.post("/pick", url.Values{"i": {"0"}})
+	if !strings.Contains(page, "pick a listed interpretation") {
+		t.Errorf("session leaked across cookies:\n%s", page)
+	}
+}
+
+func TestUIContrast(t *testing.T) {
+	c := newUIClient(t)
+	page := c.post("/contrast", url.Values{"a": {"Germany"}, "b": {"France"}})
+	if !strings.Contains(page, "Contrast — ") || !strings.Contains(page, "A/B") {
+		t.Fatalf("contrast table missing:\n%s", page)
+	}
+	// Missing side.
+	page = c.post("/contrast", url.Values{"a": {"Germany"}})
+	if !strings.Contains(page, "provide both example sets") {
+		t.Errorf("missing-side error absent:\n%s", page)
+	}
+}

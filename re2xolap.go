@@ -1,0 +1,229 @@
+// Package re2xolap is a Go implementation of RE2xOLAP
+// ("Example-Driven Exploratory Analytics over Knowledge Graphs",
+// EDBT 2023): reverse engineering and interactive refinement of
+// SPARQL OLAP queries over statistical knowledge graphs, without the
+// user writing any query.
+//
+// The package ships its entire substrate: an in-memory RDF triple
+// store with a SPARQL engine and full-text index, a SPARQL-protocol
+// HTTP endpoint, the virtual schema graph bootstrap, the ReOLAP
+// synthesis algorithm, and the ExRef refinement suite (disaggregate,
+// top-k, percentile, similarity search).
+//
+// Typical use:
+//
+//	st := re2xolap.NewStore()
+//	st.Load(dataFile) // or datagen, or your own triples
+//	sys, err := re2xolap.Bootstrap(ctx, re2xolap.NewInProcessClient(st), re2xolap.Config{
+//		ObservationClass: "http://purl.org/linked-data/cube#Observation",
+//	})
+//	cands, err := sys.Synthesize(ctx, "Germany", "2014")
+//	sess := sys.NewSession()
+//	rs, err := sess.Start(ctx, cands[0].Query)
+//	opts, err := sess.Options(ctx, re2xolap.Disaggregate)
+//	rs, err = sess.Apply(ctx, opts[0])
+//
+// A remote deployment replaces NewInProcessClient with NewHTTPClient
+// pointed at any SPARQL endpoint (including cmd/sparqld).
+package re2xolap
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"re2xolap/internal/baseline"
+	"re2xolap/internal/core"
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/qb"
+	"re2xolap/internal/refine"
+	"re2xolap/internal/session"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+	"re2xolap/internal/vgraph"
+)
+
+// Core data types, re-exported for public use.
+type (
+	// Store is the in-memory RDF triple store.
+	Store = store.Store
+	// Client is a SPARQL query interface (in-process or HTTP).
+	Client = endpoint.Client
+	// Config describes how to interpret the statistical KG.
+	Config = qb.Config
+	// Graph is the bootstrapped virtual schema graph.
+	Graph = vgraph.Graph
+	// Level is one hierarchy level of the virtual schema graph.
+	Level = vgraph.Level
+	// ExampleTuple is the user's example input ⟨a_1, ..., a_k⟩.
+	ExampleTuple = core.ExampleTuple
+	// ExampleItem is one component of an example tuple.
+	ExampleItem = core.ExampleItem
+	// Candidate pairs a synthesized query with its interpretation.
+	Candidate = core.Candidate
+	// OLAPQuery is the structured analytical query representation.
+	OLAPQuery = core.OLAPQuery
+	// ResultSet is the decoded output of an executed OLAP query.
+	ResultSet = core.ResultSet
+	// Tuple is one answer tuple (dimension members + aggregates).
+	Tuple = core.Tuple
+	// Refinement is one proposed refined query.
+	Refinement = refine.Refinement
+	// RefinementKind identifies a refinement method.
+	RefinementKind = refine.Kind
+	// Session drives an interactive exploration (Algorithm 2).
+	Session = session.Session
+	// DatasetSpec describes a synthetic benchmark dataset.
+	DatasetSpec = datagen.Spec
+	// SPARQLResults is a raw SPARQL result set.
+	SPARQLResults = sparql.Results
+	// BaselineResult is the SPARQLByE-style baseline output.
+	BaselineResult = baseline.Result
+)
+
+// The refinement methods: the four ExRef methods of Section 6 plus the
+// clustering refinement from the paper's preliminary prototype.
+const (
+	Disaggregate = refine.KindDisaggregate
+	TopK         = refine.KindTopK
+	Percentile   = refine.KindPercentile
+	Similarity   = refine.KindSimilarity
+	Cluster      = refine.KindCluster
+	RollUp       = refine.KindRollUp
+)
+
+// ObservationClass is the default qb:Observation class IRI.
+const ObservationClass = qb.Observation
+
+// NewStore returns an empty RDF triple store.
+func NewStore() *Store { return store.New() }
+
+// NewInProcessClient returns a Client executing queries directly
+// against a local store.
+func NewInProcessClient(st *Store) Client { return endpoint.NewInProcess(st) }
+
+// NewHTTPClient returns a Client speaking the SPARQL protocol with a
+// remote endpoint URL.
+func NewHTTPClient(url string) Client { return endpoint.NewHTTPClient(url) }
+
+// NewSPARQLServer returns an http.Handler exposing st over the SPARQL
+// 1.1 protocol (application/sparql-results+json).
+func NewSPARQLServer(st *Store) http.Handler { return endpoint.NewServer(st) }
+
+// Keywords builds an example tuple from keyword strings.
+func Keywords(kws ...string) ExampleTuple { return core.Keywords(kws...) }
+
+// MemberIRI builds an example item that references a member directly.
+func MemberIRI(iri string) ExampleItem { return core.NewMemberIRI(iri) }
+
+// Dataset presets matching the paper's Table 3 schema statistics.
+var (
+	// EurostatLike is the asylum-applications dataset generator.
+	EurostatLike = datagen.EurostatLike
+	// ProductionLike is the macro-economic production generator.
+	ProductionLike = datagen.ProductionLike
+	// DBpediaLike is the creative-works generator with M-to-N
+	// hierarchies.
+	DBpediaLike = datagen.DBpediaLike
+)
+
+// System bundles a bootstrapped RE2xOLAP deployment: the endpoint
+// client, the virtual schema graph, and the synthesis engine.
+type System struct {
+	Client Client
+	Graph  *Graph
+	Engine *core.Engine
+	Config Config
+}
+
+// Bootstrap crawls the endpoint and builds the virtual schema graph
+// (the paper's one-off offline phase), returning a ready System.
+func Bootstrap(ctx context.Context, c Client, cfg Config) (*System, error) {
+	g, err := vgraph.Bootstrap(ctx, c, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("re2xolap: bootstrap: %w", err)
+	}
+	return &System{
+		Client: c,
+		Graph:  g,
+		Engine: core.NewEngine(c, g, cfg),
+		Config: cfg.WithDefaults(),
+	}, nil
+}
+
+// Synthesize reverse-engineers candidate OLAP queries from keyword
+// examples (Algorithm 1 / ReOLAP).
+func (s *System) Synthesize(ctx context.Context, keywords ...string) ([]Candidate, error) {
+	return s.Engine.Synthesize(ctx, Keywords(keywords...))
+}
+
+// SynthesizeTuple reverse-engineers candidate queries from a mixed
+// example tuple (keywords and member IRIs).
+func (s *System) SynthesizeTuple(ctx context.Context, t ExampleTuple) ([]Candidate, error) {
+	return s.Engine.Synthesize(ctx, t)
+}
+
+// SynthesizeTuples handles multiple example tuples: item i of every
+// tuple must resolve at the same level, and every tuple must be
+// witnessed by the data.
+func (s *System) SynthesizeTuples(ctx context.Context, ts []ExampleTuple) ([]Candidate, error) {
+	return s.Engine.SynthesizeAll(ctx, ts)
+}
+
+// Execute runs an OLAP query and decodes its results.
+func (s *System) Execute(ctx context.Context, q *OLAPQuery) (*ResultSet, error) {
+	return s.Engine.Execute(ctx, q)
+}
+
+// NewSession starts an interactive exploration over this system.
+func (s *System) NewSession() *Session {
+	return session.New(s.Engine, s.Graph)
+}
+
+// BaselineReverseEngineer runs the SPARQLByE-style baseline on the same
+// endpoint, for comparison (Section 7.2 / Figure 10).
+func (s *System) BaselineReverseEngineer(ctx context.Context, items []string) (*BaselineResult, error) {
+	return baseline.ReverseEngineer(ctx, s.Client, items)
+}
+
+// SynthesizeWithNegatives synthesizes from positive examples while
+// rejecting interpretations that also cover a negative example (the
+// paper's Section 8 extension).
+func (s *System) SynthesizeWithNegatives(ctx context.Context, positives, negatives []ExampleTuple) ([]Candidate, error) {
+	return s.Engine.SynthesizeWithNegatives(ctx, positives, negatives)
+}
+
+// Contrast compares the aggregated measures of two example tuples
+// under every interpretation they share (the paper's Section 8
+// "contrasting two sets of examples" extension).
+func (s *System) Contrast(ctx context.Context, a, b ExampleTuple) ([]core.Contrast, error) {
+	return s.Engine.ContrastSets(ctx, a, b)
+}
+
+// RankRefinements orders refinements best-first using the simplicity/
+// focus heuristic (the paper's Section 8 ranking extension).
+func RankRefinements(rs *ResultSet, refs []Refinement) []refine.Scored {
+	return refine.Rank(rs, refs)
+}
+
+// Profile computes the data-profiling summary (dimension/level/member
+// statistics plus per-measure value distributions).
+func (s *System) Profile(ctx context.Context) (*core.Profile, error) {
+	return s.Engine.Profile(ctx)
+}
+
+// Refresh updates the virtual graph's data statistics (observation and
+// member counts) after new data was added, without re-crawling the
+// schema, and drops the keyword-match cache.
+func (s *System) Refresh(ctx context.Context) error {
+	s.Engine.InvalidateCache()
+	return vgraph.Refresh(ctx, s.Client, s.Config, s.Graph)
+}
+
+// WriteSnapshot persists a store in the fast binary snapshot format.
+func WriteSnapshot(st *Store, w io.Writer) error { return st.WriteSnapshot(w) }
+
+// ReadSnapshot loads a store from a binary snapshot.
+func ReadSnapshot(r io.Reader) (*Store, error) { return store.ReadSnapshot(r) }

@@ -1,0 +1,246 @@
+package re2xolap
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildSystem generates a small Eurostat-like dataset and bootstraps a
+// System over an in-process client.
+func buildSystem(t testing.TB) *System {
+	t.Helper()
+	spec := EurostatLike(500)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Bootstrap(context.Background(), NewInProcessClient(st), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEndToEndSynthesizeAndRefine(t *testing.T) {
+	sys := buildSystem(t)
+	ctx := context.Background()
+
+	// Pick a real member label to use as keyword.
+	cands, err := sys.Synthesize(ctx, "Country 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	sess := sys.NewSession()
+	rs, err := sess.Start(ctx, cands[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatal("empty initial results")
+	}
+	if len(rs.ExampleTuples()) == 0 {
+		t.Fatal("example not in initial results")
+	}
+
+	dis, err := sess.Options(ctx, Disaggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dis) == 0 {
+		t.Fatal("no disaggregations")
+	}
+	rs2, err := sess.Apply(ctx, dis[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.ExampleTuples()) == 0 {
+		t.Error("example lost after disaggregate")
+	}
+
+	for _, kind := range []RefinementKind{TopK, Percentile, Similarity} {
+		opts, err := sess.Options(ctx, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, r := range opts {
+			rs3, err := sys.Execute(ctx, r.Query)
+			if err != nil {
+				t.Fatalf("%s refinement failed: %v\n%s", kind, err, r.Query.ToSPARQL())
+			}
+			if len(rs3.ExampleTuples()) == 0 {
+				t.Errorf("%s refinement lost the example: %s", kind, r.Why)
+			}
+		}
+	}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	// The paper's deployment: the RE2xOLAP server talks to a separate
+	// triplestore over the SPARQL protocol.
+	spec := EurostatLike(300)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewSPARQLServer(st))
+	defer srv.Close()
+
+	ctx := context.Background()
+	sys, err := Bootstrap(ctx, NewHTTPClient(srv.URL), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Stats().Levels != 9 {
+		t.Errorf("levels over HTTP = %d, want 9", sys.Graph.Stats().Levels)
+	}
+	cands, err := sys.Synthesize(ctx, "Period 103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates over HTTP")
+	}
+	rs, err := sys.Execute(ctx, cands[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Error("empty results over HTTP")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	// Figure 10: the baseline yields a flat entity query; ReOLAP yields
+	// an aggregate over observations.
+	sys := buildSystem(t)
+	ctx := context.Background()
+	base, err := sys.BaselineReverseEngineer(ctx, []string{"Continent 3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(base.Query, "GROUP BY") {
+		t.Error("baseline produced GROUP BY")
+	}
+	cands, err := sys.Synthesize(ctx, "Continent 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("ReOLAP found nothing")
+	}
+	if !strings.Contains(cands[0].Query.ToSPARQL(), "GROUP BY") {
+		t.Error("ReOLAP query lacks GROUP BY")
+	}
+}
+
+func TestSynthesizeTupleWithIRI(t *testing.T) {
+	sys := buildSystem(t)
+	ctx := context.Background()
+	iri := sys.Graph.BaseLevels()[0].Dimension // a predicate, not a member: expect no match
+	_ = iri
+	tuple := ExampleTuple{MemberIRI("http://data.example.org/eurostat/citizen/m5")}
+	cands, err := sys.SynthesizeTuple(ctx, tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("direct IRI example found nothing")
+	}
+}
+
+func TestPublicWrappers(t *testing.T) {
+	sys := buildSystem(t)
+	ctx := context.Background()
+
+	// Profile.
+	p, err := sys.Profile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Observations != 500 || len(p.Measures) != 1 {
+		t.Errorf("profile = %+v", p)
+	}
+
+	// Refresh after no change is a no-op that succeeds.
+	before := sys.Graph.ObservationCount
+	if err := sys.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.ObservationCount != before {
+		t.Errorf("refresh changed count: %d → %d", before, sys.Graph.ObservationCount)
+	}
+
+	// Negative-example synthesis via the wrapper.
+	cands, err := sys.SynthesizeWithNegatives(ctx,
+		[]ExampleTuple{Keywords("Country 7")}, []ExampleTuple{Keywords("atlantis")})
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("negatives wrapper: %v (%d)", err, len(cands))
+	}
+
+	// Contrast via the wrapper.
+	cs, err := sys.Contrast(ctx, Keywords("Country 7"), Keywords("Country 8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) == 0 {
+		t.Error("no contrasts")
+	}
+
+	// Ranking via the wrapper.
+	sess := sys.NewSession()
+	rs, err := sess.Start(ctx, cands[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := sess.Options(ctx, Percentile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := RankRefinements(rs, opts)
+	if len(scored) != len(opts) {
+		t.Errorf("ranked = %d, want %d", len(scored), len(opts))
+	}
+
+	// Cluster refinement through the session.
+	if _, err := sess.Options(ctx, Cluster); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotWrappers(t *testing.T) {
+	spec := EurostatLike(100)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Errorf("snapshot round trip: %d vs %d", st2.Len(), st.Len())
+	}
+}
+
+func TestSynthesizeTuplesWrapper(t *testing.T) {
+	sys := buildSystem(t)
+	cands, err := sys.SynthesizeTuples(context.Background(), []ExampleTuple{
+		Keywords("Country 7"), Keywords("Country 8"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Error("multi-tuple synthesis found nothing")
+	}
+}
