@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"re2xolap/internal/bench"
+	"re2xolap/internal/endpoint"
 )
 
 func main() {
@@ -24,15 +25,24 @@ func main() {
 	seed := flag.Int64("seed", 7, "workload random seed")
 	perSize := flag.Int("persize", 3, "examples per input size for fig8/fig9")
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files to this directory")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline for the harness (0 disables the resilience wrapper)")
+	retries := flag.Int("retries", 2, "retries per query when -query-timeout enables the resilience wrapper")
 	flag.Parse()
 
-	if err := run(*exp, *scaleName, *seed, *perSize, *csvDir); err != nil {
+	var policy *endpoint.Policy
+	if *queryTimeout > 0 {
+		p := endpoint.DefaultPolicy()
+		p.Timeout = *queryTimeout
+		p.MaxRetries = *retries
+		policy = &p
+	}
+	if err := run(*exp, *scaleName, *seed, *perSize, *csvDir, policy); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, seed int64, perSize int, csvDir string) error {
+func run(exp, scaleName string, seed int64, perSize int, csvDir string, policy *endpoint.Policy) error {
 	var scale bench.Scale
 	switch scaleName {
 	case "small":
@@ -55,7 +65,7 @@ func run(exp, scaleName string, seed int64, perSize int, csvDir string) error {
 		scaleName, scale.Eurostat, scale.Production, scale.DBpedia)
 	var datasets []*bench.Dataset
 	for _, spec := range scale.Specs() {
-		d, err := bench.Prepare(spec)
+		d, err := bench.PrepareWithPolicy(spec, policy)
 		if err != nil {
 			return err
 		}

@@ -31,6 +31,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"re2xolap/internal/core"
 	"re2xolap/internal/datagen"
@@ -48,9 +49,24 @@ func main() {
 	gen := flag.String("gen", "", "generate a preset dataset: eurostat, production, dbpedia")
 	obs := flag.Int("obs", 10000, "observations for -gen")
 	class := flag.String("class", qb.Observation, "observation class IRI")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-query deadline against a remote endpoint (0 disables)")
+	retries := flag.Int("retries", 4, "retries per query on transient endpoint failures")
+	breaker := flag.Int("breaker", 5, "consecutive failures before the circuit breaker trips (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+	maxInFlight := flag.Int("max-inflight", 8, "max concurrent queries to the remote endpoint (0 unlimited)")
 	flag.Parse()
 
-	client, cfg, err := buildClient(*endpointURL, *data, *gen, *obs, *class)
+	policy := endpoint.Policy{
+		Timeout:          *timeout,
+		MaxRetries:       *retries,
+		BaseBackoff:      100 * time.Millisecond,
+		MaxBackoff:       10 * time.Second,
+		Jitter:           0.5,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *breakerCooldown,
+		MaxInFlight:      *maxInFlight,
+	}
+	client, cfg, err := buildClient(*endpointURL, *data, *gen, *obs, *class, policy)
 	if err != nil {
 		log.Fatalf("re2xolap: %v", err)
 	}
@@ -65,11 +81,13 @@ func main() {
 	repl(ctx, engine, g, client, os.Stdin, os.Stdout)
 }
 
-func buildClient(endpointURL, data, gen string, obs int, class string) (endpoint.Client, qb.Config, error) {
+func buildClient(endpointURL, data, gen string, obs int, class string, policy endpoint.Policy) (endpoint.Client, qb.Config, error) {
 	cfg := qb.Config{ObservationClass: class}
 	switch {
 	case endpointURL != "":
-		return endpoint.NewHTTPClient(endpointURL), cfg, nil
+		// A remote endpoint can flake: wrap the HTTP client in the
+		// resilience decorator (deadlines, retries, circuit breaker).
+		return endpoint.NewResilient(endpoint.NewHTTPClient(endpointURL), policy), cfg, nil
 	case data != "":
 		f, err := os.Open(data)
 		if err != nil {

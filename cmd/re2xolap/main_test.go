@@ -92,17 +92,27 @@ quit
 }
 
 func TestBuildClientErrors(t *testing.T) {
-	if _, _, err := buildClient("", "", "", 0, "http://c"); err == nil {
+	p := endpoint.DefaultPolicy()
+	if _, _, err := buildClient("", "", "", 0, "http://c", p); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, err := buildClient("", "", "nope", 10, "http://c"); err == nil {
+	if _, _, err := buildClient("", "", "nope", 10, "http://c", p); err == nil {
 		t.Error("bad preset accepted")
 	}
-	if _, _, err := buildClient("", "/nonexistent/file.nt", "", 0, "http://c"); err == nil {
+	if _, _, err := buildClient("", "/nonexistent/file.nt", "", 0, "http://c", p); err == nil {
 		t.Error("missing file accepted")
 	}
-	if c, _, err := buildClient("http://example.org/sparql", "", "", 0, "http://c"); err != nil || c == nil {
-		t.Error("http client not built")
+	c, _, err := buildClient("http://example.org/sparql", "", "", 0, "http://c", p)
+	if err != nil || c == nil {
+		t.Fatal("http client not built")
+	}
+	// The remote path must come back wrapped in the resilience layer.
+	rc, ok := c.(*endpoint.ResilientClient)
+	if !ok {
+		t.Fatalf("remote client = %T, want *endpoint.ResilientClient", c)
+	}
+	if _, ok := rc.Unwrap().(*endpoint.HTTPClient); !ok {
+		t.Errorf("wrapped client = %T, want *endpoint.HTTPClient", rc.Unwrap())
 	}
 }
 

@@ -8,15 +8,24 @@
 //
 // Then point cmd/re2xolap (or any SPARQL client) at
 // http://localhost:8085/sparql.
+//
+// The server is hardened for untrusted traffic: per-request query
+// deadlines (-query-timeout), in-flight limiting with 503 shedding
+// (-max-inflight), panic recovery, Slowloris protection via
+// ReadHeaderTimeout, and graceful shutdown on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"re2xolap/internal/datagen"
@@ -29,6 +38,9 @@ func main() {
 	data := flag.String("data", "", "N-Triples/Turtle file to load (.snap loads a binary snapshot)")
 	gen := flag.String("gen", "", "generate a synthetic dataset instead: eurostat, production, dbpedia")
 	obs := flag.Int("obs", 10000, "observations for -gen")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Minute, "per-request query execution deadline (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503 (0 disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	st, err := buildStore(*data, *gen, *obs)
@@ -39,18 +51,59 @@ func main() {
 	log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql",
 		stats.Triples, stats.Terms, stats.Predicates, *addr)
 
+	srv := newServer(*addr, st, endpoint.HardenConfig{
+		QueryTimeout: *queryTimeout,
+		MaxInFlight:  *maxInFlight,
+	}, *queryTimeout)
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
+	// in-flight queries the grace period before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("sparqld: serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("sparqld: signal received, draining for up to %s...", *shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("sparqld: forced shutdown: %v", err)
+			_ = srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sparqld: serve: %v", err)
+		}
+		log.Printf("sparqld: shutdown complete")
+	}
+}
+
+// newServer assembles the hardened http.Server: the SPARQL handler
+// behind the Harden middleware stack, plus protocol-level timeouts.
+// ReadHeaderTimeout bounds how long a client may dribble headers
+// (Slowloris); WriteTimeout leaves headroom over the query deadline so
+// slow result writes are bounded too.
+func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration) *http.Server {
 	mux := http.NewServeMux()
-	mux.Handle("/sparql", endpoint.NewServer(st))
+	mux.Handle("/sparql", endpoint.Harden(endpoint.NewServer(st), cfg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok %d triples\n", st.Len())
 	})
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      mux,
-		ReadTimeout:  time.Minute,
-		WriteTimeout: 15 * time.Minute, // analytical queries can be slow
+	writeTimeout := 15 * time.Minute
+	if queryTimeout > 0 {
+		writeTimeout = queryTimeout + time.Minute
 	}
-	log.Fatal(srv.ListenAndServe())
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 func buildStore(data, gen string, obs int) (*store.Store, error) {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/store"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	src := `@prefix ex: <http://ex.org/> .
+ex:obs1 ex:dim ex:de ; ex:value 10 .
+ex:obs2 ex:dim ex:fr ; ex:value 20 .
+`
+	if _, err := st.Load(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewServerHardening(t *testing.T) {
+	srv := newServer(":0", testStore(t), endpoint.HardenConfig{
+		QueryTimeout: time.Minute,
+		MaxInFlight:  4,
+	}, time.Minute)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set (Slowloris protection missing)")
+	}
+	if srv.WriteTimeout < time.Minute {
+		t.Errorf("WriteTimeout = %s, want at least the query deadline", srv.WriteTimeout)
+	}
+
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	q := url.QueryEscape(`SELECT ?v WHERE { ?o <http://ex.org/value> ?v . }`)
+	resp, err = ts.Client().Get(ts.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	res, err := endpoint.DecodeResults(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestBuildStoreErrors(t *testing.T) {
+	if _, err := buildStore("x.nt", "eurostat", 10); err == nil {
+		t.Error("mutually exclusive flags accepted")
+	}
+	if _, err := buildStore("", "", 10); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := buildStore("", "nope", 10); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := presetByName("production", 5); err != nil {
+		t.Errorf("production preset: %v", err)
+	}
+}

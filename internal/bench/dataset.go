@@ -32,6 +32,17 @@ type Dataset struct {
 
 // Prepare generates, loads, and bootstraps one dataset.
 func Prepare(spec datagen.Spec) (*Dataset, error) {
+	return PrepareWithPolicy(spec, nil)
+}
+
+// PrepareWithPolicy is Prepare with a resilience policy around the
+// query path: when p is non-nil, the bootstrap crawl and the synthesis
+// engine issue every query through an endpoint.ResilientClient with
+// that policy (per-query deadlines, retries, circuit breaking), so the
+// experiment harness degrades the same way production callers do.
+// Dataset.Client still exposes the raw in-process client for query
+// counting.
+func PrepareWithPolicy(spec datagen.Spec, p *endpoint.Policy) (*Dataset, error) {
 	t0 := time.Now()
 	st, err := spec.BuildStore()
 	if err != nil {
@@ -39,8 +50,12 @@ func Prepare(spec datagen.Spec) (*Dataset, error) {
 	}
 	loadTime := time.Since(t0)
 	c := endpoint.NewInProcess(st)
+	var qc endpoint.Client = c
+	if p != nil {
+		qc = endpoint.NewResilient(c, *p)
+	}
 	t1 := time.Now()
-	g, err := vgraph.Bootstrap(context.Background(), c, spec.Config())
+	g, err := vgraph.Bootstrap(context.Background(), qc, spec.Config())
 	if err != nil {
 		return nil, fmt.Errorf("bench: bootstrap %s: %w", spec.Name, err)
 	}
@@ -49,7 +64,7 @@ func Prepare(spec datagen.Spec) (*Dataset, error) {
 		Store:         st,
 		Client:        c,
 		Graph:         g,
-		Engine:        core.NewEngine(c, g, spec.Config()),
+		Engine:        core.NewEngine(qc, g, spec.Config()),
 		LoadTime:      loadTime,
 		BootstrapTime: time.Since(t1),
 	}, nil

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
 	"re2xolap/internal/core"
+	"re2xolap/internal/endpoint"
 	"re2xolap/internal/refine"
 	"re2xolap/internal/session"
 )
@@ -58,6 +60,11 @@ type RefinementMetrics struct {
 	PercCount int
 	SimCount  int
 
+	// Skipped counts samples dropped because the stage's query failed
+	// transiently (timeout or retry exhaustion against a flaky
+	// endpoint); the cell's averages cover the remaining samples.
+	Skipped int
+
 	samples int
 }
 
@@ -97,6 +104,14 @@ func CollectWorkflow(datasets []*Dataset, seed int64, perSize int) ([]*Refinemen
 					t0 := time.Now()
 					rs, err := d.Engine.Execute(ctx, q)
 					if err != nil {
+						// A transient failure (timeout, retry exhaustion)
+						// loses one sample, not the whole run; an open
+						// circuit or a permanent error aborts, since every
+						// following query would fail the same way.
+						if endpoint.Transient(err) && !errors.Is(err, endpoint.ErrCircuitOpen) {
+							m.Skipped++
+							break
+						}
 						return nil, fmt.Errorf("bench: executing %s stage %s: %w", d.Spec.Name, stage, err)
 					}
 					m.ExecTime += time.Since(t0)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"re2xolap/internal/endpoint"
 	"re2xolap/internal/qb"
@@ -33,6 +35,10 @@ type Engine struct {
 	DisableMatchCache bool
 
 	cache *matchCache
+
+	// skipped counts interpretation combinations dropped because their
+	// validation query failed transiently (see SkippedCombinations).
+	skipped atomic.Int64
 }
 
 // NewEngine returns a synthesis engine over the given endpoint and
@@ -48,6 +54,12 @@ func NewEngine(c endpoint.Client, g *vgraph.Graph, cfg qb.Config) *Engine {
 		cache:           newMatchCache(256),
 	}
 }
+
+// SkippedCombinations returns how many interpretation combinations
+// were dropped across all Synthesize calls because their validation
+// query failed transiently (endpoint flaking mid-synthesis). A
+// non-zero value means candidate lists may be incomplete.
+func (e *Engine) SkippedCombinations() int64 { return e.skipped.Load() }
 
 // InvalidateCache drops cached keyword matches; call after the
 // underlying data changes (e.g. together with vgraph.Refresh).
@@ -281,10 +293,23 @@ func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Ca
 		for i := range idx {
 			combo[i] = interps[i][idx[i]]
 		}
-		if cand, ok, err := e.tryCombination(ctx, tuples, combo2levels(combo), combo2members(combo), seen); err != nil {
+		cand, ok, err := e.tryCombination(ctx, tuples, combo2levels(combo), combo2members(combo), seen)
+		switch {
+		case err == nil:
+			if ok {
+				out = append(out, cand)
+			}
+		case endpoint.Transient(err) && !errors.Is(err, endpoint.ErrCircuitOpen) && ctx.Err() == nil:
+			// One validation query failed transiently even after the
+			// client's retries. Degrade: skip this combination and keep
+			// synthesizing — partial candidates beat losing the whole
+			// run. The skip is observable via SkippedCombinations.
+			e.skipped.Add(1)
+		default:
+			// Permanent failures mean the generated SPARQL is wrong
+			// (a bug), and an open circuit means every remaining
+			// validation would fail too: abort either way.
 			return nil, err
-		} else if ok {
-			out = append(out, cand)
 		}
 		// advance the odometer
 		pos := k - 1

@@ -78,12 +78,26 @@ func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Results, 
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint: query: %w", err)
+		// Transport-level failures (refused, reset, DNS) are worth
+		// retrying — unless the caller's deadline is what killed them.
+		return nil, classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: query: %w", err)))
 	}
-	defer resp.Body.Close()
+	// Drain before close so the keep-alive connection is returned to
+	// the pool instead of torn down; bounded in case of a huge error
+	// body after a partial read.
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return nil, fmt.Errorf("endpoint: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
-	return DecodeResults(resp.Body)
+	res, err := DecodeResults(resp.Body)
+	if err != nil {
+		// A malformed or truncated body on a 200 is a delivery failure
+		// (connection cut mid-response, broken proxy), not a bad query.
+		return nil, classifyCtx(ctx, MarkRetryable(err))
+	}
+	return res, nil
 }

@@ -1,0 +1,138 @@
+package endpoint
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+)
+
+// Satellite: DecodeResults must reject malformed and truncated bodies
+// with an error rather than returning a silently-partial result set.
+// The ResilientClient relies on this to detect a connection cut
+// mid-response.
+func TestDecodeResultsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"empty body", ""},
+		{"html error page", "<html><body>502 Bad Gateway</body></html>"},
+		{"truncated object", `{"head":{"vars":["a"]},"results":{"bindings":[{"a":{"ty`},
+		{"bare garbage", "definitely not json"},
+		{"unknown term type", `{"head":{"vars":["a"]},"results":{"bindings":[{"a":{"type":"quantum","value":"x"}}]}}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := DecodeResults(strings.NewReader(tt.body))
+			if err == nil {
+				t.Fatalf("decoded %q into %+v, want error", tt.body, res)
+			}
+		})
+	}
+}
+
+// TestDecodeResultsTruncatedEncoding cuts a real encoded result set at
+// every byte offset: no prefix may decode into a full-length result.
+func TestDecodeResultsTruncatedEncoding(t *testing.T) {
+	res := &sparql.Results{
+		Vars: []string{"s", "v"},
+		Rows: [][]rdf.Term{
+			{rdf.NewIRI("http://ex.org/obs1"), rdf.NewInteger(10)},
+			{rdf.NewIRI("http://ex.org/obs2"), rdf.NewInteger(20)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeResults(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full)-1; cut++ {
+		got, err := DecodeResults(bytes.NewReader(full[:cut]))
+		if err == nil && got.Len() == res.Len() {
+			t.Fatalf("prefix of %d/%d bytes decoded to a complete result", cut, len(full))
+		}
+	}
+	if _, err := DecodeResults(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full body failed to decode: %v", err)
+	}
+}
+
+func TestDecodeResultsUnboundAndEmptyBindings(t *testing.T) {
+	body := `{"head":{"vars":["a","b"]},"results":{"bindings":[{},{"b":{"type":"literal","value":"x"}}]}}`
+	res, err := DecodeResults(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if sparql.Bound(res.Rows[0][0]) || sparql.Bound(res.Rows[0][1]) {
+		t.Error("empty binding produced bound terms")
+	}
+	if res.Rows[1][1] != rdf.NewString("x") {
+		t.Errorf("cell = %v", res.Rows[1][1])
+	}
+}
+
+func TestWantsXMLOrdering(t *testing.T) {
+	tests := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{XMLResultsContentType, true},
+		{ResultsContentType, false},
+		{XMLResultsContentType + ", " + ResultsContentType, true},
+		{ResultsContentType + ", " + XMLResultsContentType, false},
+		{"text/html, " + XMLResultsContentType, true},
+	}
+	for _, tt := range tests {
+		if got := wantsXML(tt.accept); got != tt.want {
+			t.Errorf("wantsXML(%q) = %v, want %v", tt.accept, got, tt.want)
+		}
+	}
+}
+
+// TestServerNegotiationPrecedence pins the server's tie-breaking rules:
+// JSON wins over CSV whenever both are acceptable, and over XML when
+// listed first.
+func TestServerNegotiationPrecedence(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testStore(t)))
+	defer srv.Close()
+	q := url.QueryEscape(`SELECT ?v WHERE { ?o <http://ex.org/value> ?v . }`)
+
+	tests := []struct {
+		accept string
+		wantCT string
+	}{
+		{"", ResultsContentType},
+		{"*/*", ResultsContentType},
+		{CSVResultsContentType, CSVResultsContentType},
+		{CSVResultsContentType + ", " + ResultsContentType, ResultsContentType},
+		{ResultsContentType + ", " + CSVResultsContentType, ResultsContentType},
+		{ResultsContentType + ", " + XMLResultsContentType, ResultsContentType},
+		{XMLResultsContentType + ", " + ResultsContentType, XMLResultsContentType},
+	}
+	for _, tt := range tests {
+		t.Run("accept="+tt.accept, func(t *testing.T) {
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"?query="+q, nil)
+			if tt.accept != "" {
+				req.Header.Set("Accept", tt.accept)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != tt.wantCT {
+				t.Errorf("content type = %q, want %q", ct, tt.wantCT)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Error taxonomy of the protocol layer. Callers above the Client
+// boundary (internal/core, internal/bench, the REPL) branch on these
+// with errors.Is instead of string-matching:
+//
+//   - ErrTimeout: the per-query deadline expired (client side) or the
+//     endpoint reported a timeout. Retrying with a larger budget may
+//     succeed; retrying within the same deadline will not.
+//   - ErrRetryable: a transient failure — network error, connection
+//     reset, 429/5xx status, or a truncated/garbled response body.
+//     The ResilientClient retries these automatically.
+//   - ErrPermanent: the request itself is bad (4xx other than 429,
+//     SPARQL syntax errors). Retrying the identical query is pointless.
+//   - ErrCircuitOpen: the circuit breaker is rejecting queries because
+//     the endpoint has failed repeatedly. Back off and try again after
+//     the cooldown; the breaker half-opens on its own.
+var (
+	ErrTimeout     = errors.New("endpoint: query timeout")
+	ErrRetryable   = errors.New("endpoint: retryable failure")
+	ErrPermanent   = errors.New("endpoint: permanent failure")
+	ErrCircuitOpen = errors.New("endpoint: circuit open")
+)
+
+// classified wraps an error so that errors.Is(err, class) holds while
+// the original error remains reachable through Unwrap.
+type classified struct {
+	err   error
+	class error
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+
+func (c *classified) Unwrap() error { return c.err }
+
+func (c *classified) Is(target error) bool { return target == c.class }
+
+// MarkRetryable tags err as transient: errors.Is(err, ErrRetryable)
+// becomes true. A nil err stays nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrRetryable}
+}
+
+// MarkPermanent tags err as non-retryable: errors.Is(err, ErrPermanent)
+// becomes true. A nil err stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrPermanent}
+}
+
+// Retryable reports whether err is worth retrying with the same
+// deadline budget: tagged transient failures and raw network-level
+// context errors from a cancelled attempt do not qualify, but
+// ErrRetryable does.
+func Retryable(err error) bool { return errors.Is(err, ErrRetryable) }
+
+// Transient reports whether err is a delivery failure rather than a
+// defect in the query itself: retryable failures and timeouts. Circuit
+// rejections are NOT transient in this sense — they signal the whole
+// endpoint is down, so bulk callers should abort rather than grind
+// through every remaining query.
+func Transient(err error) bool {
+	return errors.Is(err, ErrRetryable) || errors.Is(err, ErrTimeout)
+}
+
+// StatusError is a non-200 SPARQL protocol response. Its class follows
+// the HTTP semantics: 429 and 5xx are retryable, other 4xx permanent.
+type StatusError struct {
+	Code int
+	// Body holds a bounded prefix of the response body, for messages.
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("endpoint: HTTP %d", e.Code)
+	}
+	return fmt.Sprintf("endpoint: HTTP %d: %s", e.Code, e.Body)
+}
+
+// Is classifies the status code into the taxonomy.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrRetryable:
+		return e.Code == 429 || e.Code >= 500
+	case ErrPermanent:
+		return e.Code >= 400 && e.Code < 500 && e.Code != 429
+	}
+	return false
+}
+
+// classifyCtx maps a failed attempt's error through its context: if
+// the attempt died because its deadline expired, the caller sees
+// ErrTimeout; plain cancellation passes through untouched so callers
+// can distinguish "the user gave up" from "the endpoint is slow".
+func classifyCtx(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &classified{err: err, class: ErrTimeout}
+	}
+	return err
+}

@@ -1,0 +1,146 @@
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"re2xolap/internal/sparql"
+)
+
+// FaultConfig configures deterministic fault injection. Rates are
+// probabilities in [0,1] drawn from a seeded generator, so a given
+// (seed, query sequence) always produces the same faults — the
+// repeatability that benchmarking and regression tests need.
+type FaultConfig struct {
+	// Seed drives the fault schedule; the same seed replays the same
+	// faults for the same call sequence.
+	Seed int64
+	// FailureRate injects transient (retryable) errors before the
+	// inner client is consulted.
+	FailureRate float64
+	// TruncateRate serves the real result re-encoded as SPARQL JSON
+	// and cut off mid-body, exercising the decoder's failure path.
+	TruncateRate float64
+	// GarbageRate serves a non-JSON body instead of results.
+	GarbageRate float64
+	// Latency is added to every query before anything else happens.
+	Latency time.Duration
+	// FailFirst deterministically fails the first N queries with
+	// transient errors (independent of the rates).
+	FailFirst int
+	// Down makes every query fail with a transient error: a hard-down
+	// endpoint, for breaker tests.
+	Down bool
+}
+
+// FaultClient decorates a Client with injectable faults: latency,
+// transient errors, and truncated or garbage response bodies. It is
+// safe for concurrent use; the fault schedule is serialized so runs
+// are reproducible under a fixed call order.
+type FaultClient struct {
+	inner Client
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFault wraps inner with the given fault schedule.
+func NewFault(inner Client, cfg FaultConfig) *FaultClient {
+	return &FaultClient{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Unwrap returns the decorated client.
+func (c *FaultClient) Unwrap() Client { return c.inner }
+
+// Calls returns how many queries were attempted through this client.
+func (c *FaultClient) Calls() int64 { return c.calls.Load() }
+
+// Injected returns how many faults were injected so far.
+func (c *FaultClient) Injected() int64 { return c.injected.Load() }
+
+// faultKind is one draw of the fault schedule.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultTransient
+	faultTruncate
+	faultGarbage
+)
+
+// draw picks the fault for the next call.
+func (c *FaultClient) draw(call int64) faultKind {
+	if c.cfg.Down || call <= int64(c.cfg.FailFirst) {
+		return faultTransient
+	}
+	c.mu.Lock()
+	r := c.rng.Float64()
+	c.mu.Unlock()
+	switch {
+	case r < c.cfg.FailureRate:
+		return faultTransient
+	case r < c.cfg.FailureRate+c.cfg.TruncateRate:
+		return faultTruncate
+	case r < c.cfg.FailureRate+c.cfg.TruncateRate+c.cfg.GarbageRate:
+		return faultGarbage
+	}
+	return faultNone
+}
+
+// Query implements Client.
+func (c *FaultClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	call := c.calls.Add(1)
+	if c.cfg.Latency > 0 {
+		t := time.NewTimer(c.cfg.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	switch c.draw(call) {
+	case faultTransient:
+		c.injected.Add(1)
+		return nil, MarkRetryable(fmt.Errorf("endpoint: fault: injected transient failure (call %d)", call))
+	case faultTruncate:
+		c.injected.Add(1)
+		res, err := c.inner.Query(ctx, query)
+		if err != nil {
+			return nil, err
+		}
+		return c.truncated(res, call)
+	case faultGarbage:
+		c.injected.Add(1)
+		_, err := DecodeResults(strings.NewReader("<html><body>502 Bad Gateway</body></html>"))
+		return nil, MarkRetryable(fmt.Errorf("endpoint: fault: garbage body (call %d): %w", call, err))
+	}
+	return c.inner.Query(ctx, query)
+}
+
+// truncated re-encodes res as SPARQL JSON, cuts the body in half, and
+// decodes it again — producing exactly the error a dropped connection
+// mid-response produces, through the real decoder.
+func (c *FaultClient) truncated(res *sparql.Results, call int64) (*sparql.Results, error) {
+	var buf bytes.Buffer
+	if err := EncodeResults(&buf, res); err != nil {
+		return nil, err
+	}
+	cut := buf.Len() / 2
+	if _, err := DecodeResults(bytes.NewReader(buf.Bytes()[:cut])); err != nil {
+		return nil, MarkRetryable(fmt.Errorf("endpoint: fault: truncated body (call %d): %w", call, err))
+	}
+	// A tiny result can decode even when halved; treat it as a
+	// transient failure so the schedule stays deterministic.
+	return nil, MarkRetryable(fmt.Errorf("endpoint: fault: truncated body (call %d)", call))
+}

@@ -1,0 +1,109 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultDeterministicSchedule(t *testing.T) {
+	run := func() []bool {
+		inner := NewInProcess(testStore(t))
+		fc := NewFault(inner, FaultConfig{Seed: 42, FailureRate: 0.5})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := fc.Query(context.Background(), `ASK { ?s ?p ?o . }`)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at call %d: same seed must replay the same faults", i)
+		}
+	}
+	var fails int
+	for _, ok := range a {
+		if !ok {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("failure mix = %d/%d, want a proper mix at rate 0.5", fails, len(a))
+	}
+}
+
+func TestFaultTransientErrorsAreRetryable(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Seed: 1, FailFirst: 2})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`)
+		if err == nil {
+			t.Fatalf("call %d: FailFirst not honoured", i+1)
+		}
+		if !Retryable(err) {
+			t.Errorf("injected fault not retryable: %v", err)
+		}
+	}
+	if _, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`); err != nil {
+		t.Fatalf("call after FailFirst window failed: %v", err)
+	}
+	if fc.Injected() != 2 || fc.Calls() != 3 {
+		t.Errorf("injected/calls = %d/%d, want 2/3", fc.Injected(), fc.Calls())
+	}
+}
+
+func TestFaultHardDown(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Down: true})
+	for i := 0; i < 5; i++ {
+		if _, err := fc.Query(context.Background(), `ASK { ?s ?p ?o . }`); err == nil || !Retryable(err) {
+			t.Fatalf("hard-down endpoint returned %v", err)
+		}
+	}
+	if inner.QueryCount() != 0 {
+		t.Errorf("inner client reached %d times while down", inner.QueryCount())
+	}
+}
+
+func TestFaultTruncatedBody(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Seed: 3, TruncateRate: 1.0})
+	_, err := fc.Query(context.Background(), `SELECT ?v WHERE { ?o <http://ex.org/value> ?v . }`)
+	if err == nil {
+		t.Fatal("truncated body decoded")
+	}
+	if !Retryable(err) {
+		t.Errorf("truncated body not retryable: %v", err)
+	}
+}
+
+func TestFaultGarbageBody(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Seed: 3, GarbageRate: 1.0})
+	_, err := fc.Query(context.Background(), `ASK { ?s ?p ?o . }`)
+	if err == nil || !Retryable(err) {
+		t.Fatalf("garbage body returned %v", err)
+	}
+}
+
+func TestFaultLatencyHonoursContext(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`)
+	if err == nil {
+		t.Fatal("latency injection ignored the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Error("injected latency did not respect cancellation")
+	}
+}

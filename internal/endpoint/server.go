@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -52,11 +53,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	res, err := s.engine.QueryStringContext(r.Context(), query)
 	if err != nil {
 		var se *sparql.SyntaxError
-		if errors.As(err, &se) {
+		switch {
+		case errors.As(err, &se):
 			http.Error(w, fmt.Sprintf("malformed query: %v", err), http.StatusBadRequest)
-			return
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request execution deadline expired: 503 tells
+			// well-behaved clients (and our ResilientClient) this is a
+			// load condition worth retrying, not a broken query.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "query timed out", http.StatusServiceUnavailable)
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody is reading the response.
+		default:
+			http.Error(w, fmt.Sprintf("query execution failed: %v", err), http.StatusInternalServerError)
 		}
-		http.Error(w, fmt.Sprintf("query execution failed: %v", err), http.StatusInternalServerError)
 		return
 	}
 	if res.IsConstruct {

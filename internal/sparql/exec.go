@@ -105,9 +105,13 @@ type executor struct {
 	// once that many full solutions exist.
 	limit int
 	// ctx cancels long joins; ticks counts row extensions between
-	// cancellation checks.
+	// cancellation checks; dead latches the first observed
+	// cancellation so every later check aborts immediately (the tick
+	// boundary may land deep in a scan callback whose caller discards
+	// errors — without the latch the rest of the query keeps running).
 	ctx   context.Context
 	ticks int
+	dead  bool
 }
 
 // cancelCheckInterval is how many row extensions pass between context
@@ -117,6 +121,9 @@ const cancelCheckInterval = 8192
 // cancelled reports whether the query's context has been cancelled,
 // checking at most every cancelCheckInterval calls.
 func (ex *executor) cancelled() bool {
+	if ex.dead {
+		return true
+	}
 	if ex.ctx == nil {
 		return false
 	}
@@ -124,7 +131,20 @@ func (ex *executor) cancelled() bool {
 	if ex.ticks%cancelCheckInterval != 0 {
 		return false
 	}
-	return ex.ctx.Err() != nil
+	if ex.ctx.Err() != nil {
+		ex.dead = true
+		return true
+	}
+	return false
+}
+
+// ctxErr is the unconditional form of cancelled, for loop boundaries
+// where the per-iteration cost is already large.
+func (ex *executor) ctxErr() error {
+	if ex.ctx == nil {
+		return nil
+	}
+	return ex.ctx.Err()
 }
 
 func (ex *executor) slot(name string) int {
@@ -489,7 +509,13 @@ func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
 	}
 	rows = ex.extendRows(rows)
 	var out []row
+	// A cancelled scan must also stop the loop over the input rows —
+	// on a cartesian product that loop alone can run for minutes.
+	stopped := false
 	for _, r := range rows {
+		if stopped || ex.cancelled() {
+			return nil, ex.ctxErr()
+		}
 		get := func(p pos) store.ID {
 			if p.slot < 0 {
 				return p.id
@@ -499,6 +525,7 @@ func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
 		sID, pID, oID := get(ps), get(pp), get(po)
 		ex.st.Match(sID, pID, oID, func(ts, tp2, to store.ID) bool {
 			if ex.cancelled() {
+				stopped = true
 				return false
 			}
 			// repeated variable within the pattern (e.g. ?x ?p ?x)
@@ -527,6 +554,9 @@ func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
 			out = append(out, nr)
 			return true
 		})
+	}
+	if stopped {
+		return nil, ex.ctxErr()
 	}
 	return out, nil
 }
@@ -608,8 +638,15 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 
 	var out []row
 	seedFilters := filtersAt(-1)
+	// The DFS explores an unbounded search space before reaching its
+	// solution budget; honour cancellation inside the recursion too.
+	cancelled := false
 	var rec func(r row, depth int) bool
 	rec = func(r row, depth int) bool {
+		if ex.cancelled() {
+			cancelled = true
+			return false
+		}
 		if depth == len(order) {
 			out = append(out, r)
 			return len(out) < ex.limit
@@ -644,6 +681,9 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 		if ok && !rec(r, 0) {
 			break
 		}
+	}
+	if cancelled {
+		return nil, ex.ctxErr()
 	}
 	return out, nil
 }
@@ -680,9 +720,14 @@ func (ex *executor) matchOne(r row, tp TriplePattern) []row {
 }
 
 // joinSubSelect evaluates a nested SELECT with a fresh executor and
-// joins its solutions with the current rows on shared variables.
+// joins its solutions with the current rows on shared variables. The
+// subquery inherits the outer query's context so deadlines reach it.
 func (ex *executor) joinSubSelect(rows []row, sub SubSelectElement) ([]row, error) {
-	res, err := ex.eng.Query(sub.Query)
+	ctx := ex.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := ex.eng.QueryContext(ctx, sub.Query)
 	if err != nil {
 		return nil, fmt.Errorf("subquery: %w", err)
 	}
@@ -745,6 +790,11 @@ func (ex *executor) joinClosure(rows []row, cp ClosurePattern) ([]row, error) {
 	}
 	var out []row
 	for _, r := range rows {
+		// Closure expansion over a dense predicate can dominate the
+		// query; honour a server-side timeout between rows too.
+		if err := ex.ctxErr(); err != nil {
+			return nil, err
+		}
 		get := func(pos int, n Node) store.ID {
 			if pos >= 0 {
 				return r[pos]
@@ -858,9 +908,18 @@ func (ex *executor) closureFrom(id store.ID, pid store.ID, forward, includeStart
 		out = append(out, id)
 	}
 	for len(frontier) > 0 {
+		// The BFS can touch the whole graph; stop expanding promptly
+		// once the query's deadline or cancellation hits. The partial
+		// closure is discarded by the caller's ctx check.
+		if ex.ctxErr() != nil {
+			return out
+		}
 		next := frontier[:0:0]
 		for _, cur := range frontier {
-			visit := func(n store.ID) {
+			visit := func(n store.ID) bool {
+				if ex.cancelled() {
+					return false
+				}
 				if !emitted[n] {
 					emitted[n] = true
 					out = append(out, n)
@@ -869,16 +928,15 @@ func (ex *executor) closureFrom(id store.ID, pid store.ID, forward, includeStart
 					visited[n] = true
 					next = append(next, n)
 				}
+				return true
 			}
 			if forward {
 				ex.st.Match(cur, pid, 0, func(_, _, o store.ID) bool {
-					visit(o)
-					return true
+					return visit(o)
 				})
 			} else {
 				ex.st.Match(0, pid, cur, func(s, _, _ store.ID) bool {
-					visit(s)
-					return true
+					return visit(s)
 				})
 			}
 		}
@@ -1100,6 +1158,9 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 	groups := map[string]*group{}
 	var order []string
 	for _, r := range rows {
+		if ex.cancelled() {
+			return nil, ex.ctx.Err()
+		}
 		var kb strings.Builder
 		for _, s := range keySlots {
 			fmt.Fprintf(&kb, "%d,", r[s])
@@ -1148,6 +1209,12 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 		res.Vars = append(res.Vars, it.Var)
 	}
 	for _, k := range order {
+		// Aggregation over many groups (or one huge group inside
+		// computeAggregate) is a long loop: honour the deadline between
+		// groups so a server-side timeout stops work promptly.
+		if err := ex.ctxErr(); err != nil {
+			return nil, err
+		}
 		g := groups[k]
 		vals := make([]Value, len(aggs))
 		for i, a := range aggs {
@@ -1165,6 +1232,11 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 		}
 		if !keep {
 			continue
+		}
+		if err := ex.ctxErr(); err != nil {
+			// computeAggregate bails out mid-group on cancellation; do
+			// not emit a row built from a partial aggregate.
+			return nil, err
 		}
 		line := make([]rdf.Term, len(q.Select))
 		for i, it := range q.Select {
@@ -1274,6 +1346,9 @@ func (ex *executor) computeAggregate(a AggExpr, g *group) Value {
 	case "COUNT":
 		n := 0
 		for _, r := range g.rows {
+			if ex.cancelled() {
+				break
+			}
 			if a.Arg == nil {
 				if a.Distinct {
 					// COUNT(DISTINCT *) — treat the whole row as the key.
@@ -1295,6 +1370,9 @@ func (ex *executor) computeAggregate(a AggExpr, g *group) Value {
 	case "SUM", "AVG":
 		sum, cnt := 0.0, 0
 		for _, r := range g.rows {
+			if ex.cancelled() {
+				break
+			}
 			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
 			if err != nil || !v.Bound || isDup(v.Term) {
 				continue
@@ -1316,6 +1394,9 @@ func (ex *executor) computeAggregate(a AggExpr, g *group) Value {
 	case "MIN", "MAX":
 		var best Value
 		for _, r := range g.rows {
+			if ex.cancelled() {
+				break
+			}
 			v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
 			if err != nil || !v.Bound {
 				continue

@@ -1,0 +1,130 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+// chainStore builds a linear hierarchy a0 -> a1 -> ... -> aN plus fan,
+// so transitive-closure queries have real work to do.
+func chainStore(t testing.TB, n int) *store.Store {
+	t.Helper()
+	st := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+	var ts []rdf.Triple
+	for i := 0; i < n; i++ {
+		ts = append(ts, rdf.NewTriple(ex(fmt.Sprintf("a%d", i)), ex("up"), ex(fmt.Sprintf("a%d", i+1))))
+		// side branches give the BFS a frontier wider than one
+		ts = append(ts, rdf.NewTriple(ex(fmt.Sprintf("b%d", i)), ex("up"), ex(fmt.Sprintf("a%d", i))))
+	}
+	if err := st.AddAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestExecCancelledClosure: a cancelled context stops transitive
+// closure expansion with an error instead of returning a partial
+// (silently wrong) closure.
+func TestExecCancelledClosure(t *testing.T) {
+	st := chainStore(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewEngine(st).QueryStringContext(ctx,
+		`SELECT ?x WHERE { <http://ex.org/a0> <http://ex.org/up>+ ?x . }`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecCancelledAggregation: GROUP BY must not emit rows computed
+// under a dead context.
+func TestExecCancelledAggregation(t *testing.T) {
+	st := testStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewEngine(st).QueryStringContext(ctx,
+		`SELECT ?d (SUM(?v) AS ?total) WHERE { ?o <http://ex.org/dest> ?d . ?o <http://ex.org/value> ?v . } GROUP BY ?d`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecDeadlineStopsClosurePromptly: an expired deadline on a large
+// closure query surfaces DeadlineExceeded without walking the rest of
+// the graph.
+func TestExecDeadlineStopsClosurePromptly(t *testing.T) {
+	st := chainStore(t, 2000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond) // let the deadline pass before work starts
+	t0 := time.Now()
+	_, err := NewEngine(st).QueryStringContext(ctx,
+		`SELECT ?x ?y WHERE { ?x <http://ex.org/up>+ ?y . }`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("query ran %s after its deadline expired", elapsed)
+	}
+}
+
+// TestExecCancelStopsCartesianJoin: cancelling mid-query must abort
+// the row loop inside a pattern join — on a cartesian product that
+// loop alone can run for minutes after the client is gone. Found by
+// driving sparqld: killed clients left their in-flight slots occupied.
+func TestExecCancelStopsCartesianJoin(t *testing.T) {
+	st := chainStore(t, 400) // 800 triples → 800³ product rows
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewEngine(st).QueryStringContext(ctx,
+			`SELECT (COUNT(?a) AS ?n) WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f . }`)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the join get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cartesian join ignored cancellation")
+	}
+}
+
+// TestExecCancelStopsDFS: the ASK/LIMIT depth-first join must honour
+// cancellation inside its recursion, not only at pattern boundaries.
+func TestExecCancelStopsDFS(t *testing.T) {
+	st := chainStore(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// ASK with an unsatisfiable filter explores the whole product
+	// space through joinDFS before giving up.
+	_, err := NewEngine(st).QueryStringContext(ctx,
+		`ASK { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f . FILTER (?a = ?f && ?a != ?a) }`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecContextNilSafe: queries without a context still work (the
+// executor treats a nil context as "never cancelled").
+func TestExecContextNilSafe(t *testing.T) {
+	st := chainStore(t, 10)
+	res, err := NewEngine(st).QueryString(
+		`SELECT ?x WHERE { <http://ex.org/a0> <http://ex.org/up>+ ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Errorf("closure size = %d, want 10", res.Len())
+	}
+}
