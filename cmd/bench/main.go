@@ -1,0 +1,66 @@
+// Command bench runs the sequential-vs-parallel executor benchmark and
+// writes a machine-readable report:
+//
+//	bench -scale medium -workers 0 -runs 3 -out BENCH_PR2.json
+//
+// It measures the three workloads the parallel pipeline targets — a
+// multi-pattern BGP join, a GROUP BY aggregate, and end-to-end query
+// synthesis — on every datagen preset, once with Workers=1 (the
+// sequential baseline) and once with the worker pool. The JSON embeds
+// GOMAXPROCS so readers can tell a one-core run (where ~1x is the
+// expected honest result) from a multicore one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"re2xolap/internal/bench"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "dataset scale: small, medium, large")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+	runs := flag.Int("runs", 3, "runs per measurement (best is reported)")
+	out := flag.String("out", "BENCH_PR2.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.ScaleSmall
+	case "medium":
+		scale = bench.ScaleMedium
+	case "large":
+		scale = bench.ScaleLarge
+	default:
+		log.Fatalf("bench: unknown scale %q", *scaleName)
+	}
+
+	rep, err := bench.RunParallelReport(*scaleName, scale, *workers, *runs)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "bench: %-14s %-10s seq %8.2fms  par %8.2fms  speedup %.2fx\n",
+			r.Name, r.Dataset, r.SequentialMS, r.ParallelMS, r.Speedup)
+	}
+}

@@ -27,6 +27,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-figure CSV data files to this directory")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline for the harness (0 disables the resilience wrapper)")
 	retries := flag.Int("retries", 2, "retries per query when -query-timeout enables the resilience wrapper")
+	workers := flag.Int("workers", 0, "worker goroutines for query execution and synthesis (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var policy *endpoint.Policy
@@ -36,13 +37,13 @@ func main() {
 		p.MaxRetries = *retries
 		policy = &p
 	}
-	if err := run(*exp, *scaleName, *seed, *perSize, *csvDir, policy); err != nil {
+	if err := run(*exp, *scaleName, *seed, *perSize, *csvDir, policy, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, seed int64, perSize int, csvDir string, policy *endpoint.Policy) error {
+func run(exp, scaleName string, seed int64, perSize int, csvDir string, policy *endpoint.Policy, workers int) error {
 	var scale bench.Scale
 	switch scaleName {
 	case "small":
@@ -69,6 +70,10 @@ func run(exp, scaleName string, seed int64, perSize int, csvDir string, policy *
 		if err != nil {
 			return err
 		}
+		// One knob drives both layers: the in-process SPARQL executor
+		// and the synthesis engine's validation pool.
+		d.Client.Engine.Exec.Workers = workers
+		d.Engine.Workers = workers
 		fmt.Fprintf(w, "  %s: %d triples, bootstrap %s\n", spec.Name, d.Store.Len(), d.BootstrapTime.Round(1000000))
 		datasets = append(datasets, d)
 	}

@@ -41,6 +41,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 5*time.Minute, "per-request query execution deadline (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503 (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
+	workers := flag.Int("workers", 0, "executor worker goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	st, err := buildStore(*data, *gen, *obs)
@@ -54,7 +55,7 @@ func main() {
 	srv := newServer(*addr, st, endpoint.HardenConfig{
 		QueryTimeout: *queryTimeout,
 		MaxInFlight:  *maxInFlight,
-	}, *queryTimeout)
+	}, *queryTimeout, *workers)
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
 	// in-flight queries the grace period before exiting.
@@ -86,9 +87,14 @@ func main() {
 // ReadHeaderTimeout bounds how long a client may dribble headers
 // (Slowloris); WriteTimeout leaves headroom over the query deadline so
 // slow result writes are bounded too.
-func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration) *http.Server {
+func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration, workers int) *http.Server {
 	mux := http.NewServeMux()
-	mux.Handle("/sparql", endpoint.Harden(endpoint.NewServer(st), cfg))
+	handler := endpoint.NewServer(st)
+	// Each query fans its joins and aggregations over this many
+	// goroutines; -max-inflight bounds how many such queries run at
+	// once, so total parallelism is workers x inflight.
+	handler.Engine().Exec.Workers = workers
+	mux.Handle("/sparql", endpoint.Harden(handler, cfg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok %d triples\n", st.Len())
 	})

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/sparql"
+)
+
+// ParallelResult is one sequential-vs-parallel timing comparison.
+type ParallelResult struct {
+	// Name identifies the workload: bgp_join, group_by, synthesize_all.
+	Name string `json:"name"`
+	// Dataset is the datagen preset the workload ran on.
+	Dataset string `json:"dataset"`
+	// SequentialMS / ParallelMS are best-of-N wall times.
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	// Speedup is SequentialMS / ParallelMS (>1 means parallel won; on
+	// a single-core host expect ~1x or slightly below from overhead).
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelReport is the machine-readable output of the PR-2 benchmark
+// run (written to BENCH_PR2.json by cmd/bench).
+type ParallelReport struct {
+	Scale      string `json:"scale"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       int    `json:"runs"`
+	// Note records the measurement caveat that makes the numbers
+	// interpretable off this machine.
+	Note    string           `json:"note"`
+	Results []ParallelResult `json:"results"`
+}
+
+// parallelQueries returns the two query workloads: a multi-pattern BGP
+// join and a sharded GROUP BY aggregate, phrased against a preset.
+func parallelQueries(spec datagen.Spec) (bgp, groupBy string) {
+	obs := spec.ObservationClass()
+	dim := spec.NS + spec.Dimensions[0].Pred
+	dim2 := spec.NS + spec.Dimensions[1].Pred
+	meas := spec.NS + spec.Measures[0].Pred
+	bgp = fmt.Sprintf(
+		`SELECT ?o ?m ?g ?v WHERE { ?o a <%s> . ?o <%s> ?m . ?o <%s> ?g . ?o <%s> ?v . } ORDER BY ?o LIMIT 1000`,
+		obs, dim, dim2, meas)
+	groupBy = fmt.Sprintf(
+		`SELECT ?m (COUNT(?o) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?o <%s> ?m . ?o <%s> ?v . } GROUP BY ?m ORDER BY ?m`,
+		dim, meas)
+	return bgp, groupBy
+}
+
+// bestOf runs fn `runs` times and returns the fastest wall time: the
+// standard way to suppress scheduler noise in coarse benchmarks.
+func bestOf(runs int, fn func() error) (time.Duration, error) {
+	best := time.Duration(-1)
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func ratio(seq, par time.Duration) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+// RunParallelBench measures the sequential-vs-parallel executor on one
+// prepared dataset: the BGP join and GROUP BY workloads through the
+// SPARQL engine, and end-to-end synthesis through the core engine.
+// workers <= 0 means GOMAXPROCS.
+func RunParallelBench(d *Dataset, workers, runs int) ([]ParallelResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	bgp, groupBy := parallelQueries(d.Spec)
+
+	seqEng := sparql.NewEngine(d.Store)
+	seqEng.Exec.Workers = 1
+	parEng := sparql.NewEngine(d.Store)
+	parEng.Exec.Workers = workers
+
+	var out []ParallelResult
+	for _, w := range []struct{ name, query string }{
+		{"bgp_join", bgp},
+		{"group_by", groupBy},
+	} {
+		seq, err := bestOf(runs, func() error { _, err := seqEng.QueryString(w.query); return err })
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s sequential: %w", w.name, err)
+		}
+		par, err := bestOf(runs, func() error { _, err := parEng.QueryString(w.query); return err })
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s parallel: %w", w.name, err)
+		}
+		out = append(out, ParallelResult{
+			Name: w.name, Dataset: d.Spec.Name,
+			SequentialMS: millis(seq), ParallelMS: millis(par), Speedup: ratio(seq, par),
+		})
+	}
+
+	// End-to-end synthesis: sample a 2-item example from the data and
+	// synthesize with the match cache off, so every run pays the full
+	// endpoint cost and the candidate-validation pool is what varies.
+	examples := d.SampleExamples(7, []int{2}, 1)[2]
+	if len(examples) == 0 {
+		return out, nil
+	}
+	tuple := core.Keywords(examples[0]...)
+	synth := func(w int) (time.Duration, error) {
+		e := core.NewEngine(d.Engine.Client, d.Graph, d.Spec.Config())
+		e.DisableMatchCache = true
+		e.Workers = w
+		return bestOf(runs, func() error {
+			_, err := e.SynthesizeAll(context.Background(), []core.ExampleTuple{tuple})
+			return err
+		})
+	}
+	seq, err := synth(1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: synthesize_all sequential: %w", err)
+	}
+	par, err := synth(workers)
+	if err != nil {
+		return nil, fmt.Errorf("bench: synthesize_all parallel: %w", err)
+	}
+	out = append(out, ParallelResult{
+		Name: "synthesize_all", Dataset: d.Spec.Name,
+		SequentialMS: millis(seq), ParallelMS: millis(par), Speedup: ratio(seq, par),
+	})
+	return out, nil
+}
+
+// RunParallelReport runs the parallel benchmark over every preset at
+// the given scale and assembles the report.
+func RunParallelReport(scaleName string, scale Scale, workers, runs int) (*ParallelReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &ParallelReport{
+		Scale:      scaleName,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       runs,
+		Note: "best-of-N wall times; speedup = sequential/parallel. " +
+			"Parallel gains require GOMAXPROCS > 1; on a single-core host " +
+			"expect ~1x with small scheduling overhead.",
+	}
+	for _, spec := range scale.Specs() {
+		d, err := Prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunParallelBench(d, workers, runs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, rs...)
+	}
+	return rep, nil
+}

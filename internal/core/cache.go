@@ -15,6 +15,10 @@ type matchCache struct {
 	max  int
 	ll   *list.List
 	byKV map[string]*list.Element
+	// inflight holds one flight per key currently being resolved, so
+	// concurrent misses coalesce into a single endpoint query
+	// (single-flight). Entries are removed when the leader finishes.
+	inflight map[string]*flight
 }
 
 type cacheEntry struct {
@@ -22,8 +26,50 @@ type cacheEntry struct {
 	matches []Match
 }
 
+// flight is one in-progress resolution: the leader closes done after
+// publishing ms/err, and followers read them only after done.
+type flight struct {
+	done chan struct{}
+	ms   []Match
+	err  error
+}
+
 func newMatchCache(max int) *matchCache {
-	return &matchCache{max: max, ll: list.New(), byKV: map[string]*list.Element{}}
+	return &matchCache{
+		max:      max,
+		ll:       list.New(),
+		byKV:     map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// lookupOrStart atomically checks the cache and the in-flight table:
+// a hit returns the cached matches; a miss with a resolution already
+// in flight returns that flight to wait on; otherwise the caller
+// becomes the leader of a new flight (last result true) and must call
+// endFlight when done.
+func (c *matchCache) lookupOrStart(key string) ([]Match, bool, *flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKV[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).matches, true, nil, false
+	}
+	if f, ok := c.inflight[key]; ok {
+		return nil, false, f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return nil, false, f, true
+}
+
+// endFlight publishes the leader's outcome and wakes the followers.
+func (c *matchCache) endFlight(key string, f *flight, ms []Match, err error) {
+	c.mu.Lock()
+	f.ms, f.err = ms, err
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
 }
 
 // get returns the cached matches and whether the key was present.

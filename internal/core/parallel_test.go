@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/testkg"
+)
+
+// parFixture builds an engine over the standard fixture with the given
+// worker count, exposing the counting in-process client.
+func parFixture(t *testing.T, workers int) (*Engine, *endpoint.InProcess) {
+	t.Helper()
+	_, c, g := testkg.BootstrapFixture(t, nil)
+	e := NewEngine(c, g, testkg.Config())
+	e.Workers = workers
+	return e, c
+}
+
+func descriptions(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Query.Description
+	}
+	return out
+}
+
+// TestSynthesizeAllParallelMatchesSequential asserts the parallel
+// validation path reproduces the sequential candidate set exactly,
+// including order, for single- and multi-item examples.
+func TestSynthesizeAllParallelMatchesSequential(t *testing.T) {
+	inputs := [][]ExampleTuple{
+		{Keywords("Germany")},
+		{Keywords("Germany", "2014")},
+		{Keywords("Germany", "2014"), Keywords("France", "2015")},
+		{Keywords("Asia")},
+	}
+	for _, tuples := range inputs {
+		seq, _ := parFixture(t, 1)
+		par, _ := parFixture(t, 4)
+		want, err := seq.SynthesizeAll(context.Background(), tuples)
+		if err != nil {
+			t.Fatalf("sequential %v: %v", tuples, err)
+		}
+		got, err := par.SynthesizeAll(context.Background(), tuples)
+		if err != nil {
+			t.Fatalf("parallel %v: %v", tuples, err)
+		}
+		wd, gd := descriptions(want), descriptions(got)
+		if len(wd) != len(gd) {
+			t.Fatalf("%v: candidates %d (par) vs %d (seq):\npar: %v\nseq: %v", tuples, len(gd), len(wd), gd, wd)
+		}
+		for i := range wd {
+			if wd[i] != gd[i] {
+				t.Errorf("%v: candidate %d: %q (par) vs %q (seq)", tuples, i, gd[i], wd[i])
+			}
+		}
+		if s, p := seq.SkippedCombinations(), par.SkippedCombinations(); s != p {
+			t.Errorf("%v: skipped %d (par) vs %d (seq)", tuples, p, s)
+		}
+	}
+}
+
+// gateClient wraps a client and blocks the first query until released,
+// so a test can guarantee followers pile up behind an in-flight leader.
+type gateClient struct {
+	inner endpoint.Client
+	gate  chan struct{}
+	once  sync.Once
+}
+
+func (c *gateClient) Query(ctx context.Context, q string) (*sparql.Results, error) {
+	c.once.Do(func() {
+		select {
+		case <-c.gate:
+		case <-ctx.Done():
+		}
+	})
+	return c.inner.Query(ctx, q)
+}
+
+// TestMatchItemSingleFlight asserts that N concurrent MatchItem calls
+// for the same keyword issue the queries of exactly one resolution:
+// followers wait on the leader's flight instead of duplicating the
+// endpoint work.
+func TestMatchItemSingleFlight(t *testing.T) {
+	// Baseline: how many endpoint queries does one cold resolution cost?
+	e1, c1 := parFixture(t, 1)
+	if _, err := e1.MatchItem(context.Background(), NewKeyword("Germany")); err != nil {
+		t.Fatal(err)
+	}
+	baseline := c1.QueryCount()
+	if baseline == 0 {
+		t.Fatal("baseline resolution issued no queries")
+	}
+
+	// Concurrent: 8 callers race on a cold cache; the gate holds the
+	// leader's first query until everyone has had time to register as a
+	// follower on the flight.
+	e2, c2 := parFixture(t, 4)
+	gc := &gateClient{inner: e2.Client, gate: make(chan struct{})}
+	e2.Client = gc
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	lens := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms, err := e2.MatchItem(context.Background(), NewKeyword("Germany"))
+			errs[i], lens[i] = err, len(ms)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers reach the flight
+	close(gc.gate)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if lens[i] != lens[0] {
+			t.Errorf("caller %d saw %d matches, caller 0 saw %d", i, lens[i], lens[0])
+		}
+	}
+	if got := c2.QueryCount(); got != baseline {
+		t.Errorf("concurrent resolutions issued %d queries, want %d (single-flight)", got, baseline)
+	}
+}
+
+// failDestWitness injects a permanent-looking transient failure into
+// every witness query that touches the dest dimension, independent of
+// call order — a deterministic way to force degraded mode under both
+// sequential and parallel validation.
+type failDestWitness struct {
+	inner endpoint.Client
+}
+
+func (c *failDestWitness) Query(ctx context.Context, q string) (*sparql.Results, error) {
+	if strings.HasPrefix(q, "SELECT ?x0") && strings.Contains(q, "<"+testkg.NS+"dest>") {
+		return nil, endpoint.MarkRetryable(context.DeadlineExceeded)
+	}
+	return c.inner.Query(ctx, q)
+}
+
+// TestSynthesizeAllDegradedModeParallel asserts the PR-1 degraded-mode
+// semantics survive parallel validation: a transiently failing
+// combination is skipped (and counted), the rest still synthesize, and
+// sequential and parallel agree.
+func TestSynthesizeAllDegradedModeParallel(t *testing.T) {
+	run := func(workers int) ([]string, int64) {
+		e, _ := parFixture(t, workers)
+		e.Client = &failDestWitness{inner: e.Client}
+		cands, err := e.SynthesizeAll(context.Background(), []ExampleTuple{Keywords("Germany")})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return descriptions(cands), e.SkippedCombinations()
+	}
+	seqDesc, seqSkip := run(1)
+	parDesc, parSkip := run(4)
+	if seqSkip != 1 || parSkip != 1 {
+		t.Errorf("skipped: seq=%d par=%d, want 1 each", seqSkip, parSkip)
+	}
+	if len(seqDesc) != len(parDesc) {
+		t.Fatalf("candidates: seq=%v par=%v", seqDesc, parDesc)
+	}
+	for i := range seqDesc {
+		if seqDesc[i] != parDesc[i] {
+			t.Errorf("candidate %d: seq=%q par=%q", i, seqDesc[i], parDesc[i])
+		}
+	}
+	for _, d := range seqDesc {
+		if strings.Contains(d, "Dest") || strings.Contains(d, "dest") {
+			t.Errorf("dest combination should have been skipped, got %q", d)
+		}
+	}
+}
+
+// TestSynthesizeAllPoolLargerThanLimiter drives a worker pool through a
+// resilient client whose MaxInFlight is far smaller than the pool:
+// excess workers must queue on the limiter, not deadlock.
+func TestSynthesizeAllPoolLargerThanLimiter(t *testing.T) {
+	_, c, g := testkg.BootstrapFixture(t, nil)
+	noSleep := func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	rc := endpoint.NewResilient(c, endpoint.Policy{MaxRetries: 2, MaxInFlight: 2, Sleep: noSleep})
+	e := NewEngine(rc, g, testkg.Config())
+	e.Workers = 8
+
+	done := make(chan struct{})
+	var cands []Candidate
+	var err error
+	go func() {
+		defer close(done)
+		cands, err = e.SynthesizeAll(context.Background(),
+			[]ExampleTuple{Keywords("Germany", "2014"), Keywords("France", "2015")})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SynthesizeAll deadlocked with Workers=8 over MaxInFlight=2")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates synthesized")
+	}
+}
+
+// TestSynthesizeAllConcurrentEngines hammers one shared engine from
+// several goroutines (the -race check for the cache, single-flight
+// table, and skip counter).
+func TestSynthesizeAllConcurrentEngines(t *testing.T) {
+	e, _ := parFixture(t, 4)
+	inputs := []ExampleTuple{
+		Keywords("Germany"),
+		Keywords("Asia"),
+		Keywords("Germany", "2014"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := e.SynthesizeAll(context.Background(), []ExampleTuple{inputs[(g+i)%len(inputs)]}); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

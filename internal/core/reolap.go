@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/par"
 	"re2xolap/internal/qb"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/vgraph"
@@ -33,6 +34,13 @@ type Engine struct {
 	// DisableMatchCache turns off the keyword-match LRU (used by the
 	// ablation benchmarks).
 	DisableMatchCache bool
+	// Workers bounds the concurrent endpoint queries SynthesizeAll may
+	// have in flight for matching and combination validation. 0 means
+	// GOMAXPROCS; 1 selects the sequential baseline. The pool composes
+	// with a resilient client's MaxInFlight limiter without deadlock:
+	// the limiter slot is acquired per query and released when the
+	// query returns, so a pool larger than the limiter merely queues.
+	Workers int
 
 	cache *matchCache
 
@@ -72,22 +80,40 @@ func (e *Engine) InvalidateCache() {
 // MatchItem resolves one example item to its possible interpretations
 // (Algorithm 1, lines 2–5): dimension members at specific levels.
 // Results are cached per item (LRU), since exploratory sessions
-// re-resolve the same keywords repeatedly.
+// re-resolve the same keywords repeatedly. Concurrent misses for the
+// same key coalesce into a single endpoint resolution (single-flight):
+// followers wait for the leader's result instead of issuing duplicate
+// keyword searches.
 func (e *Engine) MatchItem(ctx context.Context, item ExampleItem) ([]Match, error) {
+	if e.DisableMatchCache || e.cache == nil {
+		return e.matchItemUncached(ctx, item)
+	}
 	cacheKey := item.Keyword + "\x00" + item.IRI
-	if !e.DisableMatchCache && e.cache != nil {
-		if ms, ok := e.cache.get(cacheKey); ok {
+	for {
+		ms, hit, f, leader := e.cache.lookupOrStart(cacheKey)
+		if hit {
 			return ms, nil
 		}
+		if leader {
+			ms, err := e.matchItemUncached(ctx, item)
+			if err == nil {
+				e.cache.put(cacheKey, ms)
+			}
+			e.cache.endFlight(cacheKey, f, ms, err)
+			return ms, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-f.done:
+		}
+		if f.err == nil {
+			return f.ms, nil
+		}
+		// The leader failed — possibly transiently, possibly because its
+		// own context was cancelled. Retry as leader rather than
+		// propagating an error that was scoped to another caller.
 	}
-	ms, err := e.matchItemUncached(ctx, item)
-	if err != nil {
-		return nil, err
-	}
-	if !e.DisableMatchCache && e.cache != nil {
-		e.cache.put(cacheKey, ms)
-	}
-	return ms, nil
 }
 
 func (e *Engine) matchItemUncached(ctx context.Context, item ExampleItem) ([]Match, error) {
@@ -239,15 +265,22 @@ func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Ca
 	// members per tuple.
 	interps := make([][]interpretation, k)
 	for i := 0; i < k; i++ {
+		// Resolve item i of every tuple. Resolutions are independent
+		// endpoint queries, so they run concurrently; the single-flight
+		// match cache coalesces tuples sharing a keyword into one query.
+		perTuple := make([][]Match, len(tuples))
+		if err := par.Do(e.workers(), len(tuples), func(ti int) error {
+			ms, err := e.MatchItem(ctx, tuples[ti][i])
+			perTuple[ti] = ms
+			return err
+		}); err != nil {
+			return nil, err
+		}
 		// level key → per-tuple matches
 		byLevel := map[string][]([]Match){}
 		levels := map[string]*vgraph.Level{}
-		for ti, t := range tuples {
-			ms, err := e.MatchItem(ctx, t[i])
-			if err != nil {
-				return nil, err
-			}
-			for _, m := range ms {
+		for ti := range tuples {
+			for _, m := range perTuple[ti] {
 				key := m.Level.Key()
 				if _, ok := byLevel[key]; !ok {
 					byLevel[key] = make([][]Match, len(tuples))
@@ -280,7 +313,15 @@ func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Ca
 	}
 
 	// Cartesian combination (Algorithm 1, lines 6–9) with a safety cap.
-	var out []Candidate
+	// Enumeration runs first — the per-combination checks (distinct
+	// dimensions, dedupe by level set) are cheap and order-dependent —
+	// and the surviving combinations then validate against the endpoint
+	// concurrently.
+	type comboTask struct {
+		levels  []*vgraph.Level
+		members [][][]Match
+	}
+	var tasks []comboTask
 	seen := map[string]bool{}
 	idx := make([]int, k)
 	combos := 0
@@ -293,23 +334,9 @@ func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Ca
 		for i := range idx {
 			combo[i] = interps[i][idx[i]]
 		}
-		cand, ok, err := e.tryCombination(ctx, tuples, combo2levels(combo), combo2members(combo), seen)
-		switch {
-		case err == nil:
-			if ok {
-				out = append(out, cand)
-			}
-		case endpoint.Transient(err) && !errors.Is(err, endpoint.ErrCircuitOpen) && ctx.Err() == nil:
-			// One validation query failed transiently even after the
-			// client's retries. Degrade: skip this combination and keep
-			// synthesizing — partial candidates beat losing the whole
-			// run. The skip is observable via SkippedCombinations.
-			e.skipped.Add(1)
-		default:
-			// Permanent failures mean the generated SPARQL is wrong
-			// (a bug), and an open circuit means every remaining
-			// validation would fail too: abort either way.
-			return nil, err
+		levels := combo2levels(combo)
+		if dedupeCombination(levels, seen) {
+			tasks = append(tasks, comboTask{levels: levels, members: combo2members(combo)})
 		}
 		// advance the odometer
 		pos := k - 1
@@ -325,11 +352,68 @@ func (e *Engine) SynthesizeAll(ctx context.Context, tuples []ExampleTuple) ([]Ca
 			break
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+
+	// Validate concurrently over the worker pool. A worker observing a
+	// prior abort decision does not start new endpoint queries; since
+	// par.Do dispatches tasks in index order, every unstarted task has
+	// a higher index than the first aborting one, so the ordered scan
+	// below reproduces the sequential semantics exactly: candidates in
+	// enumeration order, transient skips counted up to the first abort,
+	// and the first abort error (by enumeration order) returned.
+	type comboResult struct {
+		cand Candidate
+		ok   bool
+		err  error
+		skip bool // transient failure: degrade instead of aborting
+	}
+	results := make([]comboResult, len(tasks))
+	var aborted atomic.Bool
+	par.Do(e.workers(), len(tasks), func(i int) error {
+		if aborted.Load() {
+			return nil
+		}
+		cand, ok, err := e.validateCombination(ctx, tuples, tasks[i].levels, tasks[i].members)
+		r := comboResult{cand: cand, ok: ok, err: err}
+		if err != nil {
+			// Classify now, not at scan time: the degrade conditions
+			// (circuit state, context liveness) must reflect the moment
+			// the validation failed, as they do sequentially.
+			r.skip = endpoint.Transient(err) && !errors.Is(err, endpoint.ErrCircuitOpen) && ctx.Err() == nil
+			if !r.skip {
+				// Permanent failures mean the generated SPARQL is wrong
+				// (a bug), and an open circuit means every remaining
+				// validation would fail too: abort either way.
+				aborted.Store(true)
+			}
+		}
+		results[i] = r
+		return nil
+	})
+	var out []Candidate
+	for _, r := range results {
+		switch {
+		case r.err == nil:
+			if r.ok {
+				out = append(out, r.cand)
+			}
+		case r.skip:
+			// One validation query failed transiently even after the
+			// client's retries. Degrade: skip this combination and keep
+			// synthesizing — partial candidates beat losing the whole
+			// run. The skip is observable via SkippedCombinations.
+			e.skipped.Add(1)
+		default:
+			return nil, r.err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
 		return out[i].Query.Description < out[j].Query.Description
 	})
 	return out, nil
 }
+
+// workers resolves the engine's validation concurrency.
+func (e *Engine) workers() int { return par.Workers(e.Workers) }
 
 func combo2levels(combo []interpretation) []*vgraph.Level {
 	ls := make([]*vgraph.Level, len(combo))
@@ -354,14 +438,15 @@ type interpretation struct {
 	members [][]Match
 }
 
-// tryCombination enforces the minimality criteria (distinct
-// dimensions), deduplicates by level set, validates the combination
-// against the data, and assembles the candidate query.
-func (e *Engine) tryCombination(ctx context.Context, tuples []ExampleTuple, levels []*vgraph.Level, members [][][]Match, seen map[string]bool) (Candidate, bool, error) {
+// dedupeCombination enforces the minimality criteria (distinct
+// dimensions) and deduplicates by level set, recording new level sets
+// in seen. It is the cheap, order-dependent half of what used to be
+// tryCombination and must run sequentially in enumeration order.
+func dedupeCombination(levels []*vgraph.Level, seen map[string]bool) bool {
 	dims := map[string]bool{}
 	for _, l := range levels {
 		if dims[l.Dimension] {
-			return Candidate{}, false, nil // duplicate dimension
+			return false // duplicate dimension
 		}
 		dims[l.Dimension] = true
 	}
@@ -372,10 +457,16 @@ func (e *Engine) tryCombination(ctx context.Context, tuples []ExampleTuple, leve
 	sort.Strings(keys)
 	comboKey := strings.Join(keys, "\x01")
 	if seen[comboKey] {
-		return Candidate{}, false, nil
+		return false
 	}
 	seen[comboKey] = true
+	return true
+}
 
+// validateCombination validates one deduplicated combination against
+// the data and assembles the candidate query. It touches no shared
+// engine state, so combinations validate concurrently.
+func (e *Engine) validateCombination(ctx context.Context, tuples []ExampleTuple, levels []*vgraph.Level, members [][][]Match) (Candidate, bool, error) {
 	// Validate: every tuple must be witnessed by an observation linking
 	// all its members simultaneously (correctness, Section 5.3). The
 	// first tuple's witnessing members anchor the query example.

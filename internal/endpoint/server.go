@@ -26,6 +26,10 @@ func NewServer(st *store.Store) *Server {
 	return &Server{engine: sparql.NewEngine(st), MaxQueryLen: 1 << 20}
 }
 
+// Engine exposes the server's query engine so callers can tune its
+// execution options (e.g. worker count) before serving.
+func (s *Server) Engine() *sparql.Engine { return s.engine }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var query string

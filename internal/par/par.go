@@ -1,0 +1,100 @@
+// Package par provides the small bounded-worker-pool primitives shared
+// by the parallel query pipeline: the SPARQL executor fans row chunks
+// out over one, synthesis validates interpretation combinations over
+// another. The helpers are deliberately deterministic-friendly — work
+// items are indexed, results land in caller-owned slots, and the first
+// error *by index* (not by wall-clock) wins — so callers can merge
+// partial results in input order and reproduce sequential output
+// byte for byte.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: n > 0 is taken as-is, and
+// anything else means GOMAXPROCS (the "use the machine" default).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(0), fn(1), …, fn(n-1) on at most workers goroutines and
+// returns the error from the lowest index that failed, or nil. Every
+// index is invoked exactly once regardless of other indexes' errors;
+// callers that want early abort should latch their own flag inside fn
+// (see core.SynthesizeAll). With workers <= 1 the calls run inline on
+// the caller's goroutine, in index order, which is the sequential
+// debugging path.
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chunks splits the half-open range [0, n) into at most workers
+// contiguous chunks of near-equal size and reports each as a [lo, hi)
+// pair. It never returns empty chunks; with n == 0 it returns nil.
+func Chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package sparql
+
+import (
+	"strings"
+	"sync"
+
+	"re2xolap/internal/par"
+	"re2xolap/internal/rdf"
+)
+
+// Sharded partial aggregation (Path A of the parallel GROUP BY plan):
+// input rows are split into contiguous shards, each shard folds its
+// rows into per-group partial states, and the shard tables merge in
+// shard order. Only aggregates whose partial states merge exactly take
+// this path — any DISTINCT aggregate needs a global dedup set and
+// falls back to sharded grouping with per-group sequential evaluation.
+//
+// Merge exactness: COUNT partials add; SUM/AVG carry (sum, count)
+// pairs that add; MIN/MAX compare with the same orderLess rule the
+// sequential fold uses, keeping the earlier shard's value on ties;
+// SAMPLE keeps the first bound value in shard order; GROUP_CONCAT
+// concatenates part lists in shard order. Because shards are
+// contiguous row ranges merged in order, every one of these reproduces
+// the sequential left-to-right fold. The one caveat is floating-point
+// SUM/AVG: addition is reassociated across shards, which can differ
+// from the sequential sum in the last bits for non-integer data (the
+// paper's measures are integers, where addition is exact).
+
+// mergeableAggs reports whether every aggregate can be computed by
+// merging per-shard partial states.
+func mergeableAggs(aggs []AggExpr) bool {
+	for _, a := range aggs {
+		if a.Distinct {
+			return false
+		}
+		switch a.Fn {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// aggPartial is the partial state of one aggregate over one group
+// within one shard. Only the fields for the aggregate's function are
+// used.
+type aggPartial struct {
+	n      int     // COUNT
+	sum    float64 // SUM / AVG
+	cnt    int     // AVG (and SUM's valid-value count)
+	best   Value   // MIN / MAX
+	sample Value   // SAMPLE: first bound value
+	parts  []string
+}
+
+// partialGroup is one group's representative row plus one partial
+// state per aggregate.
+type partialGroup struct {
+	rep   row
+	parts []aggPartial
+}
+
+// updatePartial folds one row into a partial state, mirroring one
+// iteration of computeAggregate's per-row loop.
+func (ex *executor) updatePartial(p *aggPartial, a AggExpr, r row) {
+	switch a.Fn {
+	case "COUNT":
+		if a.Arg == nil {
+			p.n++
+			return
+		}
+		v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+		if err != nil || !v.Bound {
+			return
+		}
+		p.n++
+	case "SUM", "AVG":
+		v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+		if err != nil || !v.Bound {
+			return
+		}
+		n, err := v.numeric()
+		if err != nil {
+			return
+		}
+		p.sum += n
+		p.cnt++
+	case "MIN", "MAX":
+		v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+		if err != nil || !v.Bound {
+			return
+		}
+		if !p.best.Bound {
+			p.best = v
+			return
+		}
+		if a.Fn == "MIN" && orderLess(v, p.best) || a.Fn == "MAX" && orderLess(p.best, v) {
+			p.best = v
+		}
+	case "SAMPLE":
+		if p.sample.Bound {
+			return
+		}
+		v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+		if err == nil && v.Bound {
+			p.sample = v
+		}
+	case "GROUP_CONCAT":
+		v, err := evalExpr(a.Arg, rowBinding{ex: ex, r: r})
+		if err != nil || !v.Bound {
+			return
+		}
+		p.parts = append(p.parts, v.Term.Value)
+	}
+}
+
+// mergePartial folds src (the later shard) into dst (the earlier
+// shard); ties and first-value rules keep the earlier shard's state,
+// matching the sequential fold.
+func mergePartial(dst, src *aggPartial, a AggExpr) {
+	switch a.Fn {
+	case "COUNT":
+		dst.n += src.n
+	case "SUM", "AVG":
+		dst.sum += src.sum
+		dst.cnt += src.cnt
+	case "MIN", "MAX":
+		if !src.best.Bound {
+			return
+		}
+		if !dst.best.Bound {
+			dst.best = src.best
+			return
+		}
+		if a.Fn == "MIN" && orderLess(src.best, dst.best) || a.Fn == "MAX" && orderLess(dst.best, src.best) {
+			dst.best = src.best
+		}
+	case "SAMPLE":
+		if !dst.sample.Bound {
+			dst.sample = src.sample
+		}
+	case "GROUP_CONCAT":
+		dst.parts = append(dst.parts, src.parts...)
+	}
+}
+
+// finalizePartial turns a merged partial state into the aggregate's
+// value, matching computeAggregate's result for every case including
+// empty groups (COUNT → 0, SUM → 0, AVG/MIN/MAX/SAMPLE → unbound,
+// GROUP_CONCAT → bound empty string).
+func finalizePartial(p *aggPartial, a AggExpr) Value {
+	switch a.Fn {
+	case "COUNT":
+		return numValue(float64(p.n))
+	case "SUM":
+		return numValue(p.sum)
+	case "AVG":
+		if p.cnt == 0 {
+			return Value{}
+		}
+		return numValue(p.sum / float64(p.cnt))
+	case "MIN", "MAX":
+		return p.best
+	case "SAMPLE":
+		return p.sample
+	case "GROUP_CONCAT":
+		sep := a.Sep
+		if sep == "" {
+			sep = " "
+		}
+		return boundValue(rdf.NewString(strings.Join(p.parts, sep)))
+	}
+	return Value{}
+}
+
+// aggregateSharded runs sharded partial aggregation over rows. Shard
+// count comes from ExecOptions.AggShards (default: worker count).
+func (ex *executor) aggregateSharded(rows []row, keySlots []int, aggs []AggExpr) ([]aggGroup, error) {
+	type shard struct {
+		order  []string
+		groups map[string]*partialGroup
+	}
+	chunks := par.Chunks(len(rows), ex.eng.Exec.shards())
+	shards := make([]shard, len(chunks))
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for i, c := range chunks {
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			w := ex.clone()
+			sh := shard{groups: map[string]*partialGroup{}}
+			for _, r := range rows[lo:hi] {
+				if w.cancelled() {
+					break
+				}
+				k := groupKey(r, keySlots)
+				pg, ok := sh.groups[k]
+				if !ok {
+					pg = &partialGroup{rep: r, parts: make([]aggPartial, len(aggs))}
+					sh.groups[k] = pg
+					sh.order = append(sh.order, k)
+				}
+				for ai := range aggs {
+					w.updatePartial(&pg.parts[ai], aggs[ai], r)
+				}
+			}
+			shards[i] = sh
+		}(i, c[0], c[1])
+	}
+	wg.Wait()
+	if err := ex.ctxErr(); err != nil {
+		return nil, err
+	}
+	merged := map[string]*partialGroup{}
+	var order []string
+	for _, sh := range shards {
+		for _, k := range sh.order {
+			src := sh.groups[k]
+			dst, ok := merged[k]
+			if !ok {
+				merged[k] = src
+				order = append(order, k)
+				continue
+			}
+			for ai := range aggs {
+				mergePartial(&dst.parts[ai], &src.parts[ai], aggs[ai])
+			}
+		}
+	}
+	out := make([]aggGroup, len(order))
+	for i, k := range order {
+		pg := merged[k]
+		vals := make([]Value, len(aggs))
+		for ai := range aggs {
+			vals[ai] = finalizePartial(&pg.parts[ai], aggs[ai])
+		}
+		out[i] = aggGroup{rep: pg.rep, vals: vals}
+	}
+	return out, nil
+}

@@ -5,14 +5,24 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"re2xolap/internal/par"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/store"
 )
 
-// Engine executes parsed queries against a store.
+// Engine executes parsed queries against a store. An Engine is safe
+// for concurrent use: each query takes an immutable store view at
+// start (snapshot isolation) and keeps all mutable evaluation state in
+// a per-query executor.
 type Engine struct {
 	st *store.Store
+	// Exec configures intra-query parallelism; the zero value means
+	// GOMAXPROCS workers (see ExecOptions). Set Exec.Workers = 1 for
+	// the sequential debugging baseline.
+	Exec ExecOptions
 	// DisableTextIndex turns off the full-text rewrite of keyword
 	// filters (used by the ablation benchmarks).
 	DisableTextIndex bool
@@ -54,7 +64,18 @@ func (e *Engine) Query(q *Query) (*Results, error) {
 // paper's evaluation relies on endpoint timeouts for the similarity
 // blow-up cases).
 func (e *Engine) QueryContext(ctx context.Context, q *Query) (*Results, error) {
-	ex := &executor{eng: e, st: e.st, dict: e.st.Dict(), slots: map[string]int{}, ctx: ctx}
+	return e.queryWithView(ctx, q, e.st.View())
+}
+
+// queryWithView executes q against an already-taken store view, so
+// subqueries share the outer query's snapshot.
+func (e *Engine) queryWithView(ctx context.Context, q *Query, view *store.View) (*Results, error) {
+	ex := &executor{
+		eng: e, view: view, dict: view.Dict(),
+		slots: map[string]int{}, ctx: ctx,
+		workers: e.Exec.workers(), threshold: e.Exec.threshold(),
+		dead: new(atomic.Bool),
+	}
 	// Short-circuit budget: ASK and plain LIMIT queries stop the join
 	// as soon as enough full solutions exist, so their cost does not
 	// grow with the number of matching observations (mirroring a real
@@ -94,24 +115,32 @@ func (e *Engine) QueryContext(ctx context.Context, q *Query) (*Results, error) {
 }
 
 // executor holds per-query state: the variable slot table and the
-// binding rows.
+// binding rows. Parallel stages run on clones (see clone) that share
+// the view, context, and cancellation latch but own everything
+// mutable.
 type executor struct {
 	eng    *Engine
-	st     *store.Store
+	view   *store.View
 	dict   *store.Dict
 	slots  map[string]int
 	varSeq []string // slot → name, in first-seen order
 	// limit > 0 enables the short-circuit DFS join: evaluation stops
 	// once that many full solutions exist.
 	limit int
+	// workers/threshold are the resolved parallelism settings for this
+	// query; clones run with workers = 1.
+	workers   int
+	threshold int
 	// ctx cancels long joins; ticks counts row extensions between
 	// cancellation checks; dead latches the first observed
 	// cancellation so every later check aborts immediately (the tick
 	// boundary may land deep in a scan callback whose caller discards
 	// errors — without the latch the rest of the query keeps running).
+	// The latch is shared by all clones of one query, so a cancel seen
+	// by any worker drains the whole pool promptly.
 	ctx   context.Context
 	ticks int
-	dead  bool
+	dead  *atomic.Bool
 }
 
 // cancelCheckInterval is how many row extensions pass between context
@@ -121,7 +150,7 @@ const cancelCheckInterval = 8192
 // cancelled reports whether the query's context has been cancelled,
 // checking at most every cancelCheckInterval calls.
 func (ex *executor) cancelled() bool {
-	if ex.dead {
+	if ex.dead.Load() {
 		return true
 	}
 	if ex.ctx == nil {
@@ -132,7 +161,7 @@ func (ex *executor) cancelled() bool {
 		return false
 	}
 	if ex.ctx.Err() != nil {
-		ex.dead = true
+		ex.dead.Store(true)
 		return true
 	}
 	return false
@@ -230,7 +259,7 @@ func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
 	if !ex.eng.DisableTextIndex {
 		for _, f := range filters {
 			if v, kw, ok := textConstraint(f); ok {
-				rows = ex.joinCandidates(rows, v, ex.st.TextSearch(kw))
+				rows = ex.joinCandidates(rows, v, ex.view.TextSearch(kw))
 			}
 		}
 	}
@@ -453,7 +482,7 @@ func (ex *executor) cheapestPattern(patterns []TriplePattern, bound map[string]b
 	best, bestCost, bestConnected := 0, -1, false
 	for i, tp := range patterns {
 		s, p, o := ex.constID(tp.S), ex.constID(tp.P), ex.constID(tp.O)
-		cost := ex.st.MatchCount(s, p, o)
+		cost := ex.view.MatchCount(s, p, o)
 		div := 1
 		connected := !anyBound
 		for _, n := range []Node{tp.S, tp.P, tp.O} {
@@ -489,8 +518,28 @@ func (ex *executor) constID(n Node) store.ID {
 	return id
 }
 
-// joinPattern extends each row with all matches of tp.
+// joinPattern extends each row with all matches of tp. With enough
+// input rows it fans the scan out over the worker pool: chunks are
+// contiguous and merged in order, so the output is identical to the
+// sequential scan.
 func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
+	// Register pattern variables on this executor before any fan-out so
+	// the parent and every worker clone agree on slot numbering.
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar {
+			ex.slot(n.Var)
+		}
+	}
+	if ex.parallel(len(rows)) {
+		return ex.runRowChunks(rows, func(w *executor, chunk []row) ([]row, error) {
+			return w.joinPatternSeq(chunk, tp)
+		})
+	}
+	return ex.joinPatternSeq(rows, tp)
+}
+
+// joinPatternSeq is the single-goroutine scan loop behind joinPattern.
+func (ex *executor) joinPatternSeq(rows []row, tp TriplePattern) ([]row, error) {
 	type pos struct {
 		slot  int // variable slot, -1 for constants
 		id    store.ID
@@ -523,7 +572,7 @@ func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
 			return r[p.slot]
 		}
 		sID, pID, oID := get(ps), get(pp), get(po)
-		ex.st.Match(sID, pID, oID, func(ts, tp2, to store.ID) bool {
+		ex.view.Match(sID, pID, oID, func(ts, tp2, to store.ID) bool {
 			if ex.cancelled() {
 				stopped = true
 				return false
@@ -566,8 +615,47 @@ func (ex *executor) joinPattern(rows []row, tp TriplePattern) ([]row, error) {
 // greedy heuristic, then solutions are produced one at a time by
 // depth-first backtracking, applying each filter at the first depth
 // where its variables are bound, and stopping at ex.limit solutions.
+// With more than one worker and a budget above one, the search runs in
+// parallel over a depth-1 frontier (see joinDFSPar).
 func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr) ([]row, error) {
-	// Static greedy order, simulating bound variables.
+	plan := ex.planDFS(seed, patterns, filters)
+	// ASK and EXISTS (budget 1) stay sequential: the expected work is a
+	// single path, and widening the frontier would be pure speculation.
+	if ex.workers > 1 && ex.limit != 1 && len(plan.order) > 0 {
+		return ex.joinDFSPar(seed, plan)
+	}
+	return ex.runDFS(seed, plan, 0)
+}
+
+// schedFilter is a filter pinned to the first DFS depth where its
+// variables are all bound; depth -1 means before any pattern join.
+type schedFilter struct {
+	expr  Expr
+	depth int
+}
+
+// dfsPlan is the static part of a short-circuit DFS join: the greedy
+// pattern order and the filter schedule. A plan is immutable once
+// built, so worker clones share it.
+type dfsPlan struct {
+	order []TriplePattern
+	sched []schedFilter
+}
+
+func (p *dfsPlan) filtersAt(depth int) []Expr {
+	var out []Expr
+	for _, sf := range p.sched {
+		if sf.depth == depth {
+			out = append(out, sf.expr)
+		}
+	}
+	return out
+}
+
+// planDFS computes the greedy pattern order (simulating bound
+// variables) and schedules each filter at the first depth where it is
+// evaluable.
+func (ex *executor) planDFS(seed []row, patterns []TriplePattern, filters []Expr) *dfsPlan {
 	bound := map[string]bool{}
 	if len(seed) > 0 {
 		for name, s := range ex.slots {
@@ -592,13 +680,7 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 			}
 		}
 	}
-	// Schedule each filter at the first depth where it is evaluable;
-	// depth -1 means before any pattern join (seed filters).
-	type schedFilter struct {
-		expr  Expr
-		depth int
-	}
-	var sched []schedFilter
+	p := &dfsPlan{order: order}
 	for _, f := range filters {
 		if f == nil || containsAggregate(f) {
 			continue
@@ -624,20 +706,17 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 		if len(order) == 0 {
 			depth = -1
 		}
-		sched = append(sched, schedFilter{expr: f, depth: depth})
+		p.sched = append(p.sched, schedFilter{expr: f, depth: depth})
 	}
-	filtersAt := func(depth int) []Expr {
-		var out []Expr
-		for _, sf := range sched {
-			if sf.depth == depth {
-				out = append(out, sf.expr)
-			}
-		}
-		return out
-	}
+	return p
+}
 
+// runDFS runs the depth-first join over the seed rows, honouring
+// ex.limit. With fromDepth 0 the seed rows are padded and seed filters
+// applied; with a positive fromDepth the rows are assumed to be
+// already-filtered frontier rows from that depth (parallel workers).
+func (ex *executor) runDFS(seed []row, plan *dfsPlan, fromDepth int) ([]row, error) {
 	var out []row
-	seedFilters := filtersAt(-1)
 	// The DFS explores an unbounded search space before reaching its
 	// solution budget; honour cancellation inside the recursion too.
 	cancelled := false
@@ -647,14 +726,14 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 			cancelled = true
 			return false
 		}
-		if depth == len(order) {
+		if depth == len(plan.order) {
 			out = append(out, r)
 			return len(out) < ex.limit
 		}
 		cont := true
-		for _, nr := range ex.matchOne(r, order[depth]) {
+		for _, nr := range ex.matchOne(r, plan.order[depth]) {
 			ok := true
-			for _, f := range filtersAt(depth) {
+			for _, f := range plan.filtersAt(depth) {
 				keep, err := evalBool(f, rowBinding{ex: ex, r: nr})
 				if err != nil || !keep {
 					ok = false
@@ -668,7 +747,14 @@ func (ex *executor) joinDFS(seed []row, patterns []TriplePattern, filters []Expr
 		}
 		return cont
 	}
+	seedFilters := plan.filtersAt(-1)
 	for _, r := range seed {
+		if fromDepth > 0 {
+			if !rec(r, fromDepth) {
+				break
+			}
+			continue
+		}
 		r = ex.extendOne(r)
 		ok := true
 		for _, f := range seedFilters {
@@ -727,7 +813,7 @@ func (ex *executor) joinSubSelect(rows []row, sub SubSelectElement) ([]row, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := ex.eng.QueryContext(ctx, sub.Query)
+	res, err := ex.eng.queryWithView(ctx, sub.Query, ex.view)
 	if err != nil {
 		return nil, fmt.Errorf("subquery: %w", err)
 	}
@@ -827,7 +913,7 @@ func (ex *executor) joinClosure(rows []row, cp ClosurePattern) ([]row, error) {
 		default:
 			// Both unbound: start from every distinct subject of pid.
 			seen := map[store.ID]bool{}
-			ex.st.Match(0, pid, 0, func(sub, _, _ store.ID) bool {
+			ex.view.Match(0, pid, 0, func(sub, _, _ store.ID) bool {
 				seen[sub] = true
 				return true
 			})
@@ -931,11 +1017,11 @@ func (ex *executor) closureFrom(id store.ID, pid store.ID, forward, includeStart
 				return true
 			}
 			if forward {
-				ex.st.Match(cur, pid, 0, func(_, _, o store.ID) bool {
+				ex.view.Match(cur, pid, 0, func(_, _, o store.ID) bool {
 					return visit(o)
 				})
 			} else {
-				ex.st.Match(0, pid, cur, func(s, _, _ store.ID) bool {
+				ex.view.Match(0, pid, cur, func(s, _, _ store.ID) bool {
 					return visit(s)
 				})
 			}
@@ -962,8 +1048,7 @@ func (ex *executor) joinUnion(rows []row, u UnionElement) ([]row, error) {
 		}
 	}
 	rows = ex.extendRows(rows)
-	var out []row
-	for _, br := range u.Branches {
+	branch := func(w *executor, br []PatternElement) ([]row, error) {
 		var patterns []TriplePattern
 		var filters []Expr
 		for _, el := range br {
@@ -978,14 +1063,47 @@ func (ex *executor) joinUnion(rows []row, u UnionElement) ([]row, error) {
 		for i, r := range rows {
 			seed[i] = append(row(nil), r...)
 		}
-		joined, err := ex.joinPatterns(seed, patterns, filters)
+		joined, err := w.joinPatterns(seed, patterns, filters)
 		if err != nil {
 			return nil, err
 		}
 		for _, f := range filters {
 			if f != nil {
-				joined = ex.applyFilter(joined, f)
+				joined = w.applyFilter(joined, f)
 			}
+		}
+		return joined, nil
+	}
+	// Branches are independent inner joins over the same seed, so they
+	// run concurrently (each on a clone); concatenating the branch
+	// results in branch order reproduces the sequential output exactly.
+	if ex.workers > 1 && len(u.Branches) > 1 {
+		outs := make([][]row, len(u.Branches))
+		err := par.Do(ex.workers, len(u.Branches), func(i int) error {
+			berr := error(nil)
+			outs[i], berr = branch(ex.clone(), u.Branches[i])
+			if berr != nil {
+				ex.dead.Store(true)
+			}
+			return berr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ex.ctxErr(); err != nil {
+			return nil, err
+		}
+		var out []row
+		for _, o := range outs {
+			out = append(out, o...)
+		}
+		return ex.extendRows(out), nil
+	}
+	var out []row
+	for _, br := range u.Branches {
+		joined, err := branch(ex, br)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, joined...)
 	}
@@ -1052,7 +1170,25 @@ func (b rowBinding) value(name string) Value {
 	return boundValue(b.ex.dict.Decode(b.r[s]))
 }
 
+// applyFilter keeps the rows satisfying f. Large inputs are filtered
+// in parallel chunks; since chunks are contiguous and merged in order,
+// the surviving rows keep their input order either way.
 func (ex *executor) applyFilter(rows []row, f Expr) []row {
+	if ex.parallel(len(rows)) {
+		out, err := ex.runRowChunks(rows, func(w *executor, chunk []row) ([]row, error) {
+			return w.applyFilterSeq(chunk, f), nil
+		})
+		if err != nil {
+			// Only a context error can land here; drop the rows and let
+			// the caller's context check surface it.
+			return nil
+		}
+		return out
+	}
+	return ex.applyFilterSeq(rows, f)
+}
+
+func (ex *executor) applyFilterSeq(rows []row, f Expr) []row {
 	out := rows[:0]
 	for _, r := range rows {
 		keep, err := evalBool(f, rowBinding{ex: ex, r: r})
@@ -1078,8 +1214,11 @@ func (ex *executor) project(q *Query, rows []row) (*Results, error) {
 	for _, it := range items {
 		res.Vars = append(res.Vars, it.Var)
 	}
-	for _, r := range rows {
-		b := rowBinding{ex: ex, r: r}
+	// Rendering decodes one term per output cell; with many rows it
+	// fans out over the workers, each writing its own index range.
+	res.Rows = make([][]rdf.Term, len(rows))
+	ex.runIndexed(len(rows), ex.parallel(len(rows)), func(w *executor, ri int) {
+		b := rowBinding{ex: w, r: rows[ri]}
 		line := make([]rdf.Term, len(items))
 		for i, it := range items {
 			if it.Expr == nil {
@@ -1092,7 +1231,10 @@ func (ex *executor) project(q *Query, rows []row) (*Results, error) {
 				}
 			}
 		}
-		res.Rows = append(res.Rows, line)
+		res.Rows[ri] = line
+	})
+	if err := ex.ctxErr(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -1148,46 +1290,31 @@ type group struct {
 	rows []row
 }
 
-// aggregate builds the result set for a GROUP BY / aggregate query.
-func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
-	keySlots := make([]int, len(q.GroupBy))
-	for i, v := range q.GroupBy {
-		keySlots[i] = ex.slot(v)
-	}
-	rows = ex.extendRows(rows)
-	groups := map[string]*group{}
-	var order []string
-	for _, r := range rows {
-		if ex.cancelled() {
-			return nil, ex.ctx.Err()
-		}
-		var kb strings.Builder
-		for _, s := range keySlots {
-			fmt.Fprintf(&kb, "%d,", r[s])
-		}
-		k := kb.String()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{rep: r}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.rows = append(g.rows, r)
-	}
-	// A query with aggregates but no GROUP BY over zero rows yields one
-	// empty group (COUNT = 0).
-	if len(groups) == 0 && len(q.GroupBy) == 0 {
-		groups[""] = &group{rep: make(row, len(ex.varSeq))}
-		order = append(order, "")
-	}
+// aggGroup is one finished group: its representative row (for GROUP BY
+// key variables) and the precomputed value of every aggregate.
+type aggGroup struct {
+	rep  row
+	vals []Value
+}
 
-	// Collect every aggregate expression used anywhere.
+// groupKey renders a row's GROUP BY key slots into a map key.
+func groupKey(r row, keySlots []int) string {
+	var kb strings.Builder
+	for _, s := range keySlots {
+		fmt.Fprintf(&kb, "%d,", r[s])
+	}
+	return kb.String()
+}
+
+// collectAggs gathers every distinct aggregate expression used in the
+// projection, HAVING, or ORDER BY, with an index by rendered form.
+func collectAggs(q *Query) ([]AggExpr, map[string]int) {
 	var aggs []AggExpr
-	seen := map[string]int{}
+	idx := map[string]int{}
 	collect := func(e Expr) {
 		walkAggregates(e, func(a AggExpr) {
-			if _, dup := seen[a.String()]; !dup {
-				seen[a.String()] = len(aggs)
+			if _, dup := idx[a.String()]; !dup {
+				idx[a.String()] = len(aggs)
 				aggs = append(aggs, a)
 			}
 		})
@@ -1203,24 +1330,72 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 	for _, o := range q.OrderBy {
 		collect(o.Expr)
 	}
+	return aggs, idx
+}
+
+// aggregate builds the result set for a GROUP BY / aggregate query.
+// Two parallel plans exist: when every aggregate is partial-mergeable
+// (non-DISTINCT), the input rows are sharded and each shard folds its
+// rows into per-group partial states that merge exactly (sharded
+// partial aggregation); otherwise groups are built by sharded
+// grouping and each group is evaluated sequentially, with groups
+// spread over the workers. Both plans reproduce the sequential output
+// exactly: shards are contiguous row ranges merged in order, so group
+// first-appearance order and within-group row order are preserved.
+func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
+	keySlots := make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		keySlots[i] = ex.slot(v)
+	}
+	rows = ex.extendRows(rows)
+	aggs, aggIdx := collectAggs(q)
+
+	var ags []aggGroup
+	if ex.parallel(len(rows)) && mergeableAggs(aggs) {
+		var err error
+		ags, err = ex.aggregateSharded(rows, keySlots, aggs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		order, groups, err := ex.buildGroups(rows, keySlots)
+		if err != nil {
+			return nil, err
+		}
+		// A query with aggregates but no GROUP BY over zero rows yields
+		// one empty group (COUNT = 0).
+		if len(order) == 0 && len(q.GroupBy) == 0 {
+			groups[""] = &group{rep: make(row, len(ex.varSeq))}
+			order = append(order, "")
+		}
+		ags = make([]aggGroup, len(order))
+		// Each group evaluates independently; with several groups the
+		// per-group work (DISTINCT sets, expression evaluation per row)
+		// spreads over the workers even below the row threshold.
+		ex.runIndexed(len(order), ex.workers > 1 && len(order) > 1, func(w *executor, i int) {
+			g := groups[order[i]]
+			vals := make([]Value, len(aggs))
+			for ai, a := range aggs {
+				vals[ai] = w.computeAggregate(a, g)
+			}
+			ags[i] = aggGroup{rep: g.rep, vals: vals}
+		})
+	}
+	if err := ex.ctxErr(); err != nil {
+		// computeAggregate bails out mid-group on cancellation; do not
+		// emit rows built from partial aggregates.
+		return nil, err
+	}
 
 	res := &Results{}
 	for _, it := range q.Select {
 		res.Vars = append(res.Vars, it.Var)
 	}
-	for _, k := range order {
-		// Aggregation over many groups (or one huge group inside
-		// computeAggregate) is a long loop: honour the deadline between
-		// groups so a server-side timeout stops work promptly.
+	for _, ag := range ags {
 		if err := ex.ctxErr(); err != nil {
 			return nil, err
 		}
-		g := groups[k]
-		vals := make([]Value, len(aggs))
-		for i, a := range aggs {
-			vals[i] = ex.computeAggregate(a, g)
-		}
-		gb := groupBinding{ex: ex, g: g, aggVals: vals, aggIdx: seen}
+		gb := groupBinding{ex: ex, rep: ag.rep, aggVals: ag.vals, aggIdx: aggIdx}
 		// HAVING
 		keep := true
 		for _, h := range q.Having {
@@ -1232,11 +1407,6 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 		}
 		if !keep {
 			continue
-		}
-		if err := ex.ctxErr(); err != nil {
-			// computeAggregate bails out mid-group on cancellation; do
-			// not emit a row built from a partial aggregate.
-			return nil, err
 		}
 		line := make([]rdf.Term, len(q.Select))
 		for i, it := range q.Select {
@@ -1259,21 +1429,86 @@ func (ex *executor) aggregate(q *Query, rows []row) (*Results, error) {
 	return res, nil
 }
 
+// buildGroups partitions rows into GROUP BY groups, preserving
+// first-appearance group order and within-group row order. Large
+// inputs shard the grouping over the workers and merge the shard
+// tables in shard order, which reproduces the sequential order exactly
+// because shards are contiguous row ranges.
+func (ex *executor) buildGroups(rows []row, keySlots []int) ([]string, map[string]*group, error) {
+	if !ex.parallel(len(rows)) {
+		return ex.buildGroupsSeq(rows, keySlots)
+	}
+	chunks := par.Chunks(len(rows), ex.eng.Exec.shards())
+	type shard struct {
+		order  []string
+		groups map[string]*group
+	}
+	shards := make([]shard, len(chunks))
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for i, c := range chunks {
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			w := ex.clone()
+			order, groups, _ := w.buildGroupsSeq(rows[lo:hi], keySlots)
+			shards[i] = shard{order: order, groups: groups}
+		}(i, c[0], c[1])
+	}
+	wg.Wait()
+	if err := ex.ctxErr(); err != nil {
+		return nil, nil, err
+	}
+	merged := map[string]*group{}
+	var order []string
+	for _, sh := range shards {
+		for _, k := range sh.order {
+			src := sh.groups[k]
+			dst, ok := merged[k]
+			if !ok {
+				merged[k] = src
+				order = append(order, k)
+				continue
+			}
+			dst.rows = append(dst.rows, src.rows...)
+		}
+	}
+	return order, merged, nil
+}
+
+func (ex *executor) buildGroupsSeq(rows []row, keySlots []int) ([]string, map[string]*group, error) {
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		if ex.cancelled() {
+			return nil, nil, ex.ctxErr()
+		}
+		k := groupKey(r, keySlots)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: r}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	return order, groups, nil
+}
+
 // groupBinding resolves group-by variables from the representative row
 // and aggregates from the precomputed values.
 type groupBinding struct {
 	ex      *executor
-	g       *group
+	rep     row
 	aggVals []Value
 	aggIdx  map[string]int
 }
 
 func (b groupBinding) value(name string) Value {
 	s, ok := b.ex.slots[name]
-	if !ok || s >= len(b.g.rep) || b.g.rep[s] == 0 {
+	if !ok || s >= len(b.rep) || b.rep[s] == 0 {
 		return Value{}
 	}
-	return boundValue(b.ex.dict.Decode(b.g.rep[s]))
+	return boundValue(b.ex.dict.Decode(b.rep[s]))
 }
 
 // substituteAggregates replaces AggExpr nodes with constants from the

@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Explain renders the plan the executor would follow for a query
@@ -11,7 +12,11 @@ import (
 // applicable, and the post-join stages. Intended for debugging slow
 // analytical queries and for teaching what the planner does.
 func (e *Engine) Explain(q *Query) string {
-	ex := &executor{eng: e, st: e.st, dict: e.st.Dict(), slots: map[string]int{}}
+	ex := &executor{
+		eng: e, view: e.st.View(), dict: e.st.Dict(),
+		slots: map[string]int{}, dead: new(atomic.Bool),
+		workers: e.Exec.workers(), threshold: e.Exec.threshold(),
+	}
 	var b strings.Builder
 	switch {
 	case q.Ask:
@@ -22,6 +27,21 @@ func (e *Engine) Explain(q *Query) string {
 		fmt.Fprintf(&b, "SELECT with grouping (GROUP BY %s)\n", strings.Join(q.GroupBy, ", "))
 	default:
 		b.WriteString("SELECT\n")
+	}
+
+	// Parallelism plan: how the executor would spread this query over
+	// the worker pool.
+	if ex.workers > 1 {
+		fmt.Fprintf(&b, "  parallel: %d workers, stages chunk at >=%d rows", ex.workers, ex.threshold)
+		if q.IsAggregate() {
+			fmt.Fprintf(&b, ", %d aggregation shards", e.Exec.shards())
+		}
+		if q.Ask {
+			b.WriteString(" (ASK runs sequentially: budget 1)")
+		}
+		b.WriteByte('\n')
+	} else {
+		b.WriteString("  parallel: off (1 worker)\n")
 	}
 
 	var patterns []TriplePattern

@@ -1,0 +1,61 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/store"
+)
+
+// benchEngines builds one store and a sequential + parallel engine over
+// it; the b.Run pairs below expose the executor overhead/speedup for
+// each pipeline stage.
+func benchStore(b *testing.B, obs int) (*store.Store, datagen.Spec) {
+	b.Helper()
+	spec := datagen.EurostatLike(obs)
+	st, err := spec.BuildStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, spec
+}
+
+func benchQuery(b *testing.B, st *store.Store, workers int, query string) {
+	b.Helper()
+	eng := NewEngine(st)
+	eng.Exec.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryString(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBGPJoin(b *testing.B) {
+	st, spec := benchStore(b, 5000)
+	q := fmt.Sprintf(
+		`SELECT ?o ?m ?v WHERE { ?o a <%s> . ?o <%s> ?m . ?o <%s> ?v . } ORDER BY ?o LIMIT 1000`,
+		spec.ObservationClass(), spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Measures[0].Pred)
+	b.Run("seq", func(b *testing.B) { benchQuery(b, st, 1, q) })
+	b.Run("par", func(b *testing.B) { benchQuery(b, st, 0, q) })
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	st, spec := benchStore(b, 5000)
+	q := fmt.Sprintf(
+		`SELECT ?m (COUNT(?o) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE { ?o <%s> ?m . ?o <%s> ?v . } GROUP BY ?m ORDER BY ?m`,
+		spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Measures[0].Pred)
+	b.Run("seq", func(b *testing.B) { benchQuery(b, st, 1, q) })
+	b.Run("par", func(b *testing.B) { benchQuery(b, st, 0, q) })
+}
+
+func BenchmarkUnion(b *testing.B) {
+	st, spec := benchStore(b, 5000)
+	q := fmt.Sprintf(
+		`SELECT ?x WHERE { { ?o <%s> ?x . } UNION { ?o <%s> ?x . } } LIMIT 2000`,
+		spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Dimensions[1].Pred)
+	b.Run("seq", func(b *testing.B) { benchQuery(b, st, 1, q) })
+	b.Run("par", func(b *testing.B) { benchQuery(b, st, 0, q) })
+}

@@ -11,6 +11,7 @@ package store
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"re2xolap/internal/rdf"
 )
@@ -21,6 +22,17 @@ type ID uint32
 
 // Dict maps RDF terms to dense integer IDs and back. It is safe for
 // concurrent use.
+//
+// Concurrency contract: the dictionary is append-only — a term, once
+// interned, keeps its ID forever and is never removed. Encode takes the
+// read lock on its fast path (already-interned terms) and upgrades to
+// the write lock only for genuinely new terms, so concurrent query
+// workers encoding known terms do not serialize on the mutex. Decode
+// and Numeric are lock-free for every term that existed when the
+// current snapshot was published (i.e. all but terms interned
+// nanoseconds ago), falling back to the read lock only for brand-new
+// IDs; this keeps the projection hot path (one Decode per output cell)
+// off the mutex entirely.
 type Dict struct {
 	mu    sync.RWMutex
 	ids   map[rdf.Term]ID
@@ -29,14 +41,31 @@ type Dict struct {
 	// aggregation never re-parses lexical forms.
 	nums []float64
 	isN  []bool
+	// snap is the atomically published read view backing the lock-free
+	// Decode/Numeric fast path. It holds slice headers over the same
+	// append-only backing arrays; readers only index below the
+	// snapshot's length, which append never overwrites.
+	snap atomic.Pointer[dictSnap]
+}
+
+// dictSnap is an immutable view of the dictionary's term storage.
+type dictSnap struct {
+	terms []rdf.Term
+	nums  []float64
+	isN   []bool
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{ids: make(map[rdf.Term]ID, 1024)}
+	d := &Dict{ids: make(map[rdf.Term]ID, 1024)}
+	d.snap.Store(&dictSnap{})
+	return d
 }
 
-// Encode returns the ID for t, assigning a fresh one if t is new.
+// Encode returns the ID for t, assigning a fresh one if t is new. The
+// interned case (every call after the first for a given term) takes
+// only the read lock, so concurrent encoders of known terms proceed in
+// parallel.
 func (d *Dict) Encode(t rdf.Term) ID {
 	d.mu.RLock()
 	id, ok := d.ids[t]
@@ -55,6 +84,7 @@ func (d *Dict) Encode(t rdf.Term) ID {
 	d.isN = append(d.isN, isNum)
 	id = ID(len(d.terms))
 	d.ids[t] = id
+	d.snap.Store(&dictSnap{terms: d.terms, nums: d.nums, isN: d.isN})
 	return id
 }
 
@@ -69,7 +99,11 @@ func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
 
 // Decode returns the term for id. It panics on an unknown id, which
 // indicates a programming error (IDs only come from this dictionary).
+// The common case is lock-free (see the Dict concurrency contract).
 func (d *Dict) Decode(id ID) rdf.Term {
+	if s := d.snap.Load(); int(id) <= len(s.terms) {
+		return s.terms[id-1]
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.terms[id-1]
@@ -77,7 +111,11 @@ func (d *Dict) Decode(id ID) rdf.Term {
 
 // Numeric returns the cached numeric value of the term with the given
 // id. The second result reports whether the term is a numeric literal.
+// Like Decode, the common case is lock-free.
 func (d *Dict) Numeric(id ID) (float64, bool) {
+	if s := d.snap.Load(); int(id) <= len(s.nums) {
+		return s.nums[id-1], s.isN[id-1]
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.nums[id-1], d.isN[id-1]

@@ -12,6 +12,16 @@ import (
 // concurrently; writes are serialized. Incremental Adds accumulate in a
 // delta buffer that Compact (or a sufficiently large delta) merges into
 // the sorted base indexes.
+//
+// Concurrency contract: every exported method is safe for concurrent
+// use. Read methods (Match, MatchCount, Contains, TextSearch, Stats)
+// take the read lock per call; writers (Add, AddAll, Load, Compact)
+// take the write lock. Base index entry slices are never mutated in
+// place once published — Compact builds freshly merged slices — which
+// is what makes the lock-free View read path sound. Query engines that
+// issue many lookups per query should take a View once at query start
+// instead of calling Match per lookup: a View is immune to both lock
+// contention and mid-query compaction (snapshot isolation).
 type Store struct {
 	mu   sync.RWMutex
 	dict *Dict
@@ -245,21 +255,26 @@ func matches(t, want spoTriple) bool {
 // bound components, returning the index plus the one or two leading key
 // values usable for the range scan.
 func (s *Store) chooseIndex(sub, pred, obj ID) (*index, ID, ID) {
+	return chooseIndex(&s.base, sub, pred, obj)
+}
+
+// chooseIndex is the lock-agnostic core shared by Store and View.
+func chooseIndex(base *[3]index, sub, pred, obj ID) (*index, ID, ID) {
 	switch {
 	case sub != 0 && pred != 0:
-		return &s.base[0], sub, pred // SPO
+		return &base[0], sub, pred // SPO
 	case pred != 0 && obj != 0:
-		return &s.base[1], pred, obj // POS
+		return &base[1], pred, obj // POS
 	case obj != 0 && sub != 0:
-		return &s.base[2], obj, sub // OSP
+		return &base[2], obj, sub // OSP
 	case sub != 0:
-		return &s.base[0], sub, 0
+		return &base[0], sub, 0
 	case pred != 0:
-		return &s.base[1], pred, 0
+		return &base[1], pred, 0
 	case obj != 0:
-		return &s.base[2], obj, 0
+		return &base[2], obj, 0
 	default:
-		return &s.base[0], 0, 0
+		return &base[0], 0, 0
 	}
 }
 
