@@ -36,6 +36,7 @@ import (
 	"re2xolap/internal/core"
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/qb"
 	"re2xolap/internal/refine"
 	"re2xolap/internal/session"
@@ -47,13 +48,14 @@ func main() {
 	endpointURL := flag.String("endpoint", "", "remote SPARQL endpoint URL")
 	data := flag.String("data", "", "local N-Triples/Turtle file")
 	gen := flag.String("gen", "", "generate a preset dataset: eurostat, production, dbpedia")
-	obs := flag.Int("obs", 10000, "observations for -gen")
+	obsCount := flag.Int("obs", 10000, "observations for -gen")
 	class := flag.String("class", qb.Observation, "observation class IRI")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-query deadline against a remote endpoint (0 disables)")
 	retries := flag.Int("retries", 4, "retries per query on transient endpoint failures")
 	breaker := flag.Int("breaker", 5, "consecutive failures before the circuit breaker trips (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	maxInFlight := flag.Int("max-inflight", 8, "max concurrent queries to the remote endpoint (0 unlimited)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as JSON lines to stderr (0 disables)")
 	flag.Parse()
 
 	policy := endpoint.Policy{
@@ -66,7 +68,14 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		MaxInFlight:      *maxInFlight,
 	}
-	client, cfg, err := buildClient(*endpointURL, *data, *gen, *obs, *class, policy)
+	// Metrics are always collected (the "stats" REPL command prints
+	// them); the slow-query log is opt-in.
+	reg := obs.NewRegistry()
+	copts := []endpoint.Option{endpoint.WithRegistry(reg)}
+	if *slowQuery > 0 {
+		copts = append(copts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, *slowQuery)))
+	}
+	client, cfg, err := buildClient(*endpointURL, *data, *gen, *obsCount, *class, policy, copts)
 	if err != nil {
 		log.Fatalf("re2xolap: %v", err)
 	}
@@ -78,16 +87,20 @@ func main() {
 	}
 	fmt.Print(g.String())
 	engine := core.NewEngine(client, g, cfg)
-	repl(ctx, engine, g, client, os.Stdin, os.Stdout)
+	engine.Instrument(reg)
+	repl(ctx, engine, g, client, reg, os.Stdin, os.Stdout)
 }
 
-func buildClient(endpointURL, data, gen string, obs int, class string, policy endpoint.Policy) (endpoint.Client, qb.Config, error) {
+func buildClient(endpointURL, data, gen string, obsCount int, class string, policy endpoint.Policy, copts []endpoint.Option) (endpoint.Client, qb.Config, error) {
 	cfg := qb.Config{ObservationClass: class}
 	switch {
 	case endpointURL != "":
 		// A remote endpoint can flake: wrap the HTTP client in the
 		// resilience decorator (deadlines, retries, circuit breaker).
-		return endpoint.NewResilient(endpoint.NewHTTPClient(endpointURL), policy), cfg, nil
+		// The metrics and slow-query options attach to the outer
+		// decorator so every query is observed exactly once.
+		return endpoint.NewResilient(endpoint.NewHTTPClient(endpointURL),
+			append([]endpoint.Option{endpoint.WithPolicy(policy)}, copts...)...), cfg, nil
 	case data != "":
 		f, err := os.Open(data)
 		if err != nil {
@@ -98,16 +111,16 @@ func buildClient(endpointURL, data, gen string, obs int, class string, policy en
 		if _, err := st.Load(f); err != nil {
 			return nil, cfg, err
 		}
-		return endpoint.NewInProcess(st), cfg, nil
+		return endpoint.NewInProcess(st, copts...), cfg, nil
 	case gen != "":
 		var spec datagen.Spec
 		switch gen {
 		case "eurostat":
-			spec = datagen.EurostatLike(obs)
+			spec = datagen.EurostatLike(obsCount)
 		case "production":
-			spec = datagen.ProductionLike(obs)
+			spec = datagen.ProductionLike(obsCount)
 		case "dbpedia":
-			spec = datagen.DBpediaLike(obs)
+			spec = datagen.DBpediaLike(obsCount)
 		default:
 			return nil, cfg, fmt.Errorf("unknown preset %q", gen)
 		}
@@ -115,7 +128,7 @@ func buildClient(endpointURL, data, gen string, obs int, class string, policy en
 		if err != nil {
 			return nil, cfg, err
 		}
-		return endpoint.NewInProcess(st), spec.Config(), nil
+		return endpoint.NewInProcess(st, copts...), spec.Config(), nil
 	default:
 		return nil, cfg, fmt.Errorf("one of -endpoint, -data, or -gen is required")
 	}
@@ -123,15 +136,37 @@ func buildClient(endpointURL, data, gen string, obs int, class string, policy en
 
 // repl drives the interactive loop, reading commands from in and
 // writing to out (parameterized for tests).
-func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endpoint.Client, in io.Reader, out io.Writer) {
+func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endpoint.Client, reg *obs.Registry, in io.Reader, out io.Writer) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	sess := session.New(engine, g)
 	var candidates []core.Candidate
 	var options []refine.Refinement
 
+	// Per-command tracing: qctx derives the command's context (with a
+	// fresh span tree when tracing is on) and showTrace prints the tree
+	// after the command's own output, at the top of the next iteration.
+	traceOn := false
+	var lastTrace *obs.Trace
+	qctx := func(base context.Context, name string) context.Context {
+		if !traceOn {
+			return base
+		}
+		lastTrace = obs.NewTrace(name)
+		return obs.ContextWith(base, lastTrace.Root())
+	}
+	showTrace := func() {
+		if lastTrace == nil {
+			return
+		}
+		lastTrace.Root().End()
+		fmt.Fprint(out, lastTrace.String())
+		lastTrace = nil
+	}
+
 	fmt.Fprintln(out, `type "help" for commands`)
 	for {
+		showTrace()
 		fmt.Fprint(out, "re2xolap> ")
 		if !sc.Scan() {
 			return
@@ -147,9 +182,25 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 			return
 		case "help":
 			printHelp(out)
+		case "trace":
+			traceOn = !traceOn
+			if traceOn {
+				fmt.Fprintln(out, "trace on: query commands print their span tree")
+			} else {
+				fmt.Fprintln(out, "trace off")
+			}
+		case "stats":
+			if err := reg.WriteProm(out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+			if rc, ok := client.(*endpoint.ResilientClient); ok {
+				s := rc.Stats()
+				fmt.Fprintf(out, "# resilient: %d queries, %d retries, %d breaker trips, breaker %s\n",
+					s.Queries, s.Retries, s.BreakerTrips, rc.State())
+			}
 		case "profile":
 			fmt.Fprint(out, g.String())
-			if p, err := engine.Profile(ctx); err == nil {
+			if p, err := engine.Profile(qctx(ctx, "profile")); err == nil {
 				fmt.Fprint(out, p.String())
 			}
 		case "example":
@@ -166,10 +217,10 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 				for _, n := range splitItems(negPart) {
 					negatives = append(negatives, core.Keywords(n))
 				}
-				cands, err = engine.SynthesizeWithNegatives(ctx,
+				cands, err = engine.SynthesizeWithNegatives(qctx(ctx, "example"),
 					[]core.ExampleTuple{core.Keywords(items...)}, negatives)
 			} else {
-				cands, err = engine.Synthesize(ctx, core.Keywords(items...))
+				cands, err = engine.Synthesize(qctx(ctx, "example"), core.Keywords(items...))
 			}
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
@@ -191,7 +242,7 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 				fmt.Fprintln(out, "usage: pick <n> after an example command")
 				continue
 			}
-			rs, err := sess.Start(ctx, candidates[i].Query)
+			rs, err := sess.Start(qctx(ctx, "pick"), candidates[i].Query)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -237,7 +288,7 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 				fmt.Fprintln(out, "usage: apply <n> after a refinement command")
 				continue
 			}
-			rs, err := sess.Apply(ctx, options[i])
+			rs, err := sess.Apply(qctx(ctx, "apply"), options[i])
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -250,7 +301,7 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 				continue
 			}
 			a, bb := splitItems(aPart), splitItems(bPart)
-			cs, err := engine.ContrastSets(ctx, core.Keywords(a...), core.Keywords(bb...))
+			cs, err := engine.ContrastSets(qctx(ctx, "contrast"), core.Keywords(a...), core.Keywords(bb...))
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -333,7 +384,7 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 				fmt.Fprintln(out, "usage: sparql <query>")
 				continue
 			}
-			res, err := client.Query(ctx, rest)
+			res, err := client.Query(qctx(ctx, "sparql"), rest)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -376,6 +427,8 @@ func printHelp(out io.Writer) {
   profile                  print the virtual schema graph
   sparql <query>           run raw SPARQL
   explain <query|current>  show the query plan
+  trace                    toggle per-command query tracing
+  stats                    print collected metrics (Prometheus text)
   quit`)
 }
 

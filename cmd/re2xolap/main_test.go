@@ -8,6 +8,7 @@ import (
 
 	"re2xolap/internal/core"
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/testkg"
 	"re2xolap/internal/vgraph"
 )
@@ -17,14 +18,16 @@ import (
 func runScript(t *testing.T, script string) string {
 	t.Helper()
 	st := testkg.Build(t, nil)
-	client := endpoint.NewInProcess(st)
+	reg := obs.NewRegistry()
+	client := endpoint.NewInProcess(st, endpoint.WithRegistry(reg))
 	g, err := vgraph.Bootstrap(context.Background(), client, testkg.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
 	engine := core.NewEngine(client, g, testkg.Config())
+	engine.Instrument(reg)
 	var out strings.Builder
-	repl(context.Background(), engine, g, client, strings.NewReader(script), &out)
+	repl(context.Background(), engine, g, client, reg, strings.NewReader(script), &out)
 	return out.String()
 }
 
@@ -91,18 +94,41 @@ quit
 	}
 }
 
+func TestREPLTraceAndStats(t *testing.T) {
+	out := runScript(t, `trace
+example Germany | 2014
+pick 0
+trace
+stats
+quit
+`)
+	// With tracing on, the example command prints its span tree: spans
+	// for the tagged endpoint queries with engine phases nested under
+	// them.
+	for _, want := range []string{
+		"trace on", "trace off",
+		"example", "step=keyword-search", "sparql",
+		`re2xolap_core_step_queries_total{step="keyword-search"}`,
+		`re2xolap_endpoint_queries_total{client="inprocess"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
 func TestBuildClientErrors(t *testing.T) {
 	p := endpoint.DefaultPolicy()
-	if _, _, err := buildClient("", "", "", 0, "http://c", p); err == nil {
+	if _, _, err := buildClient("", "", "", 0, "http://c", p, nil); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, err := buildClient("", "", "nope", 10, "http://c", p); err == nil {
+	if _, _, err := buildClient("", "", "nope", 10, "http://c", p, nil); err == nil {
 		t.Error("bad preset accepted")
 	}
-	if _, _, err := buildClient("", "/nonexistent/file.nt", "", 0, "http://c", p); err == nil {
+	if _, _, err := buildClient("", "/nonexistent/file.nt", "", 0, "http://c", p, nil); err == nil {
 		t.Error("missing file accepted")
 	}
-	c, _, err := buildClient("http://example.org/sparql", "", "", 0, "http://c", p)
+	c, _, err := buildClient("http://example.org/sparql", "", "", 0, "http://c", p, nil)
 	if err != nil || c == nil {
 		t.Fatal("http client not built")
 	}

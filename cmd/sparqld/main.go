@@ -30,6 +30,7 @@ import (
 
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/store"
 )
 
@@ -37,25 +38,27 @@ func main() {
 	addr := flag.String("addr", ":8085", "listen address")
 	data := flag.String("data", "", "N-Triples/Turtle file to load (.snap loads a binary snapshot)")
 	gen := flag.String("gen", "", "generate a synthetic dataset instead: eurostat, production, dbpedia")
-	obs := flag.Int("obs", 10000, "observations for -gen")
+	obsCount := flag.Int("obs", 10000, "observations for -gen")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Minute, "per-request query execution deadline (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503 (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	workers := flag.Int("workers", 0, "executor worker goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as JSON lines to stderr (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
-	st, err := buildStore(*data, *gen, *obs)
+	st, err := buildStore(*data, *gen, *obsCount)
 	if err != nil {
 		log.Fatalf("sparqld: %v", err)
 	}
 	stats := st.Stats()
-	log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql",
+	log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql (metrics on /metrics)",
 		stats.Triples, stats.Terms, stats.Predicates, *addr)
 
 	srv := newServer(*addr, st, endpoint.HardenConfig{
 		QueryTimeout: *queryTimeout,
 		MaxInFlight:  *maxInFlight,
-	}, *queryTimeout, *workers)
+	}, *queryTimeout, *workers, *slowQuery, *pprofOn)
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
 	// in-flight queries the grace period before exiting.
@@ -87,17 +90,21 @@ func main() {
 // ReadHeaderTimeout bounds how long a client may dribble headers
 // (Slowloris); WriteTimeout leaves headroom over the query deadline so
 // slow result writes are bounded too.
-func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration, workers int) *http.Server {
-	mux := http.NewServeMux()
-	handler := endpoint.NewServer(st)
-	// Each query fans its joins and aggregations over this many
-	// goroutines; -max-inflight bounds how many such queries run at
-	// once, so total parallelism is workers x inflight.
-	handler.Engine().Exec.Workers = workers
-	mux.Handle("/sparql", endpoint.Harden(handler, cfg))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "ok %d triples\n", st.Len())
-	})
+func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration, workers int, slowQuery time.Duration, pprofOn bool) *http.Server {
+	// Metrics are always on — the registry costs a few atomic adds per
+	// request and /metrics is how operators see inside the server.
+	opts := []endpoint.Option{
+		endpoint.WithRegistry(obs.NewRegistry()),
+		// Each query fans its joins and aggregations over this many
+		// goroutines; -max-inflight bounds how many such queries run at
+		// once, so total parallelism is workers x inflight.
+		endpoint.WithWorkers(workers),
+	}
+	if slowQuery > 0 {
+		opts = append(opts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, slowQuery)))
+	}
+	handler := endpoint.NewServer(st, opts...)
+	mux := handler.Routes(endpoint.RoutesConfig{Harden: cfg, Pprof: pprofOn})
 	writeTimeout := 15 * time.Minute
 	if queryTimeout > 0 {
 		writeTimeout = queryTimeout + time.Minute

@@ -28,7 +28,7 @@ func TestNewServerHardening(t *testing.T) {
 	srv := newServer(":0", testStore(t), endpoint.HardenConfig{
 		QueryTimeout: time.Minute,
 		MaxInFlight:  4,
-	}, time.Minute, 4)
+	}, time.Minute, 4, 0, false)
 	if srv.ReadHeaderTimeout <= 0 {
 		t.Error("ReadHeaderTimeout not set (Slowloris protection missing)")
 	}

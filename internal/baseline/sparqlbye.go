@@ -85,7 +85,7 @@ func matchEntities(ctx context.Context, c endpoint.Client, keyword string) ([]rd
 	q := fmt.Sprintf(
 		`SELECT DISTINCT ?m WHERE { ?m ?q ?lit . FILTER (ISLITERAL(?lit)) FILTER (CONTAINS(LCASE(STR(?lit)), %s)) FILTER (ISIRI(?m)) }`,
 		rdf.NewString(strings.ToLower(keyword)))
-	res, err := c.Query(ctx, q)
+	res, err := endpoint.QueryStep(ctx, c, "baseline", q)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: matching %q: %w", keyword, err)
 	}
@@ -105,7 +105,7 @@ func sharedPairs(ctx context.Context, c endpoint.Client, entities []rdf.Term) ([
 	counts := map[[2]string]int{}
 	for _, e := range entities {
 		q := fmt.Sprintf(`SELECT DISTINCT ?p ?o WHERE { %s ?p ?o . FILTER (ISIRI(?o)) }`, e)
-		res, err := c.Query(ctx, q)
+		res, err := endpoint.QueryStep(ctx, c, "baseline", q)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: describing %s: %w", e, err)
 		}

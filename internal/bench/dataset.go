@@ -52,7 +52,7 @@ func PrepareWithPolicy(spec datagen.Spec, p *endpoint.Policy) (*Dataset, error) 
 	c := endpoint.NewInProcess(st)
 	var qc endpoint.Client = c
 	if p != nil {
-		qc = endpoint.NewResilient(c, *p)
+		qc = endpoint.NewResilient(c, endpoint.WithPolicy(*p))
 	}
 	t1 := time.Now()
 	g, err := vgraph.Bootstrap(context.Background(), qc, spec.Config())

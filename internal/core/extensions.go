@@ -85,7 +85,7 @@ func (e *Engine) negativeWitnessed(ctx context.Context, cand Candidate, neg Exam
 		b.WriteString(" } ")
 	}
 	b.WriteString("}")
-	res, err := e.Client.Query(ctx, b.String())
+	res, err := e.query(ctx, "negative-check", b.String())
 	if err != nil {
 		return false, fmt.Errorf("core: checking negative example: %w", err)
 	}
@@ -211,7 +211,7 @@ func (e *Engine) resolveAnchor(ctx context.Context, cand Candidate, t ExampleTup
 		b.WriteString(" } ")
 	}
 	b.WriteString("} LIMIT 1")
-	res, err := e.Client.Query(ctx, b.String())
+	res, err := e.query(ctx, "contrast-anchor", b.String())
 	if err != nil {
 		return nil, fmt.Errorf("core: resolving contrast anchor: %w", err)
 	}

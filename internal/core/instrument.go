@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
+	"re2xolap/internal/sparql"
+)
+
+// stepMetrics publishes per-step query series, created lazily because
+// the step vocabulary is open-ended (refinements produce "refine:…"
+// tags at runtime).
+type stepMetrics struct {
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	queries map[string]*obs.Counter
+	errors  map[string]*obs.Counter
+	seconds map[string]*obs.Histogram
+}
+
+// Instrument attaches a metrics registry: every synthesis step's
+// endpoint queries get counted and timed under
+// re2xolap_core_step_queries_total / step_query_errors_total /
+// step_query_seconds with a step label. Call before the first query.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.steps = &stepMetrics{
+		reg:     reg,
+		queries: make(map[string]*obs.Counter),
+		errors:  make(map[string]*obs.Counter),
+		seconds: make(map[string]*obs.Histogram),
+	}
+}
+
+// record is nil-safe per-step accounting.
+func (m *stepMetrics) record(step string, wall time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	q, ok := m.queries[step]
+	if !ok {
+		l := obs.L("step", step)
+		q = m.reg.Counter("re2xolap_core_step_queries_total",
+			"Endpoint queries issued per synthesis step.", l)
+		m.queries[step] = q
+		m.errors[step] = m.reg.Counter("re2xolap_core_step_query_errors_total",
+			"Failed endpoint queries per synthesis step.", l)
+		m.seconds[step] = m.reg.Histogram("re2xolap_core_step_query_seconds",
+			"Endpoint query latency per synthesis step.", nil, l)
+	}
+	errc, sec := m.errors[step], m.seconds[step]
+	m.mu.Unlock()
+	q.Inc()
+	sec.ObserveDuration(wall)
+	if err != nil {
+		errc.Inc()
+	}
+}
+
+// query issues one endpoint query tagged with the synthesis step that
+// needs it, so traces, metrics, and the slow-query log can explain why
+// the query ran. All Engine query paths go through here.
+func (e *Engine) query(ctx context.Context, step, q string) (*sparql.Results, error) {
+	res, meta, err := endpoint.QueryX(ctx, e.Client, endpoint.Request{
+		Query: q,
+		Opts:  endpoint.QueryOpts{Step: step},
+	})
+	e.steps.record(step, meta.Wall, err)
+	return res, err
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/obs"
+)
+
+func TestInstrumentStepMetrics(t *testing.T) {
+	e := fixtureEngine(t)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	if _, err := e.MatchItem(context.Background(), NewKeyword("Germany")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Keyword resolution issues one search plus membership checks; the
+	// exact split varies, but both step families must be present.
+	for _, want := range []string{
+		`re2xolap_core_step_queries_total{step="keyword-search"} 1`,
+		`re2xolap_core_step_query_seconds_count{step="keyword-search"} 1`,
+		`step="membership-`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "step_query_errors_total") {
+		errLines := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "step_query_errors_total{") && !strings.HasSuffix(line, " 0") {
+				errLines++
+			}
+		}
+		if errLines != 0 {
+			t.Errorf("unexpected step errors:\n%s", out)
+		}
+	}
+}
+
+func TestExecuteTagged(t *testing.T) {
+	e := fixtureEngine(t)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	cands, err := e.Synthesize(context.Background(), Keywords("Germany", "2014"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if _, err := e.ExecuteTagged(context.Background(), cands[0].Query, "refine:topk"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `re2xolap_core_step_queries_total{step="refine:topk"} 1`) {
+		t.Errorf("missing refine:topk series:\n%s", buf.String())
+	}
+}

@@ -188,7 +188,7 @@ func TestSynthesizeAllDegradedModeParallel(t *testing.T) {
 func TestSynthesizeAllPoolLargerThanLimiter(t *testing.T) {
 	_, c, g := testkg.BootstrapFixture(t, nil)
 	noSleep := func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
-	rc := endpoint.NewResilient(c, endpoint.Policy{MaxRetries: 2, MaxInFlight: 2, Sleep: noSleep})
+	rc := endpoint.NewResilient(c, endpoint.WithPolicy(endpoint.Policy{MaxRetries: 2, MaxInFlight: 2, Sleep: noSleep}))
 	e := NewEngine(rc, g, testkg.Config())
 	e.Workers = 8
 

@@ -40,7 +40,7 @@ func (e *Engine) Profile(ctx context.Context) (*Profile, error) {
 		q := fmt.Sprintf(
 			`SELECT (COUNT(?v) AS ?c) (MIN(?v) AS ?mn) (MAX(?v) AS ?mx) (AVG(?v) AS ?av) WHERE { ?o a <%s> . ?o <%s> ?v . }`,
 			e.Config.ObservationClass, m.Predicate)
-		res, err := e.Client.Query(ctx, q)
+		res, err := e.query(ctx, "profile-measure", q)
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling measure %s: %w", m.Label, err)
 		}

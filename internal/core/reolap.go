@@ -43,6 +43,7 @@ type Engine struct {
 	Workers int
 
 	cache *matchCache
+	steps *stepMetrics // per-step query series; nil without Instrument
 
 	// skipped counts interpretation combinations dropped because their
 	// validation query failed transiently (see SkippedCombinations).
@@ -133,7 +134,7 @@ func (e *Engine) matchItemUncached(ctx context.Context, item ExampleItem) ([]Mat
 		q := fmt.Sprintf(
 			`SELECT DISTINCT ?m ?q ?lit WHERE { ?m ?q ?lit . FILTER (ISLITERAL(?lit)) FILTER (CONTAINS(LCASE(STR(?lit)), %s)) FILTER (ISIRI(?m)) }`,
 			rdf.NewString(kw))
-		res, err := e.Client.Query(ctx, q)
+		res, err := e.query(ctx, "keyword-search", q)
 		if err != nil {
 			return nil, fmt.Errorf("core: keyword search for %s: %w", item, err)
 		}
@@ -194,7 +195,7 @@ func (e *Engine) levelMembership(ctx context.Context, l *vgraph.Level, terms []r
 		for _, t := range terms {
 			q := fmt.Sprintf(`ASK { ?o a <%s> . ?o %s %s . }`,
 				e.Config.ObservationClass, pathExpr(l.Path), t)
-			res, err := e.Client.Query(ctx, q)
+			res, err := e.query(ctx, "membership-ask", q)
 			if err != nil {
 				return nil, fmt.Errorf("core: membership check on level %s: %w", l, err)
 			}
@@ -221,7 +222,7 @@ func (e *Engine) levelMembership(ctx context.Context, l *vgraph.Level, terms []r
 		q := fmt.Sprintf(
 			`SELECT DISTINCT ?m WHERE { VALUES ?m { %s} ?o a <%s> . ?o %s ?m . }`,
 			vals.String(), e.Config.ObservationClass, pathExpr(l.Path))
-		res, err := e.Client.Query(ctx, q)
+		res, err := e.query(ctx, "membership-values", q)
 		if err != nil {
 			return nil, fmt.Errorf("core: membership check on level %s: %w", l, err)
 		}
@@ -521,7 +522,7 @@ func (e *Engine) witness(ctx context.Context, levels []*vgraph.Level, members []
 		b.WriteString(" } ")
 	}
 	b.WriteString("} LIMIT 1")
-	res, err := e.Client.Query(ctx, b.String())
+	res, err := e.query(ctx, "witness", b.String())
 	if err != nil {
 		return nil, fmt.Errorf("core: validating combination: %w", err)
 	}
@@ -533,7 +534,14 @@ func (e *Engine) witness(ctx context.Context, levels []*vgraph.Level, members []
 
 // Execute runs a structured OLAP query and decodes its results.
 func (e *Engine) Execute(ctx context.Context, q *OLAPQuery) (*ResultSet, error) {
-	res, err := e.Client.Query(ctx, q.ToSPARQL())
+	return e.ExecuteTagged(ctx, q, "execute")
+}
+
+// ExecuteTagged is Execute with an explicit step tag, so callers that
+// know why the query runs (session start, a refinement) can say so in
+// traces and metrics.
+func (e *Engine) ExecuteTagged(ctx context.Context, q *OLAPQuery, step string) (*ResultSet, error) {
+	res, err := e.query(ctx, step, q.ToSPARQL())
 	if err != nil {
 		return nil, fmt.Errorf("core: executing query: %w", err)
 	}

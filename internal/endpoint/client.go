@@ -2,14 +2,15 @@ package endpoint
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
-	"sync/atomic"
 	"time"
 
+	"re2xolap/internal/obs"
 	"re2xolap/internal/sparql"
 	"re2xolap/internal/store"
 )
@@ -18,53 +19,163 @@ import (
 // boundary (virtual-graph bootstrap, ReOLAP, the refinements) talks to
 // the triplestore exclusively through this interface, mirroring the
 // paper's claim that the system "operates on standard SPARQL
-// interfaces (with non-specialized RDF stores)".
+// interfaces (with non-specialized RDF stores)". Clients that report
+// per-query metadata additionally implement QuerierX.
 type Client interface {
 	// Query runs one SPARQL SELECT or ASK query.
 	Query(ctx context.Context, query string) (*sparql.Results, error)
 }
 
 // InProcess is a Client that executes queries directly against a local
-// store, bypassing HTTP. It also counts queries, which the experiment
-// harness reports.
+// store, bypassing HTTP.
 type InProcess struct {
 	Engine *sparql.Engine
-	n      atomic.Int64
+
+	queries *obs.Counter // total queries; the QueryCount source
+	m       *clientMetrics
+	slow    *obs.SlowLog
 }
 
-// NewInProcess returns an in-process client over st.
-func NewInProcess(st *store.Store) *InProcess {
-	return &InProcess{Engine: sparql.NewEngine(st)}
-}
-
-// Query implements Client. The context cancels long-running joins.
-func (c *InProcess) Query(ctx context.Context, query string) (*sparql.Results, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+// NewInProcess returns an in-process client over st. Supported
+// options: WithRegistry (publishes client and engine metrics),
+// WithSlowQueryLog, WithWorkers.
+func NewInProcess(st *store.Store, opts ...Option) *InProcess {
+	o := applyOptions(opts)
+	c := &InProcess{Engine: sparql.NewEngine(st), slow: o.slow}
+	if o.workers != nil {
+		c.Engine.Exec.Workers = *o.workers
 	}
-	c.n.Add(1)
-	return c.Engine.QueryStringContext(ctx, query)
+	if o.registry != nil {
+		c.m = newClientMetrics(o.registry, "inprocess")
+		c.queries = c.m.queries
+		c.Engine.Instrument(o.registry)
+	} else {
+		// The query count survives without a registry: it delegates to
+		// a standalone counter, so QueryCount keeps working unchanged.
+		c.queries = new(obs.Counter)
+	}
+	return c
 }
 
-// QueryCount returns the number of queries issued so far.
-func (c *InProcess) QueryCount() int64 { return c.n.Load() }
+// Query implements Client as a thin adapter over QueryX. The context
+// cancels long-running joins.
+func (c *InProcess) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, Request{Query: query})
+	return res, err
+}
+
+// QueryX implements QuerierX: it executes the query and reports wall
+// time, the engine phase breakdown, and the result row count.
+func (c *InProcess) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
+	meta := QueryMeta{Source: "inprocess", Step: req.Opts.Step, Attempts: 1}
+	if err := ctx.Err(); err != nil {
+		return nil, meta, err
+	}
+	ctx, span := querySpan(ctx, req, "sparql")
+	start := time.Now()
+	res, pt, err := c.Engine.QueryStringTimed(ctx, req.Query)
+	if err != nil {
+		err = classifyLocal(ctx, err)
+	}
+	meta.Wall = time.Since(start)
+	meta.Phases, meta.HasPhases = pt, true
+	meta.Rows = pt.Rows
+	span.End()
+	// c.m.record would double-count queries: c.queries IS c.m.queries
+	// when a registry is attached, so count once and add latency/errors
+	// separately.
+	c.queries.Inc()
+	if m := c.m; m != nil {
+		m.latency.ObserveDuration(meta.Wall)
+		if err != nil {
+			m.errors[errorKind(err)].Inc()
+		}
+	}
+	recordSlow(c.slow, req.Query, meta, err)
+	return res, meta, err
+}
+
+// QueryCount returns the number of queries issued so far. It now
+// delegates to the registry-backed counter (the experiment harness
+// still reports it).
+func (c *InProcess) QueryCount() int64 { return c.queries.Value() }
+
+// classifyLocal tags in-process engine errors with the package
+// taxonomy: a syntax error is permanent (retrying cannot help);
+// everything else falls back to context classification.
+func classifyLocal(ctx context.Context, err error) error {
+	var se *sparql.SyntaxError
+	if errors.As(err, &se) {
+		return MarkPermanent(err)
+	}
+	return classifyCtx(ctx, err)
+}
 
 // HTTPClient speaks the SPARQL protocol with a remote endpoint.
 type HTTPClient struct {
 	// Endpoint is the query URL, e.g. "http://localhost:8080/sparql".
 	Endpoint string
 	// HTTP is the underlying client; http.DefaultClient if nil.
+	//
+	// Deprecated: set it via WithHTTPClient/WithTimeout at
+	// construction instead of mutating the field afterwards.
 	HTTP *http.Client
+
+	m    *clientMetrics
+	slow *obs.SlowLog
 }
 
 // NewHTTPClient returns a client for the given endpoint URL.
-func NewHTTPClient(endpoint string) *HTTPClient {
-	return &HTTPClient{Endpoint: endpoint, HTTP: &http.Client{Timeout: 15 * time.Minute}}
+// Supported options: WithTimeout (default 15 minutes),
+// WithHTTPClient, WithRegistry, WithSlowQueryLog.
+func NewHTTPClient(endpoint string, opts ...Option) *HTTPClient {
+	o := applyOptions(opts)
+	hc := o.httpClient
+	if hc == nil {
+		timeout := o.timeout
+		if timeout <= 0 {
+			timeout = 15 * time.Minute
+		}
+		hc = &http.Client{Timeout: timeout}
+	}
+	return &HTTPClient{
+		Endpoint: endpoint,
+		HTTP:     hc,
+		m:        newClientMetrics(o.registry, "http"),
+		slow:     o.slow,
+	}
 }
 
-// Query implements Client by POSTing an
-// application/x-www-form-urlencoded query, per the SPARQL 1.1 protocol.
+// Query implements Client as a thin adapter over QueryX.
 func (c *HTTPClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, Request{Query: query})
+	return res, err
+}
+
+// QueryX implements QuerierX: wall time and row count; a remote
+// endpoint reports no phase breakdown.
+func (c *HTTPClient) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
+	meta := QueryMeta{Source: "http", Step: req.Opts.Step, Attempts: 1}
+	ctx, span := querySpan(ctx, req, "http-query")
+	span.SetAttr("endpoint", c.Endpoint)
+	start := time.Now()
+	res, err := c.do(ctx, req.Query)
+	meta.Wall = time.Since(start)
+	if res != nil {
+		meta.Rows = res.Len()
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	c.m.record(meta.Wall, err)
+	recordSlow(c.slow, req.Query, meta, err)
+	return res, meta, err
+}
+
+// do POSTs an application/x-www-form-urlencoded query, per the SPARQL
+// 1.1 protocol.
+func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, error) {
 	form := url.Values{"query": {query}}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(form.Encode()))
 	if err != nil {

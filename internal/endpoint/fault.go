@@ -97,35 +97,53 @@ func (c *FaultClient) draw(call int64) faultKind {
 	return faultNone
 }
 
-// Query implements Client.
+// Query implements Client as a thin adapter over QueryX.
 func (c *FaultClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, Request{Query: query})
+	return res, err
+}
+
+// QueryX implements QuerierX: injected faults report wall time only;
+// pass-through queries propagate the inner client's metadata.
+func (c *FaultClient) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
+	meta := QueryMeta{Source: "fault", Step: req.Opts.Step, Attempts: 1}
 	call := c.calls.Add(1)
+	start := time.Now()
 	if c.cfg.Latency > 0 {
 		t := time.NewTimer(c.cfg.Latency)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, ctx.Err()
+			meta.Wall = time.Since(start)
+			return nil, meta, ctx.Err()
 		}
 	}
 	switch c.draw(call) {
 	case faultTransient:
 		c.injected.Add(1)
-		return nil, MarkRetryable(fmt.Errorf("endpoint: fault: injected transient failure (call %d)", call))
+		meta.Wall = time.Since(start)
+		return nil, meta, MarkRetryable(fmt.Errorf("endpoint: fault: injected transient failure (call %d)", call))
 	case faultTruncate:
 		c.injected.Add(1)
-		res, err := c.inner.Query(ctx, query)
+		res, im, err := QueryX(ctx, c.inner, req)
 		if err != nil {
-			return nil, err
+			im.Wall = time.Since(start)
+			return nil, im, err
 		}
-		return c.truncated(res, call)
+		res, err = c.truncated(res, call)
+		im.Wall = time.Since(start)
+		im.Source = "fault"
+		return res, im, err
 	case faultGarbage:
 		c.injected.Add(1)
 		_, err := DecodeResults(strings.NewReader("<html><body>502 Bad Gateway</body></html>"))
-		return nil, MarkRetryable(fmt.Errorf("endpoint: fault: garbage body (call %d): %w", call, err))
+		meta.Wall = time.Since(start)
+		return nil, meta, MarkRetryable(fmt.Errorf("endpoint: fault: garbage body (call %d): %w", call, err))
 	}
-	return c.inner.Query(ctx, query)
+	res, im, err := QueryX(ctx, c.inner, req)
+	im.Source = "fault"
+	return res, im, err
 }
 
 // truncated re-encodes res as SPARQL JSON, cuts the body in half, and

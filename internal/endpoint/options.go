@@ -1,0 +1,90 @@
+package endpoint
+
+import (
+	"net/http"
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+// Option configures a client or server at construction time. One
+// option vocabulary covers all constructors (NewInProcess,
+// NewHTTPClient, NewResilient, NewServer); each constructor applies
+// the options it understands and ignores the rest, so a deployment
+// can thread the same observability options through every layer:
+//
+//	reg := obs.NewRegistry()
+//	slow := obs.NewSlowLog(os.Stderr, 500*time.Millisecond)
+//	c := endpoint.NewResilient(
+//	        endpoint.NewHTTPClient(url, endpoint.WithTimeout(time.Minute),
+//	                endpoint.WithRegistry(reg), endpoint.WithSlowQueryLog(slow)),
+//	        endpoint.WithPolicy(policy), endpoint.WithRegistry(reg))
+//
+// Options replace the old post-construction field pokes; the struct
+// fields they shadow remain exported for compatibility but are
+// deprecated (see the field doc comments).
+type Option func(*options)
+
+// options is the merged settings bag the constructors read.
+type options struct {
+	timeout     time.Duration
+	httpClient  *http.Client
+	policy      *Policy
+	registry    *obs.Registry
+	slow        *obs.SlowLog
+	maxQueryLen int
+	workers     *int
+}
+
+// applyOptions folds opts into a settings bag.
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithTimeout bounds one HTTP request end to end (HTTPClient; default
+// 15 minutes). Resilient per-query deadlines belong in WithPolicy.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithHTTPClient replaces the underlying *http.Client (HTTPClient),
+// overriding WithTimeout.
+func WithHTTPClient(c *http.Client) Option {
+	return func(o *options) { o.httpClient = c }
+}
+
+// WithPolicy sets the resilience policy (NewResilient; default
+// DefaultPolicy).
+func WithPolicy(p Policy) Option {
+	return func(o *options) { o.policy = &p }
+}
+
+// WithRegistry publishes the component's metrics (query counts,
+// latency histograms, error-taxonomy counters, retry/breaker
+// counters, pool gauges) into reg. Without it, metrics are off and
+// the query path pays only nil checks.
+func WithRegistry(r *obs.Registry) Option {
+	return func(o *options) { o.registry = r }
+}
+
+// WithSlowQueryLog records queries at or above the log's threshold,
+// with their phase breakdown where available.
+func WithSlowQueryLog(l *obs.SlowLog) Option {
+	return func(o *options) { o.slow = l }
+}
+
+// WithMaxQueryLen bounds accepted query text (NewServer; default
+// 1 MiB).
+func WithMaxQueryLen(n int) Option {
+	return func(o *options) { o.maxQueryLen = n }
+}
+
+// WithWorkers sets the executor's per-query worker count (NewServer,
+// NewInProcess): 0 means GOMAXPROCS, 1 the sequential baseline.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = &n }
+}

@@ -1,0 +1,193 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"re2xolap/internal/obs"
+	"re2xolap/internal/sparql"
+)
+
+// Request is the extended protocol-boundary input: the query text
+// plus per-query options. It exists so new per-query knobs never
+// change the QuerierX signature again.
+type Request struct {
+	Query string
+	Opts  QueryOpts
+}
+
+// QueryOpts carries per-query options across the protocol boundary.
+type QueryOpts struct {
+	// Step tags the query with the synthesis/refinement step that
+	// issued it ("keyword-search", "witness", "refine:topk", ...), so
+	// traces and the slow-query log explain *why* a query ran.
+	Step string
+	// Span, when non-nil, overrides the trace span from the context as
+	// the parent for this query's spans.
+	Span *obs.Span
+}
+
+// QueryMeta is the per-query execution metadata QuerierX reports
+// alongside the results.
+type QueryMeta struct {
+	// Source identifies the executing client: "inprocess", "http",
+	// "resilient", "fault".
+	Source string
+	// Step echoes the issuing-step tag from the request.
+	Step string
+	// Wall is the end-to-end time this client spent on the query,
+	// including (for the resilient client) backoff and retries.
+	Wall time.Duration
+	// Phases is the engine-side phase breakdown; only the in-process
+	// client can fill it (a remote endpoint does not report one).
+	Phases sparql.PhaseTimings
+	// HasPhases reports whether Phases is meaningful.
+	HasPhases bool
+	// Rows is the result row count.
+	Rows int
+	// Attempts is how many requests were issued (resilient client);
+	// Retries is Attempts beyond the first.
+	Attempts int
+	Retries  int
+}
+
+// QuerierX is the extension interface of the protocol boundary: a
+// Client that also reports per-query execution metadata. All four
+// package clients (InProcess, HTTPClient, ResilientClient,
+// FaultClient) implement it; Client.Query remains the compatible thin
+// adapter. Callers that need metadata use the package-level QueryX
+// helper, which degrades gracefully for foreign Client
+// implementations.
+type QuerierX interface {
+	Client
+	QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error)
+}
+
+// QueryX routes req through c, using the QuerierX fast path when c
+// implements it and falling back to wall-clock-only metadata around
+// plain Client.Query otherwise.
+func QueryX(ctx context.Context, c Client, req Request) (*sparql.Results, QueryMeta, error) {
+	if qx, ok := c.(QuerierX); ok {
+		return qx.QueryX(ctx, req)
+	}
+	start := time.Now()
+	res, err := c.Query(ctx, req.Query)
+	meta := QueryMeta{Source: "client", Step: req.Opts.Step, Wall: time.Since(start)}
+	if res != nil {
+		meta.Rows = res.Len()
+	}
+	return res, meta, err
+}
+
+// QueryStep is the one-liner for tagged queries that do not need the
+// metadata: it threads the step tag (and the ambient trace span)
+// through QueryX and returns just results and error.
+func QueryStep(ctx context.Context, c Client, step, query string) (*sparql.Results, error) {
+	res, _, err := QueryX(ctx, c, Request{Query: query, Opts: QueryOpts{Step: step}})
+	return res, err
+}
+
+// errorKinds is the label vocabulary of the error-taxonomy counters.
+var errorKinds = [...]string{"retryable", "permanent", "timeout", "circuit_open", "canceled", "other"}
+
+// errorKind maps an error to its taxonomy label.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case errors.Is(err, ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, ErrRetryable):
+		return "retryable"
+	case errors.Is(err, ErrPermanent):
+		return "permanent"
+	default:
+		return "other"
+	}
+}
+
+// clientMetrics is the per-client registry series, pre-created at
+// construction so the query path is a few atomic adds. nil (registry
+// absent) disables everything via the obs nil fast path.
+type clientMetrics struct {
+	queries *obs.Counter
+	latency *obs.Histogram
+	errors  map[string]*obs.Counter // by taxonomy kind
+}
+
+// newClientMetrics registers the standard client series under the
+// given client label.
+func newClientMetrics(reg *obs.Registry, client string) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &clientMetrics{
+		queries: reg.Counter("re2xolap_endpoint_queries_total",
+			"Queries issued through the protocol boundary.", obs.L("client", client)),
+		latency: reg.Histogram("re2xolap_endpoint_query_seconds",
+			"End-to-end query latency at the protocol boundary.", nil, obs.L("client", client)),
+		errors: make(map[string]*obs.Counter, len(errorKinds)),
+	}
+	for _, kind := range errorKinds {
+		m.errors[kind] = reg.Counter("re2xolap_endpoint_query_errors_total",
+			"Query failures by error-taxonomy kind.", obs.L("client", client), obs.L("kind", kind))
+	}
+	return m
+}
+
+// record publishes one query outcome. Safe on a nil receiver.
+func (m *clientMetrics) record(wall time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	m.latency.ObserveDuration(wall)
+	if err != nil {
+		m.errors[errorKind(err)].Inc()
+	}
+}
+
+// recordSlow feeds the slow-query log from QueryMeta. Safe on a nil
+// log.
+func recordSlow(l *obs.SlowLog, query string, meta QueryMeta, err error) {
+	if !l.Slow(meta.Wall) {
+		return
+	}
+	entry := obs.SlowQuery{
+		Source:  meta.Source,
+		Step:    meta.Step,
+		WallMS:  float64(meta.Wall) / float64(time.Millisecond),
+		Rows:    meta.Rows,
+		Retries: meta.Retries,
+		Query:   query,
+	}
+	if meta.HasPhases {
+		entry.PhaseMS = obs.PhaseMS(meta.Phases.Map())
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	l.Record(entry)
+}
+
+// querySpan opens the per-query trace span: the explicit span from
+// the request wins, the ambient context span otherwise. Returns the
+// (possibly re-derived) context and the span to end, both untouched
+// when tracing is off.
+func querySpan(ctx context.Context, req Request, name string) (context.Context, *obs.Span) {
+	parent := req.Opts.Span
+	if parent == nil {
+		parent = obs.SpanFrom(ctx)
+	}
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.Start(name)
+	if req.Opts.Step != "" {
+		sp.SetAttr("step", req.Opts.Step)
+	}
+	return obs.ContextWith(ctx, sp), sp
+}

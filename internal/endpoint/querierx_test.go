@@ -1,0 +1,329 @@
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+const testSelect = `SELECT ?v WHERE { ?o <http://ex.org/value> ?v . }`
+
+func TestInProcessQueryX(t *testing.T) {
+	c := NewInProcess(testStore(t))
+	res, meta, err := c.QueryX(context.Background(), Request{
+		Query: testSelect,
+		Opts:  QueryOpts{Step: "witness"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Len())
+	}
+	if meta.Source != "inprocess" || meta.Step != "witness" {
+		t.Errorf("meta = %+v", meta)
+	}
+	if !meta.HasPhases {
+		t.Error("in-process client should report phase timings")
+	}
+	if meta.Rows != 2 || meta.Attempts != 1 {
+		t.Errorf("rows/attempts = %d/%d", meta.Rows, meta.Attempts)
+	}
+	if meta.Wall <= 0 {
+		t.Errorf("wall = %v", meta.Wall)
+	}
+	if c.QueryCount() != 1 {
+		t.Errorf("QueryCount = %d", c.QueryCount())
+	}
+}
+
+func TestHTTPClientQueryX(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testStore(t)))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, WithTimeout(5*time.Second))
+	res, meta, err := c.QueryX(context.Background(), Request{Query: testSelect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Source != "http" || meta.Rows != res.Len() || meta.HasPhases {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestResilientQueryXRetryMetadata(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fault := NewFault(inner, FaultConfig{FailFirst: 2})
+	noSleep := func(context.Context, time.Duration) error { return nil }
+	c := NewResilient(fault, WithPolicy(Policy{MaxRetries: 3, Sleep: noSleep, BaseBackoff: time.Nanosecond}))
+	res, meta, err := c.QueryX(context.Background(), Request{Query: testSelect, Opts: QueryOpts{Step: "refine"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	if meta.Source != "resilient" || meta.Step != "refine" {
+		t.Errorf("meta = %+v", meta)
+	}
+	if meta.Attempts != 3 || meta.Retries != 2 {
+		t.Errorf("attempts/retries = %d/%d, want 3/2", meta.Attempts, meta.Retries)
+	}
+	if !meta.HasPhases {
+		t.Error("phase breakdown should propagate from the in-process inner client")
+	}
+}
+
+func TestQueryXForeignClientFallback(t *testing.T) {
+	// clientFunc (from resilient_test.go) is a foreign Client that does
+	// not implement QuerierX, so QueryX takes the degraded path.
+	inner := NewInProcess(testStore(t))
+	var foreign Client = clientFunc(inner.Query)
+	res, meta, err := QueryX(context.Background(), foreign, Request{Query: testSelect, Opts: QueryOpts{Step: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Source != "client" || meta.Step != "s" || meta.Rows != res.Len() {
+		t.Errorf("meta = %+v", meta)
+	}
+	if meta.HasPhases {
+		t.Error("fallback path cannot report phases")
+	}
+}
+
+func TestQueryStep(t *testing.T) {
+	c := NewInProcess(testStore(t))
+	res, err := QueryStep(context.Background(), c, "bootstrap", testSelect)
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("res = %v, err = %v", res, err)
+	}
+}
+
+func TestClientMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewInProcess(testStore(t), WithRegistry(reg))
+	ctx := context.Background()
+	if _, err := c.Query(ctx, testSelect); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "SELECT syntax error"); err == nil {
+		t.Fatal("want syntax error")
+	}
+	if c.QueryCount() != 2 {
+		t.Errorf("QueryCount = %d, want 2 (registry-backed)", c.QueryCount())
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`re2xolap_endpoint_queries_total{client="inprocess"} 2`,
+		`re2xolap_endpoint_query_errors_total{client="inprocess",kind="permanent"} 1`,
+		`re2xolap_endpoint_query_seconds_count{client="inprocess"} 2`,
+		`re2xolap_sparql_queries_total 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestResilientMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := NewInProcess(testStore(t))
+	fault := NewFault(inner, FaultConfig{FailFirst: 1})
+	noSleep := func(context.Context, time.Duration) error { return nil }
+	c := NewResilient(fault, WithPolicy(Policy{MaxRetries: 2, Sleep: noSleep, BaseBackoff: time.Nanosecond}), WithRegistry(reg))
+	if _, err := c.Query(context.Background(), testSelect); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`re2xolap_resilient_retries_total 1`,
+		`re2xolap_resilient_breaker_open 0`,
+		`re2xolap_endpoint_queries_total{client="resilient"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryXTraceSpans(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	noSleep := func(context.Context, time.Duration) error { return nil }
+	c := NewResilient(NewFault(inner, FaultConfig{FailFirst: 1}),
+		WithPolicy(Policy{MaxRetries: 2, Sleep: noSleep, BaseBackoff: time.Nanosecond}))
+	tr := obs.NewTrace("query")
+	ctx := obs.ContextWith(context.Background(), tr.Root())
+	if _, _, err := c.QueryX(ctx, Request{Query: testSelect, Opts: QueryOpts{Step: "witness"}}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+	dump := tr.String()
+	for _, want := range []string{"resilient-query", "retry 1", "sparql", "join"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("trace missing %q:\n%s", want, dump)
+		}
+	}
+	// The engine spans must nest under resilient-query, not fork a
+	// second root: the root has exactly one child.
+	if n := len(tr.Root().Children()); n != 1 {
+		t.Errorf("root children = %d, want 1:\n%s", n, dump)
+	}
+}
+
+func TestServerRoutes(t *testing.T) {
+	reg := obs.NewRegistry()
+	var slowBuf bytes.Buffer
+	s := NewServer(testStore(t), WithRegistry(reg), WithSlowQueryLog(obs.NewSlowLog(&slowBuf, 0)))
+	srv := httptest.NewServer(s.Routes(RoutesConfig{}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, "ok 6 triples") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != 404 {
+		t.Errorf("pprof should be gated off by default, got %d", code)
+	}
+	if code, _, _ := get("/sparql?query=" + strings.ReplaceAll(testSelect, " ", "+")); code != 200 {
+		t.Errorf("sparql = %d", code)
+	}
+	code, body, ct := get("/metrics")
+	if code != 200 || ct != obs.PromContentType {
+		t.Fatalf("metrics = %d, content-type %q", code, ct)
+	}
+	for _, want := range []string{
+		`re2xolap_server_requests_total{outcome="ok"} 1`,
+		"re2xolap_server_request_seconds_bucket",
+		"re2xolap_store_triples 6",
+		"re2xolap_par_active_workers",
+		"re2xolap_sparql_phase_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Threshold 0 logs every query, with the engine phase breakdown
+	// plus the serialize component.
+	var entry map[string]any
+	if err := json.Unmarshal(slowBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("slow log not JSON: %v (%q)", err, slowBuf.String())
+	}
+	phases, ok := entry["phase_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("slow log entry lacks phase_ms: %v", entry)
+	}
+	for _, p := range []string{"join", "serialize"} {
+		if _, ok := phases[p]; !ok {
+			t.Errorf("phase_ms missing %q: %v", p, phases)
+		}
+	}
+	if entry["source"] != "server" || entry["rows"] != float64(2) {
+		t.Errorf("entry = %v", entry)
+	}
+}
+
+func TestServerRoutesPprofEnabled(t *testing.T) {
+	s := NewServer(testStore(t))
+	srv := httptest.NewServer(s.Routes(RoutesConfig{Pprof: true}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof cmdline = %d, want 200", resp.StatusCode)
+	}
+	// Without a registry /metrics is a 404, not an empty page.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("metrics without registry = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerDirectPostBody(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testStore(t)))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "application/sparql-query",
+		strings.NewReader("ASK { ?s ?p ?o . }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), `"boolean":true`) {
+		t.Errorf("ASK body = %s", b)
+	}
+}
+
+func TestServerBadQueryOutcome(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(testStore(t), WithRegistry(reg))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.PostForm(srv.URL, map[string][]string{"query": {"SELECT nonsense"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `re2xolap_server_requests_total{outcome="bad_query"} 1`) {
+		t.Errorf("missing bad_query outcome:\n%s", buf.String())
+	}
+}
+
+func TestHTTPClientSlowLog(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testStore(t)))
+	defer srv.Close()
+	var buf bytes.Buffer
+	c := NewHTTPClient(srv.URL, WithSlowQueryLog(obs.NewSlowLog(&buf, 0)))
+	if _, err := c.Query(context.Background(), testSelect); err != nil {
+		t.Fatal(err)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("slow log not JSON: %v", err)
+	}
+	if entry["source"] != "http" || entry["query"] != testSelect {
+		t.Errorf("entry = %v", entry)
+	}
+}

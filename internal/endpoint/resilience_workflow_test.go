@@ -51,7 +51,7 @@ func TestWorkflowSurvivesFaultyEndpoint(t *testing.T) {
 	}
 	inner := endpoint.NewInProcess(st)
 	fault := endpoint.NewFault(inner, endpoint.FaultConfig{Seed: 1, FailureRate: 0.3})
-	rc := endpoint.NewResilient(fault, fastPolicy())
+	rc := endpoint.NewResilient(fault, endpoint.WithPolicy(fastPolicy()))
 	ctx := context.Background()
 
 	// Bootstrap crawls the schema with dozens of queries — every one
@@ -112,7 +112,7 @@ func TestHardDownEndpointTripsBreakerWithinDeadline(t *testing.T) {
 	p.MaxRetries = 2
 	p.BreakerThreshold = 3
 	p.BreakerCooldown = time.Minute
-	rc := endpoint.NewResilient(down, p)
+	rc := endpoint.NewResilient(down, endpoint.WithPolicy(p))
 
 	ctx := context.Background()
 	t0 := time.Now()

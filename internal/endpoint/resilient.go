@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"re2xolap/internal/obs"
 	"re2xolap/internal/sparql"
 )
 
@@ -105,10 +106,26 @@ type ResilientClient struct {
 	now       func() time.Time // injectable clock (tests)
 	stats     ResilientStats
 	statsLock sync.Mutex
+
+	// Registry series (nil without WithRegistry; nil obs metrics
+	// no-op).
+	m        *clientMetrics
+	mRetries *obs.Counter
+	mTrips   *obs.Counter
+	mReject  *obs.Counter
+	slow     *obs.SlowLog
 }
 
-// NewResilient wraps inner with the given policy.
-func NewResilient(inner Client, p Policy) *ResilientClient {
+// NewResilient wraps inner with resilience mechanisms. Supported
+// options: WithPolicy (default DefaultPolicy), WithRegistry (retry,
+// breaker-trip, and rejection counters plus a breaker-state gauge),
+// WithSlowQueryLog.
+func NewResilient(inner Client, opts ...Option) *ResilientClient {
+	o := applyOptions(opts)
+	p := DefaultPolicy()
+	if o.policy != nil {
+		p = *o.policy
+	}
 	if p.MaxBackoff == 0 {
 		p.MaxBackoff = 30 * time.Second
 	}
@@ -120,9 +137,23 @@ func NewResilient(inner Client, p Policy) *ResilientClient {
 		p:     p,
 		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 		now:   time.Now,
+		slow:  o.slow,
 	}
 	if p.MaxInFlight > 0 {
 		c.sem = make(chan struct{}, p.MaxInFlight)
+	}
+	if reg := o.registry; reg != nil {
+		c.m = newClientMetrics(reg, "resilient")
+		c.mRetries = reg.Counter("re2xolap_resilient_retries_total", "Attempts beyond the first.")
+		c.mTrips = reg.Counter("re2xolap_resilient_breaker_trips_total", "Breaker transitions to open.")
+		c.mReject = reg.Counter("re2xolap_resilient_rejected_total", "Queries rejected by the open breaker.")
+		reg.GaugeFunc("re2xolap_resilient_breaker_open", "1 while the breaker is open or half-open.",
+			func() float64 {
+				if c.State() == "closed" {
+					return 0
+				}
+				return 1
+			})
 	}
 	return c
 }
@@ -159,9 +190,39 @@ func (c *ResilientClient) State() string {
 	}
 }
 
-// Query implements Client.
+// Query implements Client as a thin adapter over QueryX.
 func (c *ResilientClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, Request{Query: query})
+	return res, err
+}
+
+// QueryX implements QuerierX: wall time spans the whole retry loop
+// (backoffs included), Retries/Attempts report the loop's work, and
+// the engine phase breakdown from an in-process inner client
+// propagates from the successful attempt. Retry and breaker decisions
+// are recorded as events on the active trace span.
+func (c *ResilientClient) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
 	c.count(func(s *ResilientStats) { s.Queries++ })
+	meta := QueryMeta{Source: "resilient", Step: req.Opts.Step}
+	start := time.Now()
+	ctx, span := querySpan(ctx, req, "resilient-query")
+	// The span now rides the context; clearing the explicit one keeps
+	// the inner client from double-parenting its spans.
+	innerReq := req
+	innerReq.Opts.Span = nil
+	finish := func(res *sparql.Results, err error) (*sparql.Results, QueryMeta, error) {
+		meta.Wall = time.Since(start)
+		if res != nil {
+			meta.Rows = res.Len()
+		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		c.m.record(meta.Wall, err)
+		recordSlow(c.slow, req.Query, meta, err)
+		return res, meta, err
+	}
 
 	// In-flight limiter: block for a slot, but never past the caller's
 	// context.
@@ -170,7 +231,7 @@ func (c *ResilientClient) Query(ctx context.Context, query string) (*sparql.Resu
 		case c.sem <- struct{}{}:
 			defer func() { <-c.sem }()
 		case <-ctx.Done():
-			return nil, classifyCtx(ctx, fmt.Errorf("endpoint: waiting for query slot: %w", ctx.Err()))
+			return finish(nil, classifyCtx(ctx, fmt.Errorf("endpoint: waiting for query slot: %w", ctx.Err())))
 		}
 	}
 
@@ -183,12 +244,15 @@ func (c *ResilientClient) Query(ctx context.Context, query string) (*sparql.Resu
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := c.admit(); err != nil {
-			return nil, err
+			span.Event("breaker rejected")
+			return finish(nil, err)
 		}
-		res, err := c.attempt(ctx, query)
+		meta.Attempts++
+		res, im, err := c.attempt(ctx, innerReq)
 		if err == nil {
 			c.recordSuccess()
-			return res, nil
+			meta.Phases, meta.HasPhases = im.Phases, im.HasPhases
+			return finish(res, nil)
 		}
 		err = classifyCtx(ctx, err)
 		lastErr = err
@@ -197,7 +261,7 @@ func (c *ResilientClient) Query(ctx context.Context, query string) (*sparql.Resu
 			// The query itself is bad; the endpoint is healthy. Neither
 			// retry nor count against the breaker.
 			c.recordSuccess()
-			return nil, err
+			return finish(nil, err)
 		}
 		c.recordFailure()
 
@@ -207,36 +271,39 @@ func (c *ResilientClient) Query(ctx context.Context, query string) (*sparql.Resu
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				c.count(func(s *ResilientStats) { s.Timeouts++ })
 			}
-			return nil, err
+			return finish(nil, err)
 		}
 		if attempt >= c.p.MaxRetries || !Retryable(err) {
-			return nil, err
+			return finish(nil, err)
 		}
+		meta.Retries++
+		c.mRetries.Inc()
+		span.Event(fmt.Sprintf("retry %d after: %v", attempt+1, err))
 		c.count(func(s *ResilientStats) { s.Retries++ })
 		if err := c.backoff(ctx, attempt); err != nil {
 			c.count(func(s *ResilientStats) { s.Timeouts++ })
-			return nil, classifyCtx(ctx, fmt.Errorf("endpoint: backoff interrupted before retry %d: %w (last failure: %v)", attempt+1, err, lastErr))
+			return finish(nil, classifyCtx(ctx, fmt.Errorf("endpoint: backoff interrupted before retry %d: %w (last failure: %v)", attempt+1, err, lastErr)))
 		}
 	}
 }
 
 // attempt issues one request to the inner client under the per-attempt
 // deadline.
-func (c *ResilientClient) attempt(ctx context.Context, query string) (*sparql.Results, error) {
+func (c *ResilientClient) attempt(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
 	c.count(func(s *ResilientStats) { s.Attempts++ })
 	if c.p.AttemptTimeout > 0 {
 		actx, cancel := context.WithTimeout(ctx, c.p.AttemptTimeout)
 		defer cancel()
-		res, err := c.inner.Query(actx, query)
+		res, im, err := QueryX(actx, c.inner, req)
 		// A per-attempt deadline expiring is retryable: the next attempt
 		// gets a fresh one (unless the overall deadline is also gone,
 		// which the caller checks).
 		if err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
-			return nil, MarkRetryable(fmt.Errorf("endpoint: attempt timed out after %s: %w", c.p.AttemptTimeout, err))
+			return nil, im, MarkRetryable(fmt.Errorf("endpoint: attempt timed out after %s: %w", c.p.AttemptTimeout, err))
 		}
-		return res, err
+		return res, im, err
 	}
-	return c.inner.Query(ctx, query)
+	return QueryX(ctx, c.inner, req)
 }
 
 // admit consults the breaker: closed admits everything, open rejects
@@ -253,6 +320,7 @@ func (c *ResilientClient) admit() error {
 	case breakerOpen:
 		if c.now().Sub(c.openedAt) < c.p.BreakerCooldown {
 			c.count(func(s *ResilientStats) { s.Rejected++ })
+			c.mReject.Inc()
 			return fmt.Errorf("%w (cooling down, %s of %s elapsed)",
 				ErrCircuitOpen, c.now().Sub(c.openedAt).Round(time.Millisecond), c.p.BreakerCooldown)
 		}
@@ -263,6 +331,7 @@ func (c *ResilientClient) admit() error {
 	default: // half-open
 		if c.probing {
 			c.count(func(s *ResilientStats) { s.Rejected++ })
+			c.mReject.Inc()
 			return fmt.Errorf("%w (probe in flight)", ErrCircuitOpen)
 		}
 		c.probing = true
@@ -295,6 +364,7 @@ func (c *ResilientClient) recordFailure() {
 		c.openedAt = c.now()
 		c.probing = false
 		c.count(func(s *ResilientStats) { s.BreakerTrips++ })
+		c.mTrips.Inc()
 		return
 	}
 	c.consec++
@@ -302,6 +372,7 @@ func (c *ResilientClient) recordFailure() {
 		c.state = breakerOpen
 		c.openedAt = c.now()
 		c.count(func(s *ResilientStats) { s.BreakerTrips++ })
+		c.mTrips.Inc()
 	}
 }
 

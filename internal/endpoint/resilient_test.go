@@ -66,7 +66,7 @@ func TestResilientRetriesTransient(t *testing.T) {
 		&StatusError{Code: 503},
 		nil,
 	}}
-	c := NewResilient(inner, testPolicy())
+	c := NewResilient(inner, WithPolicy(testPolicy()))
 	res, err := c.Query(context.Background(), "SELECT * WHERE {}")
 	if err != nil {
 		t.Fatalf("retryable failures not retried: %v", err)
@@ -85,7 +85,7 @@ func TestResilientNoRetryOnPermanent(t *testing.T) {
 		&StatusError{Code: 400, Body: "syntax error"},
 		nil,
 	}}
-	c := NewResilient(inner, testPolicy())
+	c := NewResilient(inner, WithPolicy(testPolicy()))
 	_, err := c.Query(context.Background(), "NOT SPARQL")
 	if err == nil {
 		t.Fatal("permanent failure swallowed")
@@ -109,7 +109,7 @@ func TestResilientRetryBudgetExhausted(t *testing.T) {
 	inner := &scriptClient{script: script}
 	p := testPolicy()
 	p.MaxRetries = 2
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	_, err := c.Query(context.Background(), "SELECT * WHERE {}")
 	if err == nil {
 		t.Fatal("exhausted retries reported success")
@@ -128,7 +128,7 @@ func TestResilientOverallDeadline(t *testing.T) {
 	inner := &scriptClient{block: make(chan struct{})}
 	p := testPolicy()
 	p.Timeout = 30 * time.Millisecond
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	t0 := time.Now()
 	_, err := c.Query(context.Background(), "SELECT * WHERE {}")
 	if err == nil {
@@ -157,7 +157,7 @@ func TestResilientAttemptTimeoutIsRetryable(t *testing.T) {
 	})
 	p := testPolicy()
 	p.AttemptTimeout = 20 * time.Millisecond
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	if _, err := c.Query(context.Background(), "SELECT * WHERE {}"); err != nil {
 		t.Fatalf("attempt timeout not retried: %v", err)
 	}
@@ -184,7 +184,7 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 		BreakerCooldown:  time.Hour, // only the fake clock moves it
 		Sleep:            noSleep,
 	}
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	now := time.Now()
 	c.now = func() time.Time { return now }
 
@@ -239,7 +239,7 @@ func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
 		return &sparql.Results{}, nil
 	})
 	p := Policy{BreakerThreshold: 1, BreakerCooldown: time.Hour, Sleep: noSleep}
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	now := time.Now()
 	c.now = func() time.Time { return now }
 
@@ -273,7 +273,7 @@ func TestResilientInFlightLimit(t *testing.T) {
 	block := make(chan struct{})
 	inner := &scriptClient{block: block}
 	p := Policy{MaxInFlight: 2, Sleep: noSleep}
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
@@ -322,7 +322,7 @@ func TestResilientConcurrent(t *testing.T) {
 		MaxInFlight:      8,
 		Jitter:           0.5,
 	}
-	c := NewResilient(inner, p)
+	c := NewResilient(inner, WithPolicy(p))
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
 	for i := 0; i < 64; i++ {

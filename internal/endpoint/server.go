@@ -4,75 +4,247 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"time"
 
+	"re2xolap/internal/obs"
+	"re2xolap/internal/par"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/sparql"
 	"re2xolap/internal/store"
 )
 
 // Server is an http.Handler implementing the SPARQL 1.1 protocol query
-// operation over a local store: GET with ?query= or POST with a form
-// body, returning application/sparql-results+json.
+// operation over a local store: GET with ?query=, POST with a form
+// body, or POST with an application/sparql-query body, returning
+// application/sparql-results+json by default. With WithRegistry
+// it publishes request metrics and can expose /metrics, /healthz, and
+// pprof through Routes.
 type Server struct {
 	engine *sparql.Engine
+	st     *store.Store
 	// MaxQueryLen bounds accepted query text; defaults to 1 MiB.
+	//
+	// Deprecated: set it via WithMaxQueryLen at construction instead
+	// of mutating the field afterwards.
 	MaxQueryLen int
+
+	reg  *obs.Registry
+	m    *serverMetrics
+	slow *obs.SlowLog
 }
 
-// NewServer returns a SPARQL protocol handler over st.
-func NewServer(st *store.Store) *Server {
-	return &Server{engine: sparql.NewEngine(st), MaxQueryLen: 1 << 20}
+// serverMetrics caches the server's registry series.
+type serverMetrics struct {
+	requests  map[string]*obs.Counter // by outcome
+	latency   *obs.Histogram
+	serialize *obs.Histogram
+}
+
+// requestOutcomes is the label vocabulary of the request counter.
+var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "canceled", "error"}
+
+// NewServer returns a SPARQL protocol handler over st. Supported
+// options: WithRegistry (request counters, latency histograms, engine
+// phase metrics, store and worker-pool gauges), WithSlowQueryLog,
+// WithMaxQueryLen, WithWorkers.
+func NewServer(st *store.Store, opts ...Option) *Server {
+	o := applyOptions(opts)
+	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow}
+	if o.maxQueryLen > 0 {
+		s.MaxQueryLen = o.maxQueryLen
+	}
+	if o.workers != nil {
+		s.engine.Exec.Workers = *o.workers
+	}
+	if reg := o.registry; reg != nil {
+		s.reg = reg
+		s.engine.Instrument(reg)
+		m := &serverMetrics{
+			requests: make(map[string]*obs.Counter, len(requestOutcomes)),
+			latency: reg.Histogram("re2xolap_server_request_seconds",
+				"SPARQL request latency, serialization included.", nil),
+			serialize: reg.Histogram("re2xolap_server_serialize_seconds",
+				"Result serialization time.", nil),
+		}
+		for _, oc := range requestOutcomes {
+			m.requests[oc] = reg.Counter("re2xolap_server_requests_total",
+				"SPARQL protocol requests by outcome.", obs.L("outcome", oc))
+		}
+		s.m = m
+		reg.GaugeFunc("re2xolap_store_triples", "Triples in the served store.",
+			func() float64 { return float64(st.Len()) })
+		reg.GaugeFunc("re2xolap_par_active_workers", "Worker-pool goroutines currently running.",
+			func() float64 { return float64(par.Active()) })
+	}
+	return s
 }
 
 // Engine exposes the server's query engine so callers can tune its
 // execution options (e.g. worker count) before serving.
+//
+// Deprecated: prefer WithWorkers/WithRegistry at construction; poking
+// engine fields after the server starts serving races live queries.
 func (s *Server) Engine() *sparql.Engine { return s.engine }
+
+// outcome buckets an execution error for the request counter.
+func requestOutcome(err error) string {
+	var se *sparql.SyntaxError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &se):
+		return "bad_query"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// countRequest is nil-safe outcome accounting.
+func (m *serverMetrics) countRequest(outcome string, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.requests[outcome].Inc()
+	m.latency.ObserveDuration(wall)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var query string
 	switch r.Method {
 	case http.MethodGet:
 		query = r.URL.Query().Get("query")
 	case http.MethodPost:
-		if err := r.ParseForm(); err != nil {
-			http.Error(w, "malformed form body", http.StatusBadRequest)
-			return
+		ct := r.Header.Get("Content-Type")
+		if ct == "application/sparql-query" || strings.HasPrefix(ct, "application/sparql-query;") {
+			// SPARQL 1.1 protocol "query via POST directly": the body
+			// IS the query, so cap the read at the same length bound.
+			body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.MaxQueryLen)+1))
+			if err != nil {
+				http.Error(w, "malformed request body", http.StatusBadRequest)
+				s.m.countRequest("bad_request", time.Since(start))
+				return
+			}
+			query = string(body)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "malformed form body", http.StatusBadRequest)
+				s.m.countRequest("bad_request", time.Since(start))
+				return
+			}
+			query = r.PostForm.Get("query")
 		}
-		query = r.PostForm.Get("query")
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.m.countRequest("bad_request", time.Since(start))
 		return
 	}
 	if query == "" {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		s.m.countRequest("bad_request", time.Since(start))
 		return
 	}
 	if len(query) > s.MaxQueryLen {
 		http.Error(w, "query too long", http.StatusRequestEntityTooLarge)
+		s.m.countRequest("bad_request", time.Since(start))
 		return
 	}
-	res, err := s.engine.QueryStringContext(r.Context(), query)
+
+	var res *sparql.Results
+	var pt sparql.PhaseTimings
+	var err error
+	timed := s.m != nil || s.slow != nil
+	if timed {
+		res, pt, err = s.engine.QueryStringTimed(r.Context(), query)
+	} else {
+		res, err = s.engine.QueryStringContext(r.Context(), query)
+	}
 	if err != nil {
-		var se *sparql.SyntaxError
-		switch {
-		case errors.As(err, &se):
+		switch requestOutcome(err) {
+		case "bad_query":
 			http.Error(w, fmt.Sprintf("malformed query: %v", err), http.StatusBadRequest)
-		case errors.Is(err, context.DeadlineExceeded):
+		case "timeout":
 			// The per-request execution deadline expired: 503 tells
 			// well-behaved clients (and our ResilientClient) this is a
 			// load condition worth retrying, not a broken query.
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "query timed out", http.StatusServiceUnavailable)
-		case errors.Is(err, context.Canceled):
+		case "canceled":
 			// The client went away; nobody is reading the response.
 		default:
 			http.Error(w, fmt.Sprintf("query execution failed: %v", err), http.StatusInternalServerError)
 		}
+		wall := time.Since(start)
+		s.m.countRequest(requestOutcome(err), wall)
+		s.recordSlow(query, wall, pt, 0, err)
 		return
 	}
+
+	var serStart time.Time
+	if timed {
+		serStart = time.Now()
+	}
+	s.serialize(w, r, res)
+	if timed {
+		ser := time.Since(serStart)
+		wall := time.Since(start)
+		s.m.countRequest("ok", wall)
+		if s.m != nil {
+			s.m.serialize.ObserveDuration(ser)
+		}
+		s.recordSlowWithSerialize(query, wall, pt, res.Len(), ser)
+	}
+}
+
+// recordSlow feeds the structured slow-query log from the server side
+// (phase breakdown, no serialize component).
+func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, err error) {
+	if !s.slow.Slow(wall) {
+		return
+	}
+	entry := obs.SlowQuery{
+		Source:  "server",
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		PhaseMS: obs.PhaseMS(pt.Map()),
+		Rows:    rows,
+		Query:   query,
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	s.slow.Record(entry)
+}
+
+// recordSlowWithSerialize adds the serialization phase to the
+// breakdown.
+func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, ser time.Duration) {
+	if !s.slow.Slow(wall) {
+		return
+	}
+	phases := pt.Map()
+	if ser > 0 {
+		phases["serialize"] = ser
+	}
+	s.slow.Record(obs.SlowQuery{
+		Source:  "server",
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		PhaseMS: obs.PhaseMS(phases),
+		Rows:    rows,
+		Query:   query,
+	})
+}
+
+// serialize writes res in the negotiated format.
+func (s *Server) serialize(w http.ResponseWriter, r *http.Request, res *sparql.Results) {
 	if res.IsConstruct {
 		// CONSTRUCT results are an RDF graph, served as N-Triples.
 		w.Header().Set("Content-Type", "application/n-triples")
@@ -103,6 +275,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Headers are already sent; nothing more to do.
 		return
 	}
+}
+
+// RoutesConfig configures the full serving mux around a Server.
+type RoutesConfig struct {
+	// Harden is applied to the /sparql handler only (shedding, panic
+	// recovery, per-request deadline); the observability endpoints
+	// stay reachable under load so operators can see why.
+	Harden HardenConfig
+	// Pprof gates the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints on an open port are a DoS
+	// and information-leak vector.
+	Pprof bool
+}
+
+// Routes assembles the operational mux: /sparql (hardened), /metrics
+// (Prometheus text format; 404 unless the server was built
+// WithRegistry), /healthz, and — when cfg.Pprof — /debug/pprof/.
+func (s *Server) Routes(cfg RoutesConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", Harden(s, cfg.Harden))
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok %d triples\n", s.st.Len())
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // wantsXML reports whether the Accept header prefers the XML results

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the content type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes every metric in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with one
+// # HELP and # TYPE line, series sorted by label set. Histograms
+// expand into cumulative _bucket{le=...} series plus _sum and _count.
+// A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.instances))
+		for k := range f.instances {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeInstance(bw, f, f.instances[k])
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+func writeInstance(w io.Writer, f *family, in *instance) {
+	switch f.kind {
+	case kindCounter:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(in.labels, ""), formatFloat(float64(in.c.Value())))
+	case kindGauge:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(in.labels, ""), formatFloat(float64(in.g.Value())))
+	case kindGaugeFunc:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(in.labels, ""), formatFloat(in.fn()))
+	case kindHistogram:
+		cum, total := in.h.snapshot()
+		for i, bound := range in.h.bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(in.labels, formatFloat(bound)), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(in.labels, "+Inf"), total)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(in.labels, ""), formatFloat(in.h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(in.labels, ""), total)
+	}
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Empty label sets render as "".
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the exposition (the
+// /metrics endpoint). A nil registry serves 404.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		_ = r.WriteProm(w)
+	})
+}

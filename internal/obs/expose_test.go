@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry covering every
+// metric kind, label escaping, and histogram expansion.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_queries_total", "Total queries accepted.").Add(42)
+	r.Counter("app_errors_total", "Errors by kind.", L("kind", "retryable")).Add(3)
+	r.Counter("app_errors_total", "Errors by kind.", L("kind", "permanent")).Add(1)
+	r.Gauge("app_inflight", "In-flight requests.").Set(5)
+	r.GaugeFunc("app_pool_workers", "Active pool workers.", func() float64 { return 2 })
+	h := r.Histogram("app_query_seconds", "Query latency.", []float64{0.1, 1, 10}, L("client", `quo"te\back`))
+	h.Observe(0.05)
+	h.Observe(0.1)
+	h.Observe(3)
+	h.Observe(50)
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromFormatInvariants checks structural properties independent
+// of the golden file, so a careless -update cannot bless a malformed
+// format: TYPE precedes samples, families are sorted, histograms are
+// cumulative and end at +Inf.
+func TestPromFormatInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	seenType := map[string]bool{}
+	var lastFamily string
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# TYPE "):
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", ln)
+			}
+			name := parts[2]
+			if name < lastFamily {
+				t.Errorf("families out of order: %q after %q", name, lastFamily)
+			}
+			lastFamily = name
+			seenType[name] = true
+		case strings.HasPrefix(ln, "# HELP "), ln == "":
+		default:
+			name := ln
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !seenType[name] && !seenType[base] {
+				t.Errorf("sample %q before its TYPE line", ln)
+			}
+		}
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Error("histogram missing +Inf bucket")
+	}
+	if !strings.Contains(out, `client="quo\"te\\back"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	// Cumulative check: later buckets include earlier ones (0.05 and
+	// 0.1 land in le=0.1; 3 pushes le=10 to 3).
+	if !strings.Contains(out, `le="0.1"} 2`) || !strings.Contains(out, `le="10"} 3`) {
+		t.Errorf("histogram buckets not cumulative:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "app_queries_total 42") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+
+	var nilReg *Registry
+	rec = httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil registry status = %d, want 404", rec.Code)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one structured slow-query log entry, serialized as a
+// single JSON line. Durations are milliseconds so the log is directly
+// plottable; PhaseMS breaks the wall time into engine phases when the
+// executing layer reports them.
+type SlowQuery struct {
+	Time    string             `json:"time"`
+	Source  string             `json:"source"`             // "inprocess", "http", "resilient", "server"
+	Step    string             `json:"step,omitempty"`     // issuing workflow step tag
+	WallMS  float64            `json:"wall_ms"`
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"` // parse/plan/join/aggregate/sort/serialize
+	Rows    int                `json:"rows"`
+	Retries int                `json:"retries,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	Query   string             `json:"query"`
+}
+
+// maxSlowQueryLen bounds the logged query text so one enormous VALUES
+// block cannot bloat the log.
+const maxSlowQueryLen = 2048
+
+// SlowLog writes queries slower than a threshold as JSON lines. A nil
+// *SlowLog is the disabled state: Slow reports false and Record
+// no-ops, so callers need no separate branch. Safe for concurrent use
+// (one mutex serializes line writes).
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	logged    atomic.Int64
+	now       func() time.Time // injectable clock (tests)
+}
+
+// NewSlowLog returns a slow-query log writing entries for queries at
+// or above threshold to w.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	return &SlowLog{w: w, threshold: threshold, now: time.Now}
+}
+
+// Slow reports whether a query of duration d should be logged.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+// Logged returns how many entries were written.
+func (l *SlowLog) Logged() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.logged.Load()
+}
+
+// Record writes one entry if q.WallMS meets the threshold, filling
+// the timestamp and truncating oversized query text. Call it
+// unconditionally after each query; the threshold check is inside.
+func (l *SlowLog) Record(q SlowQuery) {
+	if l == nil || time.Duration(q.WallMS*float64(time.Millisecond)) < l.threshold {
+		return
+	}
+	q.Time = l.now().UTC().Format(time.RFC3339Nano)
+	if len(q.Query) > maxSlowQueryLen {
+		q.Query = q.Query[:maxSlowQueryLen] + "...(truncated)"
+	}
+	line, err := json.Marshal(q)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+	l.logged.Add(1)
+}
+
+// PhaseMS converts a set of named durations into the milliseconds map
+// a SlowQuery carries, dropping zero phases.
+func PhaseMS(phases map[string]time.Duration) map[string]float64 {
+	var out map[string]float64
+	for k, d := range phases {
+		if d <= 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64, len(phases))
+		}
+		out[k] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a per-query (or per-workflow) span tree: the root span
+// covers the whole operation and children cover its phases — for a
+// SPARQL query, parse → plan → join → aggregate → serialize, plus
+// retry/circuit events from the resilient client. One mutex guards
+// the whole tree, so spans may be started and ended from concurrent
+// goroutines (the parallel executor does); span churn is a handful
+// per query, far too low for the lock to contend.
+//
+// Every method is nil-safe: a nil *Trace or *Span ignores all
+// operations, so instrumentation sites carry no "tracing off" branch.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one timed node of a trace.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration // 0 until End
+	ended    bool
+	attrs    []Label
+	events   []spanEvent
+	children []*Span
+}
+
+type spanEvent struct {
+	name string
+	at   time.Duration // offset from span start
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{tr: t, name: name, start: time.Now()}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// End ends the root span.
+func (t *Trace) End() { t.Root().End() }
+
+// Start begins a child span. Returns nil on a nil receiver, so
+// chained instrumentation degrades to no-ops.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock (idempotent: the first End wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Record appends an already-measured child span of the given duration
+// (for phases timed inline, where Start/End call pairs would bracket
+// the wrong interval). Returns the child for attribute setting.
+func (s *Span) Record(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now().Add(-d), dur: d, ended: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key=value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// Event records a point-in-time marker within the span (retries,
+// breaker transitions).
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.events = append(s.events, spanEvent{name: name, at: time.Since(s.start)})
+	s.tr.mu.Unlock()
+}
+
+// Duration returns the span's measured duration: its final duration
+// once ended, the running elapsed time before that (0 for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Children returns a snapshot of the child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// String renders the trace as an indented tree with durations,
+// attributes, and events — the human-readable form the REPL prints.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.mu.Lock()
+	writeSpan(&b, t.root, 0)
+	t.mu.Unlock()
+	return b.String()
+}
+
+func writeSpan(b *strings.Builder, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	d := s.dur
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	fmt.Fprintf(b, "%s %s", s.name, d.Round(time.Microsecond))
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, ev := range s.events {
+		for i := 0; i < depth+1; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(b, "@%s %s\n", ev.at.Round(time.Microsecond), ev.name)
+	}
+	for _, c := range s.children {
+		writeSpan(b, c, depth+1)
+	}
+}
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying span as the active span.
+func ContextWith(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFrom returns the active span in ctx, or nil. The nil case (no
+// tracing) costs one context lookup and no allocation.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a child of the active span in ctx, returning the
+// derived context and the child. When ctx carries no span it returns
+// (ctx, nil) without allocating — the disabled fast path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Start(name)
+	return ContextWith(ctx, c), c
+}

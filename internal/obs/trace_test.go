@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	join := root.Start("join")
+	join.SetAttr("workers", "4")
+	join.Event("chunk done")
+	join.End()
+	root.Record("aggregate", 5*time.Millisecond)
+	tr.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "join" || kids[1].Name() != "aggregate" {
+		t.Fatalf("children = %v", kids)
+	}
+	if d := kids[1].Duration(); d != 5*time.Millisecond {
+		t.Fatalf("recorded duration = %v, want 5ms", d)
+	}
+	s := tr.String()
+	for _, want := range []string{"query", "join", "workers=4", "chunk done", "aggregate 5ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "\n  join") {
+		t.Errorf("join not indented under root:\n%s", s)
+	}
+}
+
+// TestTraceConcurrentNesting exercises the span tree the way the
+// parallel executor does: many goroutines starting, annotating, and
+// ending children of a shared parent. Run under -race.
+func TestTraceConcurrentNesting(t *testing.T) {
+	tr := NewTrace("parallel-query")
+	parent := tr.Root().Start("join")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := parent.Start("chunk")
+				c.SetAttr("w", "x")
+				c.Event("scan")
+				c.End()
+				parent.Record("merge", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	tr.End()
+	if got := len(parent.Children()); got != 2*workers*perWorker {
+		t.Fatalf("children = %d, want %d", got, 2*workers*perWorker)
+	}
+	// Rendering a large concurrent tree must not race or crash.
+	if s := tr.String(); !strings.Contains(s, "parallel-query") {
+		t.Fatal("rendering lost the root")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty context carried a span")
+	}
+	tr := NewTrace("root")
+	ctx = ContextWith(ctx, tr.Root())
+	if SpanFrom(ctx) != tr.Root() {
+		t.Fatal("span did not round-trip through context")
+	}
+	ctx2, child := StartSpan(ctx, "phase")
+	if child == nil || SpanFrom(ctx2) != child {
+		t.Fatal("StartSpan did not install the child span")
+	}
+	child.End()
+	if kids := tr.Root().Children(); len(kids) != 1 || kids[0] != child {
+		t.Fatalf("child not attached to parent: %v", kids)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("x")
+	s := tr.Root().Start("s")
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}

@@ -11,7 +11,18 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// active counts worker goroutines currently running across every Do
+// call in the process; Active exposes it so the observability layer
+// can publish pool occupancy as a gauge. The sequential inline path
+// (workers <= 1) runs on the caller's goroutine and is not counted.
+var active atomic.Int64
+
+// Active returns the number of pool worker goroutines currently
+// running process-wide.
+func Active() int64 { return active.Load() }
 
 // Workers resolves a worker-count setting: n > 0 is taken as-is, and
 // anything else means GOMAXPROCS (the "use the machine" default).
@@ -52,6 +63,8 @@ func Do(workers, n int, fn func(i int) error) error {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			active.Add(1)
+			defer active.Add(-1)
 			defer wg.Done()
 			for {
 				mu.Lock()

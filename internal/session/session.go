@@ -54,7 +54,7 @@ func New(e *core.Engine, g *vgraph.Graph) *Session {
 // Start executes the chosen initial query (from ReOLAP synthesis) and
 // begins the exploration history.
 func (s *Session) Start(ctx context.Context, q *core.OLAPQuery) (*core.ResultSet, error) {
-	rs, err := s.Engine.Execute(ctx, q)
+	rs, err := s.Engine.ExecuteTagged(ctx, q, "start")
 	if err != nil {
 		return nil, fmt.Errorf("session: executing initial query: %w", err)
 	}
@@ -110,7 +110,7 @@ func (s *Session) Apply(ctx context.Context, r refine.Refinement) (*core.ResultS
 	if s.Current() == nil {
 		return nil, ErrNoCurrentQuery
 	}
-	rs, err := s.Engine.Execute(ctx, r.Query)
+	rs, err := s.Engine.ExecuteTagged(ctx, r.Query, "refine:"+string(r.Kind))
 	if err != nil {
 		return nil, fmt.Errorf("session: executing refinement: %w", err)
 	}

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"re2xolap/internal/obs"
 	"re2xolap/internal/par"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/store"
@@ -29,6 +31,11 @@ type Engine struct {
 	// DisableJoinOrdering makes the executor join patterns in syntactic
 	// order (used by the ablation benchmarks).
 	DisableJoinOrdering bool
+
+	// metrics holds the pre-registered observability series; nil until
+	// Instrument is called. The query path checks this one pointer to
+	// decide between the timed and the bare execution paths.
+	metrics *engineMetrics
 }
 
 // NewEngine returns an engine over st.
@@ -44,8 +51,15 @@ func (e *Engine) QueryString(src string) (*Results, error) {
 }
 
 // QueryStringContext parses and executes src under ctx: cancellation
-// or deadline expiry aborts the join mid-flight.
+// or deadline expiry aborts the join mid-flight. When the engine is
+// instrumented (Instrument) or ctx carries a trace span, execution is
+// routed through the timed path so phase metrics and spans are
+// recorded; otherwise this is the zero-overhead path.
 func (e *Engine) QueryStringContext(ctx context.Context, src string) (*Results, error) {
+	if e.metrics != nil || obs.SpanFrom(ctx) != nil {
+		res, _, err := e.QueryStringTimed(ctx, src)
+		return res, err
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -70,6 +84,19 @@ func (e *Engine) QueryContext(ctx context.Context, q *Query) (*Results, error) {
 // queryWithView executes q against an already-taken store view, so
 // subqueries share the outer query's snapshot.
 func (e *Engine) queryWithView(ctx context.Context, q *Query, view *store.View) (*Results, error) {
+	return e.queryPhased(ctx, q, view, nil)
+}
+
+// queryPhased is queryWithView with optional phase accounting: when pt
+// is non-nil the plan/join/aggregate/sort wall times and the result
+// row count are recorded into it. pt == nil (the default path, and all
+// subqueries) takes no timestamps at all, keeping the uninstrumented
+// hot path byte-identical to the pre-observability engine.
+func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt *PhaseTimings) (*Results, error) {
+	var mark time.Time
+	if pt != nil {
+		mark = time.Now()
+	}
 	ex := &executor{
 		eng: e, view: view, dict: view.Dict(),
 		slots: map[string]int{}, ctx: ctx,
@@ -86,7 +113,15 @@ func (e *Engine) queryWithView(ctx context.Context, q *Query, view *store.View) 
 	case !q.IsAggregate() && !q.Distinct && len(q.OrderBy) == 0 && q.Limit >= 0:
 		ex.limit = q.Limit + q.Offset
 	}
+	if pt != nil {
+		now := time.Now()
+		pt.Plan = now.Sub(mark)
+		mark = now
+	}
 	rows, err := ex.evalWhere(q.Where)
+	if pt != nil {
+		pt.Join = time.Since(mark)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -99,17 +134,28 @@ func (e *Engine) queryWithView(ctx context.Context, q *Query, view *store.View) 
 	if q.Construct != nil {
 		return ex.construct(q, rows)
 	}
+	if pt != nil {
+		mark = time.Now()
+	}
 	var res *Results
 	if q.IsAggregate() {
 		res, err = ex.aggregate(q, rows)
 	} else {
 		res, err = ex.project(q, rows)
 	}
+	if pt != nil {
+		now := time.Now()
+		pt.Aggregate = now.Sub(mark)
+		mark = now
+	}
 	if err != nil {
 		return nil, err
 	}
 	if err := applyModifiers(q, res); err != nil {
 		return nil, err
+	}
+	if pt != nil {
+		pt.Sort = time.Since(mark)
 	}
 	return res, nil
 }

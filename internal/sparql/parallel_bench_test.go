@@ -1,10 +1,12 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"re2xolap/internal/datagen"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/store"
 )
 
@@ -40,6 +42,32 @@ func BenchmarkBGPJoin(b *testing.B) {
 		spec.ObservationClass(), spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Measures[0].Pred)
 	b.Run("seq", func(b *testing.B) { benchQuery(b, st, 1, q) })
 	b.Run("par", func(b *testing.B) { benchQuery(b, st, 0, q) })
+}
+
+// BenchmarkBGPJoinObserved measures the observability overhead on the
+// BGP-join workload through the string entry point the protocol layer
+// uses: "nil" is the uninstrumented engine (must match the plain
+// bench), "metrics" has a live registry recording phase histograms.
+// The acceptance bar is <2% overhead with metrics on, ~0% with nil.
+func BenchmarkBGPJoinObserved(b *testing.B) {
+	st, spec := benchStore(b, 5000)
+	q := fmt.Sprintf(
+		`SELECT ?o ?m ?v WHERE { ?o a <%s> . ?o <%s> ?m . ?o <%s> ?v . } ORDER BY ?o LIMIT 1000`,
+		spec.ObservationClass(), spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Measures[0].Pred)
+	run := func(b *testing.B, reg *obs.Registry) {
+		eng := NewEngine(st)
+		eng.Exec.Workers = 1
+		eng.Instrument(reg)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QueryStringContext(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 func BenchmarkGroupBy(b *testing.B) {

@@ -1,0 +1,137 @@
+package sparql
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+// PhaseTimings is the per-query wall-time breakdown the instrumented
+// engine reports: parse (text → AST), plan (executor setup and
+// short-circuit analysis; join-order selection itself happens inside
+// the join phase, per BGP block), join (pattern matching, filters,
+// closures — the bulk), aggregate (grouping/projection), and sort
+// (ORDER BY/DISTINCT/LIMIT modifiers). Serialization happens above
+// the engine, in the protocol layer, which accounts for it
+// separately.
+type PhaseTimings struct {
+	Parse     time.Duration
+	Plan      time.Duration
+	Join      time.Duration
+	Aggregate time.Duration
+	Sort      time.Duration
+	// Rows is the result row count (0 for ASK).
+	Rows int
+}
+
+// Total sums the measured phases (engine-side time; the caller's wall
+// clock may add queueing and serialization on top).
+func (p PhaseTimings) Total() time.Duration {
+	return p.Parse + p.Plan + p.Join + p.Aggregate + p.Sort
+}
+
+// Map returns the non-zero phases by name, for slow-query logging.
+func (p PhaseTimings) Map() map[string]time.Duration {
+	m := make(map[string]time.Duration, 5)
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"parse", p.Parse}, {"plan", p.Plan}, {"join", p.Join},
+		{"aggregate", p.Aggregate}, {"sort", p.Sort},
+	} {
+		if ph.d > 0 {
+			m[ph.name] = ph.d
+		}
+	}
+	return m
+}
+
+// engineMetrics caches the engine's registry series so the per-query
+// cost of metrics is a handful of atomic adds — no registry lookups
+// on the hot path.
+type engineMetrics struct {
+	queries *obs.Counter
+	errors  *obs.Counter
+	rows    *obs.Counter
+	total   *obs.Histogram
+	phase   [5]*obs.Histogram // parse, plan, join, aggregate, sort
+}
+
+var phaseNames = [5]string{"parse", "plan", "join", "aggregate", "sort"}
+
+// Instrument registers the engine's query metrics in reg and routes
+// string-entry queries (QueryStringContext and the protocol layer
+// above it) through the timed path. Call it at construction time,
+// before the engine serves queries; a nil reg disables metrics again.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		e.metrics = nil
+		return
+	}
+	m := &engineMetrics{
+		queries: reg.Counter("re2xolap_sparql_queries_total", "Queries executed by the SPARQL engine."),
+		errors:  reg.Counter("re2xolap_sparql_query_errors_total", "Queries that failed (syntax or execution)."),
+		rows:    reg.Counter("re2xolap_sparql_rows_total", "Result rows produced."),
+		total:   reg.Histogram("re2xolap_sparql_query_seconds", "End-to-end engine latency per query.", nil),
+	}
+	for i, name := range phaseNames {
+		m.phase[i] = reg.Histogram("re2xolap_sparql_phase_seconds",
+			"Engine wall time per execution phase.", nil, obs.L("phase", name))
+	}
+	e.metrics = m
+}
+
+// Instrumented reports whether Instrument installed a registry.
+func (e *Engine) Instrumented() bool { return e.metrics != nil }
+
+// QueryStringTimed parses and executes src like QueryStringContext,
+// additionally reporting the per-phase wall-time breakdown. Metrics
+// (if instrumented) and trace spans (if ctx carries one) are recorded
+// as a side effect. The protocol layer uses this to fill QueryMeta
+// and feed the slow-query log.
+func (e *Engine) QueryStringTimed(ctx context.Context, src string) (*Results, PhaseTimings, error) {
+	var pt PhaseTimings
+	start := time.Now()
+	q, err := Parse(src)
+	pt.Parse = time.Since(start)
+	if err != nil {
+		e.recordQuery(pt, obs.SpanFrom(ctx), err)
+		return nil, pt, err
+	}
+	res, err := e.queryPhased(ctx, q, e.st.View(), &pt)
+	if res != nil {
+		pt.Rows = res.Len()
+	}
+	e.recordQuery(pt, obs.SpanFrom(ctx), err)
+	return res, pt, err
+}
+
+// recordQuery publishes one query's timings to the registry and the
+// active trace span.
+func (e *Engine) recordQuery(pt PhaseTimings, span *obs.Span, err error) {
+	if m := e.metrics; m != nil {
+		m.queries.Inc()
+		if err != nil {
+			m.errors.Inc()
+		}
+		m.rows.Add(int64(pt.Rows))
+		m.total.ObserveDuration(pt.Total())
+		for i, d := range [5]time.Duration{pt.Parse, pt.Plan, pt.Join, pt.Aggregate, pt.Sort} {
+			m.phase[i].ObserveDuration(d)
+		}
+	}
+	if span != nil {
+		for i, d := range [5]time.Duration{pt.Parse, pt.Plan, pt.Join, pt.Aggregate, pt.Sort} {
+			if d > 0 {
+				span.Record(phaseNames[i], d)
+			}
+		}
+		span.SetAttr("rows", strconv.Itoa(pt.Rows))
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+	}
+}

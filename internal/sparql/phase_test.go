@@ -1,0 +1,130 @@
+package sparql
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/datagen"
+	"re2xolap/internal/obs"
+)
+
+func TestQueryStringTimed(t *testing.T) {
+	spec := datagen.EurostatLike(500)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+	if !eng.Instrumented() {
+		t.Fatal("Instrument did not install metrics")
+	}
+
+	q := fmt.Sprintf(
+		`SELECT ?m (COUNT(?o) AS ?n) WHERE { ?o a <%s> . ?o <%s> ?m . } GROUP BY ?m ORDER BY ?m`,
+		spec.ObservationClass(), spec.NS+spec.Dimensions[0].Pred)
+	res, pt, err := eng.QueryStringTimed(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Rows != res.Len() || pt.Rows == 0 {
+		t.Fatalf("Rows = %d, result rows = %d", pt.Rows, res.Len())
+	}
+	if pt.Parse <= 0 || pt.Join <= 0 || pt.Aggregate <= 0 {
+		t.Fatalf("phases not measured: %+v", pt)
+	}
+	if pt.Total() < pt.Join {
+		t.Fatalf("Total %v < Join %v", pt.Total(), pt.Join)
+	}
+	m := pt.Map()
+	if _, ok := m["join"]; !ok {
+		t.Fatalf("Map missing join: %v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"re2xolap_sparql_queries_total 1",
+		`re2xolap_sparql_phase_seconds_bucket{phase="join"`,
+		"re2xolap_sparql_rows_total",
+		"re2xolap_sparql_query_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A syntax error counts as query + error.
+	if _, _, err := eng.QueryStringTimed(context.Background(), "SELECT nonsense"); err == nil {
+		t.Fatal("syntax error did not error")
+	}
+	buf.Reset()
+	_ = reg.WriteProm(&buf)
+	if !strings.Contains(buf.String(), "re2xolap_sparql_query_errors_total 1") {
+		t.Errorf("error not counted:\n%s", buf.String())
+	}
+}
+
+// TestQueryStringContextRoutesThroughTrace checks the trace-driven
+// path: an uninstrumented engine still produces phase spans when the
+// context carries one.
+func TestQueryStringContextRoutesThroughTrace(t *testing.T) {
+	spec := datagen.EurostatLike(200)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st)
+	tr := obs.NewTrace("test")
+	ctx := obs.ContextWith(context.Background(), tr.Root())
+	q := fmt.Sprintf(`SELECT ?o WHERE { ?o a <%s> . } LIMIT 5`, spec.ObservationClass())
+	if _, err := eng.QueryStringContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+	names := map[string]bool{}
+	for _, c := range tr.Root().Children() {
+		names[c.Name()] = true
+	}
+	if !names["parse"] || !names["join"] {
+		t.Fatalf("trace missing engine phases, got %v in:\n%s", names, tr)
+	}
+}
+
+// TestInstrumentedResultsIdentical guards the refactor: the timed path
+// must return byte-identical results to the bare path.
+func TestInstrumentedResultsIdentical(t *testing.T) {
+	spec := datagen.EurostatLike(300)
+	st, err := spec.BuildStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewEngine(st)
+	timed := NewEngine(st)
+	timed.Instrument(obs.NewRegistry())
+	for _, q := range []string{
+		fmt.Sprintf(`SELECT ?m (SUM(?v) AS ?s) WHERE { ?o <%s> ?m . ?o <%s> ?v . } GROUP BY ?m ORDER BY ?m`,
+			spec.NS+spec.Dimensions[0].Pred, spec.NS+spec.Measures[0].Pred),
+		fmt.Sprintf(`ASK { ?o a <%s> . }`, spec.ObservationClass()),
+		fmt.Sprintf(`SELECT ?o WHERE { ?o a <%s> . } ORDER BY ?o LIMIT 7 OFFSET 2`, spec.ObservationClass()),
+	} {
+		a, err := plain.QueryStringContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := timed.QueryStringContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("instrumented results differ for %s:\n%s\nvs\n%s", q, a, b)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func Bootstrap(ctx context.Context, c endpoint.Client, cfg qb.Config) (*Graph, e
 	cfg = cfg.WithDefaults()
 	g := &Graph{ObservationClass: cfg.ObservationClass}
 
-	n, err := countQuery(ctx, c, fmt.Sprintf(
+	n, err := countQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?o a <%s> . }`, cfg.ObservationClass))
 	if err != nil {
 		return nil, fmt.Errorf("vgraph: counting observations: %w", err)
@@ -33,7 +33,7 @@ func Bootstrap(ctx context.Context, c endpoint.Client, cfg qb.Config) (*Graph, e
 	}
 
 	// Measure predicates: observation → numeric literal.
-	measures, err := predicateQuery(ctx, c, fmt.Sprintf(
+	measures, err := predicateQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT DISTINCT ?p WHERE { ?o a <%s> . ?o ?p ?v . FILTER (ISNUMERIC(?v)) }`, cfg.ObservationClass))
 	if err != nil {
 		return nil, fmt.Errorf("vgraph: discovering measures: %w", err)
@@ -47,7 +47,7 @@ func Bootstrap(ctx context.Context, c endpoint.Client, cfg qb.Config) (*Graph, e
 	sort.Slice(g.Measures, func(i, j int) bool { return g.Measures[i].Predicate < g.Measures[j].Predicate })
 
 	// Dimension predicates: observation → IRI.
-	dims, err := predicateQuery(ctx, c, fmt.Sprintf(
+	dims, err := predicateQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT DISTINCT ?p WHERE { ?o a <%s> . ?o ?p ?m . FILTER (ISIRI(?m)) }`, cfg.ObservationClass))
 	if err != nil {
 		return nil, fmt.Errorf("vgraph: discovering dimensions: %w", err)
@@ -104,7 +104,7 @@ func Bootstrap(ctx context.Context, c endpoint.Client, cfg qb.Config) (*Graph, e
 // describeLevel fills member count, attributes, and the M-to-N flag.
 func describeLevel(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Level) error {
 	path := pathExpr(l.Path)
-	n, err := countQuery(ctx, c, fmt.Sprintf(
+	n, err := countQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o a <%s> . ?o %s ?m . }`,
 		cfg.ObservationClass, path))
 	if err != nil {
@@ -114,7 +114,7 @@ func describeLevel(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Lev
 
 	l.Label = predicateLabel(ctx, c, l.Path[len(l.Path)-1])
 
-	attrs, err := predicateQuery(ctx, c, fmt.Sprintf(
+	attrs, err := predicateQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT DISTINCT ?q WHERE { ?o a <%s> . ?o %s ?m . ?m ?q ?lit . FILTER (ISLITERAL(?lit)) }`,
 		cfg.ObservationClass, path))
 	if err != nil {
@@ -131,7 +131,7 @@ func describeLevel(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Lev
 		// M-to-N check: does some finer member link to two members here?
 		parentPath := pathExpr(l.Path[:len(l.Path)-1])
 		last := l.Path[len(l.Path)-1]
-		res, err := c.Query(ctx, fmt.Sprintf(
+		res, err := endpoint.QueryStep(ctx, c, "bootstrap", fmt.Sprintf(
 			`ASK { ?o a <%s> . ?o %s ?f . ?f <%s> ?m1 . ?f <%s> ?m2 . FILTER (?m1 != ?m2) }`,
 			cfg.ObservationClass, parentPath, last, last))
 		if err != nil {
@@ -146,7 +146,7 @@ func describeLevel(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Lev
 // excluding cycles (predicates already on the path) and ignored
 // predicates.
 func childPredicates(ctx context.Context, c endpoint.Client, cfg qb.Config, l *Level) ([]string, error) {
-	preds, err := predicateQuery(ctx, c, fmt.Sprintf(
+	preds, err := predicateQuery(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT DISTINCT ?q WHERE { ?o a <%s> . ?o %s ?m . ?m ?q ?x . FILTER (ISIRI(?x)) }`,
 		cfg.ObservationClass, pathExpr(l.Path)))
 	if err != nil {
@@ -176,7 +176,7 @@ func childPredicates(ctx context.Context, c endpoint.Client, cfg qb.Config, l *L
 // back to its local name. The paper uses these in-data annotations to
 // present queries in natural language (Section 5.1).
 func predicateLabel(ctx context.Context, c endpoint.Client, pred string) string {
-	res, err := c.Query(ctx, fmt.Sprintf(
+	res, err := endpoint.QueryStep(ctx, c, "bootstrap", fmt.Sprintf(
 		`SELECT ?l WHERE { <%s> <http://www.w3.org/2000/01/rdf-schema#label> ?l . } LIMIT 1`, pred))
 	if err == nil && res.Len() > 0 && sparql.Bound(res.Rows[0][0]) {
 		return res.Rows[0][0].Value
@@ -195,8 +195,8 @@ func pathExpr(path []string) string {
 
 // predicateQuery runs a single-variable SELECT and returns the IRI
 // values of the first column.
-func predicateQuery(ctx context.Context, c endpoint.Client, q string) ([]string, error) {
-	res, err := c.Query(ctx, q)
+func predicateQuery(ctx context.Context, c endpoint.Client, step, q string) ([]string, error) {
+	res, err := endpoint.QueryStep(ctx, c, step, q)
 	if err != nil {
 		return nil, err
 	}
@@ -210,8 +210,8 @@ func predicateQuery(ctx context.Context, c endpoint.Client, q string) ([]string,
 }
 
 // countQuery runs a COUNT query and returns the integer result.
-func countQuery(ctx context.Context, c endpoint.Client, q string) (int, error) {
-	res, err := c.Query(ctx, q)
+func countQuery(ctx context.Context, c endpoint.Client, step, q string) (int, error) {
+	res, err := endpoint.QueryStep(ctx, c, step, q)
 	if err != nil {
 		return 0, err
 	}

@@ -21,14 +21,14 @@ func Refresh(ctx context.Context, c endpoint.Client, cfg qb.Config, g *Graph) er
 		return fmt.Errorf("vgraph: refresh with different observation class (%s vs %s)",
 			cfg.ObservationClass, g.ObservationClass)
 	}
-	n, err := countQuery(ctx, c, fmt.Sprintf(
+	n, err := countQuery(ctx, c, "refresh-stats", fmt.Sprintf(
 		`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?o a <%s> . }`, cfg.ObservationClass))
 	if err != nil {
 		return fmt.Errorf("vgraph: refresh: counting observations: %w", err)
 	}
 	g.ObservationCount = n
 	for _, l := range g.Levels {
-		count, err := countQuery(ctx, c, fmt.Sprintf(
+		count, err := countQuery(ctx, c, "refresh-stats", fmt.Sprintf(
 			`SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o a <%s> . ?o %s ?m . }`,
 			cfg.ObservationClass, pathExpr(l.Path)))
 		if err != nil {
@@ -38,7 +38,7 @@ func Refresh(ctx context.Context, c endpoint.Client, cfg qb.Config, g *Graph) er
 		if l.Depth > 1 && !l.ManyToMany {
 			parentPath := pathExpr(l.Path[:len(l.Path)-1])
 			last := l.Path[len(l.Path)-1]
-			res, err := c.Query(ctx, fmt.Sprintf(
+			res, err := endpoint.QueryStep(ctx, c, "refresh-stats", fmt.Sprintf(
 				`ASK { ?o a <%s> . ?o %s ?f . ?f <%s> ?m1 . ?f <%s> ?m2 . FILTER (?m1 != ?m2) }`,
 				cfg.ObservationClass, parentPath, last, last))
 			if err != nil {

@@ -37,6 +37,7 @@ import (
 	"re2xolap/internal/core"
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/qb"
 	"re2xolap/internal/refine"
 	"re2xolap/internal/session"
@@ -81,6 +82,31 @@ type (
 	SPARQLResults = sparql.Results
 	// BaselineResult is the SPARQLByE-style baseline output.
 	BaselineResult = baseline.Result
+
+	// Registry is a metrics registry with Prometheus text exposition
+	// (see NewRegistry and the WithRegistry option).
+	Registry = obs.Registry
+	// Trace is a per-query span tree (see NewTrace and WithTraceContext).
+	Trace = obs.Trace
+	// Span is one node of a Trace.
+	Span = obs.Span
+	// SlowQueryLog is a structured JSON-lines log of queries slower
+	// than a threshold (see NewSlowQueryLog and WithSlowQueryLog).
+	SlowQueryLog = obs.SlowLog
+	// Request is the extended per-query input of QueryX.
+	Request = endpoint.Request
+	// QueryOpts carries per-query options (step tag, trace span).
+	QueryOpts = endpoint.QueryOpts
+	// QueryMeta is the per-query execution metadata QueryX reports.
+	QueryMeta = endpoint.QueryMeta
+	// QuerierX is the metadata-reporting extension of Client.
+	QuerierX = endpoint.QuerierX
+	// ClientOption configures the endpoint constructors
+	// (NewInProcessClient, NewHTTPClient, NewResilientClient,
+	// NewSPARQLServer).
+	ClientOption = endpoint.Option
+	// ResiliencePolicy configures NewResilientClient.
+	ResiliencePolicy = endpoint.Policy
 )
 
 // The refinement methods: the four ExRef methods of Section 6 plus the
@@ -102,15 +128,61 @@ func NewStore() *Store { return store.New() }
 
 // NewInProcessClient returns a Client executing queries directly
 // against a local store.
-func NewInProcessClient(st *Store) Client { return endpoint.NewInProcess(st) }
+func NewInProcessClient(st *Store, opts ...ClientOption) Client {
+	return endpoint.NewInProcess(st, opts...)
+}
 
 // NewHTTPClient returns a Client speaking the SPARQL protocol with a
 // remote endpoint URL.
-func NewHTTPClient(url string) Client { return endpoint.NewHTTPClient(url) }
+func NewHTTPClient(url string, opts ...ClientOption) Client {
+	return endpoint.NewHTTPClient(url, opts...)
+}
+
+// NewResilientClient wraps inner with deadlines, retries with backoff,
+// a circuit breaker, and an in-flight limiter (see WithPolicy).
+func NewResilientClient(inner Client, opts ...ClientOption) Client {
+	return endpoint.NewResilient(inner, opts...)
+}
 
 // NewSPARQLServer returns an http.Handler exposing st over the SPARQL
-// 1.1 protocol (application/sparql-results+json).
-func NewSPARQLServer(st *Store) http.Handler { return endpoint.NewServer(st) }
+// 1.1 protocol (application/sparql-results+json). Build the full
+// operational mux (with /metrics, /healthz, optional pprof) via
+// endpoint.NewServer(...).Routes.
+func NewSPARQLServer(st *Store, opts ...ClientOption) http.Handler {
+	return endpoint.NewServer(st, opts...)
+}
+
+// Observability constructors and constructor options, re-exported so
+// common deployments never import the internal packages.
+var (
+	// NewRegistry returns an empty metrics registry.
+	NewRegistry = obs.NewRegistry
+	// NewTrace starts a named span tree for one query or session turn.
+	NewTrace = obs.NewTrace
+	// NewSlowQueryLog logs queries slower than threshold as JSON lines
+	// to w.
+	NewSlowQueryLog = obs.NewSlowLog
+	// WithTraceContext installs a span as the ambient trace parent;
+	// instrumented clients attach their spans under it.
+	WithTraceContext = obs.ContextWith
+
+	// WithTimeout bounds HTTP client requests.
+	WithTimeout = endpoint.WithTimeout
+	// WithPolicy sets the resilience policy of NewResilientClient.
+	WithPolicy = endpoint.WithPolicy
+	// WithRegistry attaches a metrics registry to a client or server.
+	WithRegistry = endpoint.WithRegistry
+	// WithSlowQueryLog attaches a slow-query log to a client or server.
+	WithSlowQueryLog = endpoint.WithSlowQueryLog
+	// WithWorkers bounds in-process engine parallelism.
+	WithWorkers = endpoint.WithWorkers
+
+	// QueryX runs one query through any Client, returning per-query
+	// execution metadata alongside the results.
+	QueryX = endpoint.QueryX
+	// DefaultResiliencePolicy is the production resilience default.
+	DefaultResiliencePolicy = endpoint.DefaultPolicy
+)
 
 // Keywords builds an example tuple from keyword strings.
 func Keywords(kws ...string) ExampleTuple { return core.Keywords(kws...) }
@@ -152,6 +224,11 @@ func Bootstrap(ctx context.Context, c Client, cfg Config) (*System, error) {
 		Config: cfg.WithDefaults(),
 	}, nil
 }
+
+// Instrument attaches a metrics registry to the synthesis engine:
+// every endpoint query gets counted and timed under a step label
+// explaining which part of the algorithm issued it.
+func (s *System) Instrument(reg *Registry) { s.Engine.Instrument(reg) }
 
 // Synthesize reverse-engineers candidate OLAP queries from keyword
 // examples (Algorithm 1 / ReOLAP).
