@@ -1,14 +1,16 @@
-// Command bench runs the sequential-vs-parallel executor benchmark and
-// writes a machine-readable report:
+// Command bench runs one of the repo's macro-benchmarks and writes a
+// machine-readable report:
 //
-//	bench -scale medium -workers 0 -runs 3 -out BENCH_PR2.json
+//	bench -report parallel -scale medium -workers 0 -runs 3 -out BENCH_PR2.json
+//	bench -report scatter  -scale medium -shards 2,4 -out BENCH_PR4.json
 //
-// It measures the three workloads the parallel pipeline targets — a
-// multi-pattern BGP join, a GROUP BY aggregate, and end-to-end query
-// synthesis — on every datagen preset, once with Workers=1 (the
-// sequential baseline) and once with the worker pool. The JSON embeds
-// GOMAXPROCS so readers can tell a one-core run (where ~1x is the
-// expected honest result) from a multicore one.
+// The parallel report measures the sequential-vs-parallel executor on
+// the three workloads the worker pool targets (BGP join, GROUP BY,
+// end-to-end synthesis). The scatter report measures the sharded
+// coordinator against a single node on one workload per scatter-gather
+// plan class (colocated star, partial-aggregation pushdown, gather
+// fallback). Both embed GOMAXPROCS so readers can tell a one-core run
+// from a multicore one.
 package main
 
 import (
@@ -17,15 +19,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"re2xolap/internal/bench"
 )
 
 func main() {
+	report := flag.String("report", "parallel", "benchmark to run: parallel or scatter")
 	scaleName := flag.String("scale", "small", "dataset scale: small, medium, large")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	runs := flag.Int("runs", 3, "runs per measurement (best is reported)")
-	out := flag.String("out", "BENCH_PR2.json", "output file ('-' for stdout)")
+	shards := flag.String("shards", "2,4", "comma-separated shard counts for -report scatter")
+	out := flag.String("out", "", "output file ('-' for stdout; default BENCH_PR2.json or BENCH_PR4.json by report)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -40,9 +46,41 @@ func main() {
 		log.Fatalf("bench: unknown scale %q", *scaleName)
 	}
 
-	rep, err := bench.RunParallelReport(*scaleName, scale, *workers, *runs)
-	if err != nil {
-		log.Fatalf("bench: %v", err)
+	var rep any
+	var lines []string
+	switch *report {
+	case "parallel":
+		if *out == "" {
+			*out = "BENCH_PR2.json"
+		}
+		r, err := bench.RunParallelReport(*scaleName, scale, *workers, *runs)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rep = r
+		for _, x := range r.Results {
+			lines = append(lines, fmt.Sprintf("%-14s %-10s seq %8.2fms  par %8.2fms  speedup %.2fx",
+				x.Name, x.Dataset, x.SequentialMS, x.ParallelMS, x.Speedup))
+		}
+	case "scatter":
+		if *out == "" {
+			*out = "BENCH_PR4.json"
+		}
+		counts, err := parseCounts(*shards)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		r, err := bench.RunScatterReport(*scaleName, scale, counts, *workers, *runs)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rep = r
+		for _, x := range r.Results {
+			lines = append(lines, fmt.Sprintf("%-14s %-10s %d shards  single %8.2fms  scatter %8.2fms  overhead %.2fx  (%s, %d rows)",
+				x.Name, x.Dataset, x.Shards, x.SingleMS, x.ScatterMS, x.Overhead, x.Plan, x.Rows))
+		}
+	default:
+		log.Fatalf("bench: unknown report %q (want parallel or scatter)", *report)
 	}
 
 	w := os.Stdout
@@ -59,8 +97,20 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		log.Fatalf("bench: %v", err)
 	}
-	for _, r := range rep.Results {
-		fmt.Fprintf(os.Stderr, "bench: %-14s %-10s seq %8.2fms  par %8.2fms  speedup %.2fx\n",
-			r.Name, r.Dataset, r.SequentialMS, r.ParallelMS, r.Speedup)
+	for _, l := range lines {
+		fmt.Fprintf(os.Stderr, "bench: %s\n", l)
 	}
+}
+
+// parseCounts parses the -shards list ("2,4") into shard counts.
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards %q: want comma-separated counts >= 1", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }

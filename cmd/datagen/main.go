@@ -22,6 +22,7 @@ func main() {
 	obs := flag.Int("obs", 10000, "number of observations")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	format := flag.String("format", "nt", "output format: nt (N-Triples) or snapshot (binary store image)")
+	seed := flag.Int64("seed", 0, "override the preset's RNG seed (0 keeps it; same preset+obs+seed = same bytes)")
 	flag.Parse()
 
 	var spec datagen.Spec
@@ -34,6 +35,9 @@ func main() {
 		spec = datagen.DBpediaLike(*obs)
 	default:
 		log.Fatalf("datagen: unknown preset %q", *dataset)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
 	}
 
 	w := os.Stdout

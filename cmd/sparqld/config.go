@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// applyConfigFile merges a JSON config file into fs after parsing.
+// The file is a flat object whose keys are flag names and whose
+// values are the flag values ("query-timeout": "2m", "workers": 4,
+// "pprof": true). Flags given explicitly on the command line win over
+// the file; everything else set in the file is applied through the
+// flag's own parser, so durations, ints and bools get the same
+// validation either way.
+func applyConfigFile(fs *flag.FlagSet, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var values map[string]json.RawMessage
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&values); err != nil {
+		return fmt.Errorf("config %s: %w", path, err)
+	}
+
+	// Command-line flags take precedence: Visit only walks flags that
+	// were actually set.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	for name, v := range values {
+		if name == "config" {
+			return fmt.Errorf("config %s: a config file cannot set %q", path, name)
+		}
+		if fs.Lookup(name) == nil {
+			return fmt.Errorf("config %s: unknown key %q (keys are flag names)", path, name)
+		}
+		if explicit[name] {
+			continue
+		}
+		if err := fs.Set(name, configValue(v)); err != nil {
+			return fmt.Errorf("config %s: key %q: %w", path, name, err)
+		}
+	}
+	return nil
+}
+
+// configValue renders one JSON value as the string the flag parser
+// expects: strings are unquoted, numbers and bools pass through as
+// their literal text.
+func configValue(raw json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return s
+	}
+	return string(bytes.TrimSpace(raw))
+}

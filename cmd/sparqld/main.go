@@ -9,6 +9,18 @@
 // Then point cmd/re2xolap (or any SPARQL client) at
 // http://localhost:8085/sparql.
 //
+// One binary covers three roles:
+//
+//   - single node (default): serve the whole dataset;
+//   - shard server (-shard i/n): serve only partition i of an n-way
+//     subject-hash split of the dataset;
+//   - coordinator (-shards N | -shards url,local,url): scatter-gather
+//     queries over N shard backends, in-process, remote, or mixed,
+//     with answers byte-identical to a single node over the union.
+//
+// Every flag can also come from a JSON config file (-config); flags
+// given explicitly on the command line override the file.
+//
 // The server is hardened for untrusted traffic: per-request query
 // deadlines (-query-timeout), in-flight limiting with 503 shedding
 // (-max-inflight), panic recovery, Slowloris protection via
@@ -20,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -31,6 +44,7 @@ import (
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
 	"re2xolap/internal/obs"
+	"re2xolap/internal/shard"
 	"re2xolap/internal/store"
 )
 
@@ -45,20 +59,52 @@ func main() {
 	workers := flag.Int("workers", 0, "executor worker goroutines per query (0 = GOMAXPROCS, 1 = sequential)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as JSON lines to stderr (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+	configPath := flag.String("config", "", "JSON config file with flag-name keys; explicit flags override it")
+	shards := flag.String("shards", "", "coordinator mode: shard count, or comma list of shard /sparql URLs and the word 'local'")
+	shardSlot := flag.String("shard", "", "shard-server mode: serve only partition i of n, as 'i/n'")
+	degraded := flag.Bool("degraded", false, "coordinator: answer with partial results when shards fail (sets X-Re2xolap-Incomplete)")
+	traceExport := flag.String("trace-export", "", "append per-request OTLP/JSON trace lines to this file ('-' for stdout)")
 	flag.Parse()
 
-	st, err := buildStore(*data, *gen, *obsCount)
+	if *configPath != "" {
+		if err := applyConfigFile(flag.CommandLine, *configPath); err != nil {
+			log.Fatalf("sparqld: %v", err)
+		}
+	}
+	if *shards != "" && *shardSlot != "" {
+		log.Fatalf("sparqld: -shards (coordinator) and -shard (shard server) are mutually exclusive")
+	}
+
+	// Metrics are always on — the registry costs a few atomic adds per
+	// request and /metrics is how operators see inside the server.
+	reg := obs.NewRegistry()
+	opts := []endpoint.Option{
+		endpoint.WithRegistry(reg),
+		// Each query fans its joins and aggregations over this many
+		// goroutines; -max-inflight bounds how many such queries run at
+		// once, so total parallelism is workers x inflight.
+		endpoint.WithWorkers(*workers),
+	}
+	if *slowQuery > 0 {
+		opts = append(opts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, *slowQuery)))
+	}
+	if *traceExport != "" {
+		sink, err := openTraceSink(*traceExport)
+		if err != nil {
+			log.Fatalf("sparqld: %v", err)
+		}
+		opts = append(opts, endpoint.WithTraceExport(sink))
+	}
+
+	handler, err := buildHandler(*shards, *shardSlot, *data, *gen, *obsCount, *workers, *degraded, *addr, reg, opts)
 	if err != nil {
 		log.Fatalf("sparqld: %v", err)
 	}
-	stats := st.Stats()
-	log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql (metrics on /metrics)",
-		stats.Triples, stats.Terms, stats.Predicates, *addr)
 
-	srv := newServer(*addr, st, endpoint.HardenConfig{
+	srv := newHTTPServer(*addr, handler, endpoint.HardenConfig{
 		QueryTimeout: *queryTimeout,
 		MaxInFlight:  *maxInFlight,
-	}, *queryTimeout, *workers, *slowQuery, *pprofOn)
+	}, *queryTimeout, *pprofOn)
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
 	// in-flight queries the grace period before exiting.
@@ -85,25 +131,77 @@ func main() {
 	}
 }
 
-// newServer assembles the hardened http.Server: the SPARQL handler
-// behind the Harden middleware stack, plus protocol-level timeouts.
+// buildHandler assembles the SPARQL handler for whichever of the
+// three roles the flags select.
+func buildHandler(shards, shardSlot, data, gen string, obsCount, workers int, degraded bool, addr string, reg *obs.Registry, opts []endpoint.Option) (*endpoint.Server, error) {
+	switch {
+	case shardSlot != "":
+		i, n, err := parseShardSlot(shardSlot)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := buildPartitions(data, gen, obsCount, n)
+		if err != nil {
+			return nil, err
+		}
+		st := parts[i]
+		log.Printf("sparqld: serving shard %d/%d (%d triples) on %s/sparql (metrics on /metrics)",
+			i, n, st.Len(), addr)
+		return endpoint.NewServer(st, opts...), nil
+	case shards != "":
+		specs, err := parseShards(shards)
+		if err != nil {
+			return nil, err
+		}
+		backends, err := buildBackends(specs, data, gen, obsCount, workers)
+		if err != nil {
+			return nil, err
+		}
+		coord, err := shard.New(backends, shard.Config{
+			Workers:  workers,
+			Degraded: degraded,
+			Registry: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("sparqld: coordinating %d shards on %s/sparql (degraded=%v, metrics on /metrics)",
+			coord.Shards(), addr, degraded)
+		return endpoint.NewClientServer(coord, opts...), nil
+	default:
+		st, err := buildStore(data, gen, obsCount)
+		if err != nil {
+			return nil, err
+		}
+		stats := st.Stats()
+		log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql (metrics on /metrics)",
+			stats.Triples, stats.Terms, stats.Predicates, addr)
+		return endpoint.NewServer(st, opts...), nil
+	}
+}
+
+// openTraceSink opens the OTLP/JSON trace destination. Files are
+// opened in append mode so restarts do not clobber earlier traces.
+func openTraceSink(path string) (*obs.OTLPSink, error) {
+	var w io.Writer
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("trace export: %w", err)
+		}
+		w = f
+	}
+	return obs.NewOTLPSink(w, "sparqld"), nil
+}
+
+// newHTTPServer wraps the SPARQL handler in the hardened http.Server:
+// the Harden middleware stack plus protocol-level timeouts.
 // ReadHeaderTimeout bounds how long a client may dribble headers
 // (Slowloris); WriteTimeout leaves headroom over the query deadline so
 // slow result writes are bounded too.
-func newServer(addr string, st *store.Store, cfg endpoint.HardenConfig, queryTimeout time.Duration, workers int, slowQuery time.Duration, pprofOn bool) *http.Server {
-	// Metrics are always on — the registry costs a few atomic adds per
-	// request and /metrics is how operators see inside the server.
-	opts := []endpoint.Option{
-		endpoint.WithRegistry(obs.NewRegistry()),
-		// Each query fans its joins and aggregations over this many
-		// goroutines; -max-inflight bounds how many such queries run at
-		// once, so total parallelism is workers x inflight.
-		endpoint.WithWorkers(workers),
-	}
-	if slowQuery > 0 {
-		opts = append(opts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, slowQuery)))
-	}
-	handler := endpoint.NewServer(st, opts...)
+func newHTTPServer(addr string, handler *endpoint.Server, cfg endpoint.HardenConfig, queryTimeout time.Duration, pprofOn bool) *http.Server {
 	mux := handler.Routes(endpoint.RoutesConfig{Harden: cfg, Pprof: pprofOn})
 	writeTimeout := 15 * time.Minute
 	if queryTimeout > 0 {

@@ -25,10 +25,11 @@ ex:obs2 ex:dim ex:fr ; ex:value 20 .
 }
 
 func TestNewServerHardening(t *testing.T) {
-	srv := newServer(":0", testStore(t), endpoint.HardenConfig{
+	handler := endpoint.NewServer(testStore(t), endpoint.WithWorkers(4))
+	srv := newHTTPServer(":0", handler, endpoint.HardenConfig{
 		QueryTimeout: time.Minute,
 		MaxInFlight:  4,
-	}, time.Minute, 4, 0, false)
+	}, time.Minute, false)
 	if srv.ReadHeaderTimeout <= 0 {
 		t.Error("ReadHeaderTimeout not set (Slowloris protection missing)")
 	}

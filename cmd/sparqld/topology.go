@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/shard"
+	"re2xolap/internal/store"
+)
+
+// parseShards interprets the -shards flag. A plain integer N means N
+// in-process partitions of the local dataset; otherwise the value is
+// a comma-separated list with one entry per shard, each either a
+// remote /sparql base URL or the word "local" for an in-process
+// partition. Shard i of the partitioner maps to entry i, so a mixed
+// deployment must list entries in partition order on every node.
+func parseShards(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("-shards %d: shard count must be >= 1", n)
+		}
+		specs := make([]string, n)
+		for i := range specs {
+			specs[i] = "local"
+		}
+		return specs, nil
+	}
+	specs := strings.Split(s, ",")
+	for i, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			return nil, fmt.Errorf("-shards: empty entry at position %d", i)
+		}
+		if spec != "local" && !strings.HasPrefix(spec, "http://") && !strings.HasPrefix(spec, "https://") {
+			return nil, fmt.Errorf("-shards entry %q: want a shard count, %q, or an http(s) URL", spec, "local")
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// parseShardSlot interprets the -shard flag's "i/n" form: this
+// process serves only partition i of an n-way subject-hash split.
+func parseShardSlot(s string) (i, n int, err error) {
+	idx, count, ok := strings.Cut(s, "/")
+	if ok {
+		i, err = strconv.Atoi(strings.TrimSpace(idx))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(count))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n (e.g. 0/3)", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %q: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
+// buildPartitions splits the dataset named by -data/-gen into n
+// stores using the shared subject-hash partitioner, so every node
+// that runs this function with the same inputs agrees on which shard
+// owns which subject. Plain N-Triples files stream straight into the
+// partitions; snapshots and generated datasets are materialized once
+// and then split.
+func buildPartitions(data, gen string, obsCount, n int) ([]*store.Store, error) {
+	p := shard.Partitioner{N: n}
+	if data != "" && !strings.HasSuffix(data, ".snap") {
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		stores, total, err := store.LoadPartitioned(f, n, p.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("partitioning %s: %w", data, err)
+		}
+		log.Printf("sparqld: partitioned %d triples from %s into %d shards", total, data, n)
+		return stores, nil
+	}
+	full, err := buildStore(data, gen, obsCount)
+	if err != nil {
+		return nil, err
+	}
+	parts := p.Split(full.Triples())
+	stores := make([]*store.Store, n)
+	for i, ts := range parts {
+		stores[i] = store.New()
+		if err := stores[i].AddAll(ts); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		stores[i].Compact()
+	}
+	log.Printf("sparqld: partitioned %d triples into %d shards", full.Len(), n)
+	return stores, nil
+}
+
+// buildBackends turns the -shards specs into one endpoint.Client per
+// shard. Local partitions are only built when at least one entry asks
+// for one, so an all-remote coordinator needs no -data/-gen.
+func buildBackends(specs []string, data, gen string, obsCount, workers int) ([]endpoint.Client, error) {
+	needLocal := false
+	for _, spec := range specs {
+		if spec == "local" {
+			needLocal = true
+		}
+	}
+	var parts []*store.Store
+	if needLocal {
+		var err error
+		parts, err = buildPartitions(data, gen, obsCount, len(specs))
+		if err != nil {
+			return nil, err
+		}
+	}
+	backends := make([]endpoint.Client, len(specs))
+	for i, spec := range specs {
+		if spec == "local" {
+			backends[i] = endpoint.NewInProcess(parts[i], endpoint.WithWorkers(workers))
+			log.Printf("sparqld: shard %d: in-process, %d triples", i, parts[i].Len())
+		} else {
+			backends[i] = endpoint.NewHTTPClient(spec)
+			log.Printf("sparqld: shard %d: remote %s", i, spec)
+		}
+	}
+	return backends, nil
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/shard"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+)
+
+// ScatterResult is one single-node vs N-shard coordinator comparison
+// for a workload.
+type ScatterResult struct {
+	// Name identifies the workload: colocated_star, partial_agg,
+	// gather_join — one per scatter-gather plan class.
+	Name string `json:"name"`
+	// Dataset is the datagen preset the workload ran on.
+	Dataset string `json:"dataset"`
+	// Plan is the coordinator plan class the workload exercises.
+	Plan string `json:"plan"`
+	// Shards is the coordinator fan-out (0 rows never appear; the
+	// single-node baseline is SingleMS on every row).
+	Shards int `json:"shards"`
+	// SingleMS / ScatterMS are best-of-N wall times: the same query on
+	// one in-process endpoint over the whole dataset, and through the
+	// coordinator over the subject-hash partitions.
+	SingleMS  float64 `json:"single_ms"`
+	ScatterMS float64 `json:"scatter_ms"`
+	// Overhead is ScatterMS / SingleMS (>1 means the coordinator paid
+	// for the fan-out + merge; <1 means shard parallelism won).
+	Overhead float64 `json:"overhead"`
+	// Rows sanity-checks the comparison: both sides returned this many.
+	Rows int `json:"rows"`
+}
+
+// ScatterReport is the machine-readable output of the PR-4 benchmark
+// run (written to BENCH_PR4.json by cmd/bench).
+type ScatterReport struct {
+	Scale      string `json:"scale"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       int    `json:"runs"`
+	Shards     []int  `json:"shards"`
+	// Note records the measurement caveat that makes the numbers
+	// interpretable off this machine.
+	Note    string          `json:"note"`
+	Results []ScatterResult `json:"results"`
+}
+
+// scatterWorkloads phrases one query per coordinator plan class
+// against a preset: a colocated observation star with ORDER BY/LIMIT,
+// a decomposable GROUP BY that takes the partial-aggregation pushdown,
+// and a cross-subject join that forces the gather fallback.
+func scatterWorkloads(d *Dataset) []struct{ name, plan, query string } {
+	spec := d.Spec
+	obs := spec.ObservationClass()
+	dim := spec.NS + spec.Dimensions[0].Pred
+	dim2 := spec.NS + spec.Dimensions[1].Pred
+	meas := spec.NS + spec.Measures[0].Pred
+	return []struct{ name, plan, query string }{
+		{"colocated_star", "colocated", fmt.Sprintf(
+			`SELECT ?o ?m ?g ?v WHERE { ?o a <%s> . ?o <%s> ?m . ?o <%s> ?g . ?o <%s> ?v . } ORDER BY ?o LIMIT 1000`,
+			obs, dim, dim2, meas)},
+		{"partial_agg", "partial_agg", fmt.Sprintf(
+			`SELECT ?m (COUNT(?o) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?o <%s> ?m . ?o <%s> ?v . } GROUP BY ?m ORDER BY ?m`,
+			dim, meas)},
+		{"gather_join", "gather", fmt.Sprintf(
+			`SELECT ?o ?lbl WHERE { ?o <%s> ?m . ?m <%s> ?lbl } ORDER BY ?o ?lbl LIMIT 500`,
+			dim, rdf.RDFSLabel)},
+	}
+}
+
+// shardCoordinator partitions the dataset by subject hash and stands
+// up an in-process coordinator over n shard backends, mirroring what
+// `sparqld -shards n` builds.
+func shardCoordinator(st *store.Store, n, workers int) (*shard.Coordinator, error) {
+	parts := shard.Partitioner{N: n}.Split(st.Triples())
+	backends := make([]endpoint.Client, n)
+	for i, ts := range parts {
+		s := store.New()
+		if err := s.AddAll(ts); err != nil {
+			return nil, fmt.Errorf("bench: shard %d: %w", i, err)
+		}
+		s.Compact()
+		backends[i] = endpoint.NewInProcess(s, endpoint.WithWorkers(workers))
+	}
+	// NoResilience: the retry/breaker wrapper is not what this
+	// benchmark measures, and in-process shards cannot flake.
+	return shard.New(backends, shard.Config{Workers: workers, NoResilience: true})
+}
+
+// RunScatterBench measures the coordinator against the single-node
+// engine on one prepared dataset, for each shard count. workers <= 0
+// means one goroutine per shard (the coordinator default) and
+// GOMAXPROCS inside each shard's executor.
+func RunScatterBench(d *Dataset, shardCounts []int, workers, runs int) ([]ScatterResult, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	ctx := context.Background()
+	single := endpoint.NewInProcess(d.Store, endpoint.WithWorkers(workers))
+
+	coords := make(map[int]*shard.Coordinator, len(shardCounts))
+	for _, n := range shardCounts {
+		c, err := shardCoordinator(d.Store, n, workers)
+		if err != nil {
+			return nil, err
+		}
+		coords[n] = c
+	}
+
+	var out []ScatterResult
+	for _, w := range scatterWorkloads(d) {
+		var singleRes *sparql.Results
+		singleT, err := bestOf(runs, func() error {
+			res, err := single.Query(ctx, w.query)
+			singleRes = res
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s single: %w", w.name, err)
+		}
+		for _, n := range shardCounts {
+			coord := coords[n]
+			var coordRes *sparql.Results
+			coordT, err := bestOf(runs, func() error {
+				res, err := coord.Query(ctx, w.query)
+				coordRes = res
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s over %d shards: %w", w.name, n, err)
+			}
+			if coordRes.Len() != singleRes.Len() {
+				return nil, fmt.Errorf("bench: %s over %d shards: %d rows, single node has %d",
+					w.name, n, coordRes.Len(), singleRes.Len())
+			}
+			out = append(out, ScatterResult{
+				Name: w.name, Dataset: d.Spec.Name, Plan: w.plan, Shards: n,
+				SingleMS: millis(singleT), ScatterMS: millis(coordT),
+				Overhead: ratio(coordT, singleT), Rows: singleRes.Len(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunScatterReport runs the scatter benchmark over every preset at the
+// given scale and assembles the report.
+func RunScatterReport(scaleName string, scale Scale, shardCounts []int, workers, runs int) (*ScatterReport, error) {
+	rep := &ScatterReport{
+		Scale:      scaleName,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runs:       runs,
+		Shards:     shardCounts,
+		Note: "best-of-N wall times; overhead = scatter/single. In-process shards on one host " +
+			"measure partitioning + merge cost, not network; overhead near 1x means the " +
+			"coordinator is cheap, below 1x means shard parallelism won (needs spare cores).",
+	}
+	for _, spec := range scale.Specs() {
+		d, err := Prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunScatterBench(d, shardCounts, workers, runs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, rs...)
+	}
+	return rep, nil
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"re2xolap/internal/datagen"
+)
+
+// TestRunScatterBench checks the coordinator benchmark produces one
+// result per workload x shard count, with matching row counts between
+// topologies (the run itself fails on a mismatch).
+func TestRunScatterBench(t *testing.T) {
+	d, err := Prepare(datagen.EurostatLike(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunScatterBench(d, []int{2, 3}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("want 3 workloads x 2 shard counts = 6 results, got %d", len(rs))
+	}
+	plans := map[string]bool{}
+	for _, r := range rs {
+		plans[r.Plan] = true
+		if r.Rows <= 0 {
+			t.Errorf("%s over %d shards: no rows", r.Name, r.Shards)
+		}
+		if r.SingleMS <= 0 || r.ScatterMS <= 0 {
+			t.Errorf("%s over %d shards: non-positive timing", r.Name, r.Shards)
+		}
+	}
+	for _, p := range []string{"colocated", "partial_agg", "gather"} {
+		if !plans[p] {
+			t.Errorf("plan class %q not exercised", p)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"re2xolap/internal/obs"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+)
+
+func clientServerStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	for i, name := range []string{"a", "b", "c"} {
+		err := st.Add(rdf.Triple{
+			S: rdf.NewIRI("http://t/" + name),
+			P: rdf.NewIRI("http://t/v"),
+			O: rdf.NewInteger(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestClientServerProxies checks a client-backed server speaks the
+// same protocol as a store-backed one.
+func TestClientServerProxies(t *testing.T) {
+	st := clientServerStore(t)
+	direct := httptest.NewServer(NewServer(st))
+	defer direct.Close()
+	proxy := httptest.NewServer(NewClientServer(NewInProcess(st)))
+	defer proxy.Close()
+
+	query := `SELECT ?s ?v WHERE { ?s <http://t/v> ?v } ORDER BY ?v`
+	fetch := func(base string) []byte {
+		resp, err := http.PostForm(base, url.Values{"query": {query}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	if d, p := fetch(direct.URL), fetch(proxy.URL); !bytes.Equal(d, p) {
+		t.Fatalf("proxy body diverges:\n%s\nvs\n%s", p, d)
+	}
+
+	// Bad query surfaces as 400 through the client path too.
+	resp, err := http.PostForm(proxy.URL, url.Values{"query": {"SELECT nonsense"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query through proxy: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// incompleteClient reports a degraded partial answer.
+type incompleteClient struct{ inner *InProcess }
+
+func (c incompleteClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, Request{Query: query})
+	return res, err
+}
+
+func (c incompleteClient) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
+	res, meta, err := c.inner.QueryX(ctx, req)
+	meta.Incomplete = true
+	return res, meta, err
+}
+
+func TestClientServerIncompleteHeader(t *testing.T) {
+	st := clientServerStore(t)
+	srv := httptest.NewServer(NewClientServer(incompleteClient{inner: NewInProcess(st)}))
+	defer srv.Close()
+	resp, err := http.PostForm(srv.URL, url.Values{"query": {`SELECT ?s WHERE { ?s <http://t/v> ?o }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Re2xolap-Incomplete"); got != "true" {
+		t.Fatalf("X-Re2xolap-Incomplete = %q, want true", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the export sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServerTraceExport checks WithTraceExport emits one OTLP/JSON
+// line per request, on the store-backed server.
+func TestServerTraceExport(t *testing.T) {
+	st := clientServerStore(t)
+	var buf syncBuffer
+	sink := obs.NewOTLPSink(&buf, "sparqld")
+	srv := httptest.NewServer(NewServer(st, WithTraceExport(sink)))
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, err := http.PostForm(srv.URL, url.Values{"query": {`SELECT ?s WHERE { ?s <http://t/v> ?o }`}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 trace lines, got %d:\n%s", len(lines), buf.String())
+	}
+	var req struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct{ Name string }
+			}
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &req); err != nil {
+		t.Fatal(err)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) == 0 || spans[0].Name != "sparql-request" {
+		t.Fatalf("unexpected span tree: %+v", spans)
+	}
+}

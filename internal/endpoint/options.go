@@ -34,6 +34,7 @@ type options struct {
 	slow        *obs.SlowLog
 	maxQueryLen int
 	workers     *int
+	traceSink   *obs.OTLPSink
 }
 
 // applyOptions folds opts into a settings bag.
@@ -87,4 +88,11 @@ func WithMaxQueryLen(n int) Option {
 // NewInProcess): 0 means GOMAXPROCS, 1 the sequential baseline.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = &n }
+}
+
+// WithTraceExport turns on per-request tracing in the server: each
+// /sparql request runs under a fresh trace whose span tree is
+// exported to the sink (OTLP/JSON lines) when the request completes.
+func WithTraceExport(s *obs.OTLPSink) Option {
+	return func(o *options) { o.traceSink = s }
 }

@@ -50,6 +50,11 @@ type QueryMeta struct {
 	// Retries is Attempts beyond the first.
 	Attempts int
 	Retries  int
+	// Incomplete reports that the results cover only part of the data:
+	// a degraded-mode scatter-gather coordinator answered without one
+	// or more failed shards. Complete single-backend clients never set
+	// it.
+	Incomplete bool
 }
 
 // QuerierX is the extension interface of the protocol boundary: a

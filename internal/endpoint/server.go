@@ -26,15 +26,20 @@ import (
 type Server struct {
 	engine *sparql.Engine
 	st     *store.Store
+	// client, when non-nil, replaces the local engine: the server is a
+	// protocol front end over an arbitrary Client (a scatter-gather
+	// coordinator, a resilient remote). See NewClientServer.
+	client Client
 	// MaxQueryLen bounds accepted query text; defaults to 1 MiB.
 	//
 	// Deprecated: set it via WithMaxQueryLen at construction instead
 	// of mutating the field afterwards.
 	MaxQueryLen int
 
-	reg  *obs.Registry
-	m    *serverMetrics
-	slow *obs.SlowLog
+	reg    *obs.Registry
+	m      *serverMetrics
+	slow   *obs.SlowLog
+	traces *obs.OTLPSink
 }
 
 // serverMetrics caches the server's registry series.
@@ -53,7 +58,7 @@ var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "
 // WithMaxQueryLen, WithWorkers.
 func NewServer(st *store.Store, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow}
+	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -63,24 +68,51 @@ func NewServer(st *store.Store, opts ...Option) *Server {
 	if reg := o.registry; reg != nil {
 		s.reg = reg
 		s.engine.Instrument(reg)
-		m := &serverMetrics{
-			requests: make(map[string]*obs.Counter, len(requestOutcomes)),
-			latency: reg.Histogram("re2xolap_server_request_seconds",
-				"SPARQL request latency, serialization included.", nil),
-			serialize: reg.Histogram("re2xolap_server_serialize_seconds",
-				"Result serialization time.", nil),
-		}
-		for _, oc := range requestOutcomes {
-			m.requests[oc] = reg.Counter("re2xolap_server_requests_total",
-				"SPARQL protocol requests by outcome.", obs.L("outcome", oc))
-		}
-		s.m = m
+		s.m = newServerMetrics(reg)
 		reg.GaugeFunc("re2xolap_store_triples", "Triples in the served store.",
 			func() float64 { return float64(st.Len()) })
 		reg.GaugeFunc("re2xolap_par_active_workers", "Worker-pool goroutines currently running.",
 			func() float64 { return float64(par.Active()) })
 	}
 	return s
+}
+
+// NewClientServer returns a SPARQL protocol handler that delegates
+// query execution to c instead of a local store — the front end a
+// scatter-gather coordinator (internal/shard) serves through. The
+// same option vocabulary applies; WithWorkers is meaningless here
+// (execution lives behind the client) and is ignored. A degraded
+// partial answer (QueryMeta.Incomplete) is flagged to HTTP callers
+// via the X-Re2xolap-Incomplete response header.
+func NewClientServer(c Client, opts ...Option) *Server {
+	o := applyOptions(opts)
+	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink}
+	if o.maxQueryLen > 0 {
+		s.MaxQueryLen = o.maxQueryLen
+	}
+	if reg := o.registry; reg != nil {
+		s.reg = reg
+		s.m = newServerMetrics(reg)
+		reg.GaugeFunc("re2xolap_par_active_workers", "Worker-pool goroutines currently running.",
+			func() float64 { return float64(par.Active()) })
+	}
+	return s
+}
+
+// newServerMetrics registers the request-level server series.
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		requests: make(map[string]*obs.Counter, len(requestOutcomes)),
+		latency: reg.Histogram("re2xolap_server_request_seconds",
+			"SPARQL request latency, serialization included.", nil),
+		serialize: reg.Histogram("re2xolap_server_serialize_seconds",
+			"Result serialization time.", nil),
+	}
+	for _, oc := range requestOutcomes {
+		m.requests[oc] = reg.Counter("re2xolap_server_requests_total",
+			"SPARQL protocol requests by outcome.", obs.L("outcome", oc))
+	}
+	return m
 }
 
 // Engine exposes the server's query engine so callers can tune its
@@ -159,14 +191,37 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
+	var trace *obs.Trace
+	if s.traces != nil {
+		trace = obs.NewTrace("sparql-request")
+		ctx = obs.ContextWith(ctx, trace.Root())
+		defer func() {
+			trace.End()
+			_ = s.traces.Export(trace)
+		}()
+	}
+
 	var res *sparql.Results
 	var pt sparql.PhaseTimings
 	var err error
 	timed := s.m != nil || s.slow != nil
-	if timed {
-		res, pt, err = s.engine.QueryStringTimed(r.Context(), query)
-	} else {
-		res, err = s.engine.QueryStringContext(r.Context(), query)
+	switch {
+	case s.client != nil:
+		var meta QueryMeta
+		res, meta, err = QueryX(ctx, s.client, Request{Query: query})
+		if meta.HasPhases {
+			pt = meta.Phases
+		}
+		if meta.Incomplete && err == nil {
+			// Header, not an error status: the answer is valid, just
+			// degraded. Clients that care can check it.
+			w.Header().Set("X-Re2xolap-Incomplete", "true")
+		}
+	case timed:
+		res, pt, err = s.engine.QueryStringTimed(ctx, query)
+	default:
+		res, err = s.engine.QueryStringContext(ctx, query)
 	}
 	if err != nil {
 		switch requestOutcome(err) {
@@ -297,7 +352,12 @@ func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 	mux.Handle("/sparql", Harden(s, cfg.Harden))
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "ok %d triples\n", s.st.Len())
+		if s.st != nil {
+			fmt.Fprintf(w, "ok %d triples\n", s.st.Len())
+			return
+		}
+		// Client-backed server: no local store to count.
+		fmt.Fprintln(w, "ok")
 	})
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OTLP/JSON export: an encoder from Trace span trees to the
+// OpenTelemetry OTLP/JSON trace format (the protojson rendering of
+// ExportTraceServiceRequest), built on encoding/json only. Any
+// OTLP/HTTP collector — or a file shipped to one — can ingest the
+// output. Per protojson conventions, 64-bit nanosecond timestamps are
+// JSON strings and span/trace IDs are hex.
+
+// otlpKeyValue is an OTLP attribute.
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string `json:"timeUnixNano"`
+	Name         string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Events            []otlpEvent    `json:"events,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// spanKindInternal is the OTLP SPAN_KIND_INTERNAL enum value; every
+// span here is in-process work.
+const spanKindInternal = 1
+
+// OTLPOptions configures one export.
+type OTLPOptions struct {
+	// Service is the service.name resource attribute ("re2xolap" when
+	// empty).
+	Service string
+	// TraceID fixes the 16-byte trace ID; the zero value derives one
+	// from the root span's start time and a process-wide sequence.
+	TraceID [16]byte
+	// NewSpanID overrides span-ID generation (tests fix it for golden
+	// files); nil numbers the spans depth-first from 1, which is
+	// deterministic given the tree shape.
+	NewSpanID func() [8]byte
+}
+
+// otlpSeq disambiguates trace IDs derived in the same nanosecond.
+var otlpSeq atomic.Uint64
+
+// EncodeOTLP writes t as one OTLP/JSON ExportTraceServiceRequest.
+// Unended spans export with their running duration at encode time.
+func EncodeOTLP(w io.Writer, t *Trace, opts OTLPOptions) error {
+	if t == nil {
+		return nil
+	}
+	service := opts.Service
+	if service == "" {
+		service = "re2xolap"
+	}
+	root := t.Root()
+	traceID := opts.TraceID
+	if traceID == ([16]byte{}) {
+		seq := otlpSeq.Add(1)
+		nano := uint64(rootStart(t).UnixNano())
+		for i := 0; i < 8; i++ {
+			traceID[i] = byte(nano >> (56 - 8*i))
+			traceID[8+i] = byte(seq >> (56 - 8*i))
+		}
+	}
+	newID := opts.NewSpanID
+	if newID == nil {
+		var n uint64
+		newID = func() [8]byte {
+			n++
+			var id [8]byte
+			for i := 0; i < 8; i++ {
+				id[i] = byte(n >> (56 - 8*i))
+			}
+			return id
+		}
+	}
+
+	var spans []otlpSpan
+	tid := hex.EncodeToString(traceID[:])
+	// One lock for the whole walk: the tree is tiny (a handful of
+	// spans per query) and a consistent snapshot beats span-by-span
+	// locking.
+	t.mu.Lock()
+	var walk func(s *Span, parent string)
+	walk = func(s *Span, parent string) {
+		id := newID()
+		sid := hex.EncodeToString(id[:])
+		end := s.start.Add(s.dur)
+		if !s.ended {
+			end = time.Now()
+		}
+		o := otlpSpan{
+			TraceID:           tid,
+			SpanID:            sid,
+			ParentSpanID:      parent,
+			Name:              s.name,
+			Kind:              spanKindInternal,
+			StartTimeUnixNano: nanoString(s.start),
+			EndTimeUnixNano:   nanoString(end),
+		}
+		for _, a := range s.attrs {
+			o.Attributes = append(o.Attributes, otlpKeyValue{Key: a.Key, Value: otlpAnyValue{StringValue: a.Value}})
+		}
+		for _, ev := range s.events {
+			o.Events = append(o.Events, otlpEvent{
+				TimeUnixNano: nanoString(s.start.Add(ev.at)),
+				Name:         ev.name,
+			})
+		}
+		spans = append(spans, o)
+		for _, c := range s.children {
+			walk(c, sid)
+		}
+	}
+	walk(root, "")
+	t.mu.Unlock()
+
+	req := otlpRequest{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKeyValue{
+			{Key: "service.name", Value: otlpAnyValue{StringValue: service}},
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "re2xolap/internal/obs"},
+			Spans: spans,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	return enc.Encode(req)
+}
+
+// rootStart reads the root span's start under the trace lock.
+func rootStart(t *Trace) time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.start
+}
+
+// nanoString renders a timestamp as the OTLP/JSON string-encoded
+// nanosecond count.
+func nanoString(ts time.Time) string {
+	return strconv.FormatInt(ts.UnixNano(), 10)
+}
+
+// OTLPSink serializes traces to a writer as JSON lines, one
+// ExportTraceServiceRequest per trace — the shape an OTLP/HTTP
+// forwarder or offline importer consumes. Safe for concurrent Export
+// calls; nil-safe like the rest of the package.
+type OTLPSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	service string
+}
+
+// NewOTLPSink wraps w. The service name lands in every request's
+// resource attributes.
+func NewOTLPSink(w io.Writer, service string) *OTLPSink {
+	return &OTLPSink{w: w, service: service}
+}
+
+// Export encodes one trace. Errors are returned, not sticky.
+func (s *OTLPSink) Export(t *Trace) error {
+	if s == nil || t == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := EncodeOTLP(s.w, t, OTLPOptions{Service: s.service}); err != nil {
+		return fmt.Errorf("obs: otlp export: %w", err)
+	}
+	return nil
+}

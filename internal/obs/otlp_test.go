@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenTrace builds a fixed span tree (white-box: exporter timestamps
+// must be byte-stable, so the spans are assembled with literal times
+// rather than Start/End).
+func goldenTrace() *Trace {
+	t0 := time.Unix(1700000000, 0).UTC()
+	tr := &Trace{}
+	root := &Span{
+		tr: tr, name: "query", start: t0,
+		dur: 100 * time.Millisecond, ended: true,
+		attrs: []Label{{Key: "step", Value: "witness"}},
+	}
+	parse := &Span{
+		tr: tr, name: "parse", start: t0.Add(time.Millisecond),
+		dur: 2 * time.Millisecond, ended: true,
+	}
+	join := &Span{
+		tr: tr, name: "join", start: t0.Add(3 * time.Millisecond),
+		dur: 90 * time.Millisecond, ended: true,
+		attrs:  []Label{{Key: "rows", Value: "42"}},
+		events: []spanEvent{{name: "retry", at: 10 * time.Millisecond}},
+	}
+	root.children = []*Span{parse, join}
+	tr.root = root
+	return tr
+}
+
+func TestEncodeOTLPGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeOTLP(&buf, goldenTrace(), OTLPOptions{
+		Service: "sparqld-test",
+		TraceID: [16]byte{0xde, 0xad, 0xbe, 0xef, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "otlp.golden.json")
+	if *update { // shared with the exposition golden tests
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("OTLP encoding diverges from golden file:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestEncodeOTLPShape sanity-checks the structural invariants a
+// collector depends on: parent links, ID uniqueness, string nanos.
+func TestEncodeOTLPShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeOTLP(&buf, goldenTrace(), OTLPOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var req struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string
+					Value struct{ StringValue string }
+				}
+			}
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID           string
+					SpanID            string
+					ParentSpanID      string
+					Name              string
+					StartTimeUnixNano string
+					EndTimeUnixNano   string
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		t.Fatal(err)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(spans))
+	}
+	if got := req.ResourceSpans[0].Resource.Attributes[0].Value.StringValue; got != "re2xolap" {
+		t.Errorf("default service name: %q", got)
+	}
+	root := spans[0]
+	if root.ParentSpanID != "" {
+		t.Error("root span must have no parent")
+	}
+	ids := map[string]bool{}
+	for _, s := range spans {
+		if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+			t.Errorf("span %s: bad ID lengths %d/%d", s.Name, len(s.TraceID), len(s.SpanID))
+		}
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %s: trace ID differs from root", s.Name)
+		}
+		if ids[s.SpanID] {
+			t.Errorf("duplicate span ID %s", s.SpanID)
+		}
+		ids[s.SpanID] = true
+		if s.StartTimeUnixNano == "" || s.EndTimeUnixNano == "" {
+			t.Errorf("span %s: missing timestamps", s.Name)
+		}
+	}
+	for _, s := range spans[1:] {
+		if s.ParentSpanID != root.SpanID {
+			t.Errorf("span %s: parent %s, want root %s", s.Name, s.ParentSpanID, root.SpanID)
+		}
+	}
+}
+
+// TestOTLPSinkLines checks the sink writes one JSON object per line.
+func TestOTLPSinkLines(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewOTLPSink(&buf, "svc")
+	if err := sink.Export(goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Export(goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatalf("line is not standalone JSON: %v", err)
+		}
+	}
+	// Nil receiver and nil trace are no-ops.
+	var nilSink *OTLPSink
+	if err := nilSink.Export(goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Export(nil); err != nil {
+		t.Fatal(err)
+	}
+}

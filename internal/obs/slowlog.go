@@ -14,8 +14,8 @@ import (
 // executing layer reports them.
 type SlowQuery struct {
 	Time    string             `json:"time"`
-	Source  string             `json:"source"`             // "inprocess", "http", "resilient", "server"
-	Step    string             `json:"step,omitempty"`     // issuing workflow step tag
+	Source  string             `json:"source"`         // "inprocess", "http", "resilient", "server"
+	Step    string             `json:"step,omitempty"` // issuing workflow step tag
 	WallMS  float64            `json:"wall_ms"`
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"` // parse/plan/join/aggregate/sort/serialize
 	Rows    int                `json:"rows"`

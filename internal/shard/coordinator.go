@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
+	"re2xolap/internal/par"
+	"re2xolap/internal/sparql"
+)
+
+// Config tunes a Coordinator. The zero value is usable: full
+// resilience with the default policy, strict (non-degraded) failure
+// handling, scatter width = shard count, no metrics.
+type Config struct {
+	// Workers bounds scatter concurrency and the local engine workers
+	// on the gather path; <= 0 means one goroutine per shard.
+	Workers int
+	// Degraded serves partial results when shards fail: failed shards
+	// are skipped and the answer's QueryMeta.Incomplete is set. When
+	// false any shard failure fails the query (first error by shard
+	// index). An all-shards failure is an error in either mode.
+	Degraded bool
+	// Policy is the per-shard resilience policy; nil means
+	// endpoint.DefaultPolicy(). Each backend not already resilient is
+	// wrapped in its own endpoint.NewResilient, so one misbehaving
+	// shard trips only its own breaker.
+	Policy *endpoint.Policy
+	// NoResilience skips the per-shard ResilientClient wrapping
+	// (tests, or callers that bring their own).
+	NoResilience bool
+	// Registry receives the coordinator metrics: per-shard call
+	// counters/latency, plan counters, fan-out and in-flight gauges,
+	// merge-phase timings, degraded-mode counters.
+	Registry *obs.Registry
+}
+
+// Coordinator federates N shard backends behind the endpoint.Client
+// and endpoint.QuerierX interfaces. It is safe for concurrent use.
+type Coordinator struct {
+	shards  []endpoint.Client
+	workers int
+	cfg     Config
+	m       *metrics
+}
+
+// New builds a coordinator over the given shard backends (index =
+// shard number under the Partitioner that split the data).
+func New(backends []endpoint.Client, cfg Config) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("shard: no backends")
+	}
+	shards := make([]endpoint.Client, len(backends))
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("shard: backend %d is nil", i)
+		}
+		shards[i] = b
+		if cfg.NoResilience {
+			continue
+		}
+		if _, ok := b.(*endpoint.ResilientClient); ok {
+			continue
+		}
+		pol := endpoint.DefaultPolicy()
+		if cfg.Policy != nil {
+			pol = *cfg.Policy
+		}
+		shards[i] = endpoint.NewResilient(b, endpoint.WithPolicy(pol))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = len(shards)
+	}
+	return &Coordinator{
+		shards:  shards,
+		workers: workers,
+		cfg:     cfg,
+		m:       newMetrics(cfg.Registry, len(shards)),
+	}, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Query implements endpoint.Client as a thin adapter over QueryX.
+func (c *Coordinator) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := c.QueryX(ctx, endpoint.Request{Query: query})
+	return res, err
+}
+
+// QueryX implements endpoint.QuerierX: it classifies the query,
+// scatters it (or its rewritten form) to the shards, merges, and
+// reports coordinator metadata. Meta.Incomplete is set when a
+// degraded-mode answer skipped failed shards.
+func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql.Results, endpoint.QueryMeta, error) {
+	meta := endpoint.QueryMeta{Source: "coordinator", Step: req.Opts.Step}
+	start := time.Now()
+	q, err := sparql.Parse(req.Query)
+	if err != nil {
+		meta.Wall = time.Since(start)
+		return nil, meta, endpoint.MarkPermanent(err)
+	}
+	kind, aggPlan := classify(q)
+	c.m.plan(kind)
+
+	parent := req.Opts.Span
+	if parent == nil {
+		parent = obs.SpanFrom(ctx)
+	}
+	span := parent.Start("scatter-gather")
+	span.SetAttr("plan", kind.String())
+	span.SetAttr("shards", fmt.Sprint(len(c.shards)))
+	if req.Opts.Step != "" {
+		span.SetAttr("step", req.Opts.Step)
+	}
+	defer span.End()
+	if span != nil {
+		ctx = obs.ContextWith(ctx, span)
+	}
+
+	var res *sparql.Results
+	var incomplete bool
+	switch kind {
+	case planColocated:
+		res, incomplete, err = c.runColocated(ctx, q, req.Opts.Step)
+	case planPartialAgg:
+		res, incomplete, err = c.runPartialAgg(ctx, q, aggPlan, req.Opts.Step)
+	default:
+		res, incomplete, err = c.runGather(ctx, q, req.Opts.Step)
+	}
+	meta.Wall = time.Since(start)
+	if res != nil {
+		meta.Rows = res.Len()
+	}
+	meta.Incomplete = incomplete
+	if incomplete {
+		span.SetAttr("incomplete", "true")
+	}
+	return res, meta, err
+}
+
+// scatterText sends one query text to every shard. results[i] is
+// shard i's answer; a nil slot is a shard skipped in degraded mode
+// (skipped > 0 then). In strict mode the first failure by shard index
+// is returned; when every shard fails, the first failure is returned
+// in either mode.
+func (c *Coordinator) scatterText(ctx context.Context, query, step string) (results []*sparql.Results, skipped int, err error) {
+	scatterStart := time.Now()
+	defer func() { c.m.phase("scatter", time.Since(scatterStart)) }()
+	n := len(c.shards)
+	results = make([]*sparql.Results, n)
+	errs := make([]error, n)
+	span := obs.SpanFrom(ctx)
+	_ = par.Do(c.workers, n, func(i int) error {
+		sp := span.Start(fmt.Sprintf("shard-%d", i))
+		c.m.scatterStart()
+		callStart := time.Now()
+		res, _, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+			Query: query,
+			Opts:  endpoint.QueryOpts{Step: step, Span: sp},
+		})
+		wall := time.Since(callStart)
+		c.m.scatterEnd()
+		c.m.shardCall(i, wall, qerr)
+		if qerr != nil {
+			sp.SetAttr("error", qerr.Error())
+		}
+		sp.End()
+		results[i], errs[i] = res, qerr
+		return nil
+	})
+	var firstErr error
+	failed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", i, errs[i])
+			}
+		}
+	}
+	if failed == 0 {
+		return results, 0, nil
+	}
+	if !c.cfg.Degraded || failed == n {
+		return nil, 0, firstErr
+	}
+	c.m.degraded(failed)
+	return results, failed, nil
+}
+
+// runColocated executes the colocated plan: strip the solution
+// modifiers (they only apply to the global result), scatter, union
+// the rows, and canonically finalize.
+func (c *Coordinator) runColocated(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
+	if q.Ask {
+		return c.runAsk(ctx, q, step)
+	}
+	shardQ := stripModifiers(q)
+	results, skipped, err := c.scatterText(ctx, shardQ.String(), step)
+	if err != nil {
+		return nil, false, err
+	}
+	mergeStart := time.Now()
+	merged, err := unionResults(q, results)
+	c.m.phase("merge", time.Since(mergeStart))
+	if err != nil {
+		return nil, false, err
+	}
+	finStart := time.Now()
+	sparql.MergeFinalize(q, merged)
+	c.m.phase("finalize", time.Since(finStart))
+	return merged, skipped > 0, nil
+}
+
+// runAsk scatters a colocated ASK and ORs the shard booleans.
+func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
+	results, skipped, err := c.scatterText(ctx, q.String(), step)
+	if err != nil {
+		return nil, false, err
+	}
+	res := &sparql.Results{IsAsk: true}
+	for _, r := range results {
+		if r != nil && r.Boolean {
+			res.Boolean = true
+			break
+		}
+	}
+	return res, skipped > 0, nil
+}
+
+// runPartialAgg pushes partial aggregation to the shards and
+// finalizes groups at the coordinator.
+func (c *Coordinator) runPartialAgg(ctx context.Context, q *sparql.Query, plan *sparql.PartialAggPlan, step string) (*sparql.Results, bool, error) {
+	results, skipped, err := c.scatterText(ctx, plan.ShardQuery().String(), step)
+	if err != nil {
+		return nil, false, err
+	}
+	mergeStart := time.Now()
+	merged, err := plan.Merge(results)
+	c.m.phase("merge", time.Since(mergeStart))
+	if err != nil {
+		return nil, false, err
+	}
+	finStart := time.Now()
+	sparql.MergeFinalize(q, merged)
+	c.m.phase("finalize", time.Since(finStart))
+	return merged, skipped > 0, nil
+}
+
+// stripModifiers copies q without ORDER BY / LIMIT / OFFSET: those
+// apply to the merged global result only. DISTINCT is kept — per-shard
+// dedup is idempotent under the coordinator's re-dedup and cuts
+// transfer. ORDER BY and LIMIT are deliberately NOT pushed down: a
+// shard-local top-k under the engine's stable sort may cut ties
+// differently than the coordinator's canonical order, making the
+// answer depend on the topology.
+func stripModifiers(q *sparql.Query) *sparql.Query {
+	s := *q
+	s.OrderBy = nil
+	s.Limit = -1
+	s.Offset = 0
+	return &s
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
+	"re2xolap/internal/par"
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+	"re2xolap/internal/store"
+)
+
+// The gather plan is the exact fallback: fetch every triple any of
+// the query's patterns could match from every shard, rebuild them in
+// a local store, and run the original query there. It trades transfer
+// volume for full generality — cross-shard joins, transitive
+// closures, subselects, NOT EXISTS negation, and non-decomposable
+// aggregates all evaluate with single-node semantics. Determinism
+// holds because the gathered triple set is the union over shards
+// (topology-independent) and is canonically sorted before loading, so
+// the local store — and therefore the engine's output — is identical
+// on every topology.
+
+// fetchSpec is one triple-access pattern to pull from the shards.
+type fetchSpec struct {
+	query string // serialized fetch query (SELECT, or ASK when no vars)
+	ask   bool
+	// cols maps triple positions S,P,O to result columns; -1 means the
+	// position is the constant in tp.
+	cols [3]int
+	tp   sparql.TriplePattern
+}
+
+// collectFetchSpecs walks the query and returns one deduplicated
+// fetchSpec per distinct access pattern. Closure patterns fetch every
+// edge of their predicate: intermediate hops are unrestricted, so the
+// whole relation must be local before the closure runs.
+func collectFetchSpecs(q *sparql.Query) []fetchSpec {
+	var pats []sparql.TriplePattern
+	addClosure := func(cp sparql.ClosurePattern) {
+		pats = append(pats, sparql.TriplePattern{
+			S: sparql.NewVarNode("s"),
+			P: sparql.NewTermNode(cp.Pred),
+			O: sparql.NewVarNode("o"),
+		})
+	}
+	var fromExpr func(sparql.Expr)
+	fromExpr = func(e sparql.Expr) {
+		walkExists(e, func(x sparql.ExistsExpr) {
+			pats = append(pats, x.Patterns...)
+			for _, f := range x.Filters {
+				fromExpr(f)
+			}
+		})
+	}
+	var fromQuery func(*sparql.Query)
+	var fromElems func([]sparql.PatternElement)
+	fromElems = func(es []sparql.PatternElement) {
+		for _, e := range es {
+			switch el := e.(type) {
+			case sparql.TriplePattern:
+				pats = append(pats, el)
+			case sparql.ClosurePattern:
+				addClosure(el)
+			case sparql.OptionalElement:
+				pats = append(pats, el.Patterns...)
+				for _, f := range el.Filters {
+					fromExpr(f)
+				}
+			case sparql.UnionElement:
+				for _, br := range el.Branches {
+					fromElems(br)
+				}
+			case sparql.FilterElement:
+				fromExpr(el.Expr)
+			case sparql.BindElement:
+				fromExpr(el.Expr)
+			case sparql.SubSelectElement:
+				fromQuery(el.Query)
+			}
+		}
+	}
+	fromQuery = func(q *sparql.Query) {
+		fromElems(q.Where)
+		for _, h := range q.Having {
+			fromExpr(h)
+		}
+		for _, it := range q.Select {
+			if it.Expr != nil {
+				fromExpr(it.Expr)
+			}
+		}
+		for _, o := range q.OrderBy {
+			fromExpr(o.Expr)
+		}
+	}
+	fromQuery(q)
+
+	seen := map[string]struct{}{}
+	var specs []fetchSpec
+	for _, tp := range pats {
+		spec := buildFetchSpec(tp)
+		if _, dup := seen[spec.query]; dup {
+			continue
+		}
+		seen[spec.query] = struct{}{}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// buildFetchSpec normalizes a pattern's variables positionally (a
+// repeated variable keeps its join constraint; the original names are
+// irrelevant to what the pattern fetches, so normalizing makes the
+// dedup key structural) and builds the shard fetch query.
+func buildFetchSpec(tp sparql.TriplePattern) fetchSpec {
+	rename := map[string]string{}
+	var sel []string
+	norm := func(n sparql.Node) sparql.Node {
+		if !n.IsVar {
+			return n
+		}
+		g, ok := rename[n.Var]
+		if !ok {
+			g = fmt.Sprintf("g%d", len(rename))
+			rename[n.Var] = g
+			sel = append(sel, g)
+		}
+		return sparql.NewVarNode(g)
+	}
+	var spec fetchSpec
+	spec.tp = sparql.TriplePattern{S: norm(tp.S), P: norm(tp.P), O: norm(tp.O)}
+	colOf := func(n sparql.Node) int {
+		if !n.IsVar {
+			return -1
+		}
+		for i, g := range sel {
+			if g == n.Var {
+				return i
+			}
+		}
+		return -1
+	}
+	spec.cols = [3]int{colOf(spec.tp.S), colOf(spec.tp.P), colOf(spec.tp.O)}
+
+	fq := &sparql.Query{
+		Where: []sparql.PatternElement{spec.tp},
+		Limit: -1,
+	}
+	if len(sel) == 0 {
+		// All positions concrete: existence check.
+		fq.Ask = true
+		spec.ask = true
+	} else {
+		// DISTINCT costs the shard a dedup pass but the projection can
+		// collapse rows only when a variable repeats, and it caps the
+		// transfer at the matching-triple count.
+		fq.Distinct = true
+		for _, g := range sel {
+			fq.Select = append(fq.Select, sparql.SelectItem{Var: g})
+		}
+	}
+	spec.query = fq.String()
+	return spec
+}
+
+// triplesFromResult reconstructs the triples a shard reported for one
+// fetch pattern.
+func (f fetchSpec) triples(res *sparql.Results) []rdf.Triple {
+	if f.ask {
+		if res.Boolean {
+			return []rdf.Triple{{S: f.tp.S.Term, P: f.tp.P.Term, O: f.tp.O.Term}}
+		}
+		return nil
+	}
+	out := make([]rdf.Triple, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		var t rdf.Triple
+		ok := true
+		fill := func(col int, n sparql.Node) rdf.Term {
+			if col < 0 {
+				return n.Term
+			}
+			if col >= len(r) || !sparql.Bound(r[col]) {
+				ok = false
+				return rdf.Term{}
+			}
+			return r[col]
+		}
+		t.S = fill(f.cols[0], f.tp.S)
+		t.P = fill(f.cols[1], f.tp.P)
+		t.O = fill(f.cols[2], f.tp.O)
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// runGather executes the gather plan: scatter the fetch queries,
+// rebuild the union of the shard contributions in a local store, and
+// run the original query there.
+func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
+	specs := collectFetchSpecs(q)
+	scatterStart := time.Now()
+	n := len(c.shards)
+	shardTriples := make([][]rdf.Triple, n)
+	errs := make([]error, n)
+	span := obs.SpanFrom(ctx)
+	_ = par.Do(c.workers, n, func(i int) error {
+		sp := span.Start(fmt.Sprintf("shard-%d", i))
+		defer sp.End()
+		for _, spec := range specs {
+			c.m.scatterStart()
+			callStart := time.Now()
+			res, _, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+				Query: spec.query,
+				Opts:  endpoint.QueryOpts{Step: step, Span: sp},
+			})
+			c.m.scatterEnd()
+			c.m.shardCall(i, time.Since(callStart), qerr)
+			if qerr != nil {
+				sp.SetAttr("error", qerr.Error())
+				errs[i] = qerr
+				return nil
+			}
+			shardTriples[i] = append(shardTriples[i], spec.triples(res)...)
+		}
+		return nil
+	})
+	c.m.phase("scatter", time.Since(scatterStart))
+
+	var firstErr error
+	failed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", i, errs[i])
+			}
+		}
+	}
+	incomplete := false
+	if failed > 0 {
+		if !c.cfg.Degraded || failed == n {
+			return nil, false, firstErr
+		}
+		c.m.degraded(failed)
+		incomplete = true
+		for i := range shardTriples {
+			if errs[i] != nil {
+				shardTriples[i] = nil
+			}
+		}
+	}
+
+	mergeStart := time.Now()
+	local, err := buildGatherStore(shardTriples)
+	c.m.phase("merge", time.Since(mergeStart))
+	if err != nil {
+		return nil, false, err
+	}
+
+	finStart := time.Now()
+	eng := sparql.NewEngine(local)
+	if c.cfg.Workers > 0 {
+		eng.Exec.Workers = c.cfg.Workers
+	}
+	res, err := eng.QueryContext(ctx, q)
+	c.m.phase("finalize", time.Since(finStart))
+	if err != nil {
+		return nil, false, err
+	}
+	return res, incomplete, nil
+}
+
+// buildGatherStore unions the shard contributions, deduplicates, and
+// loads them canonically sorted — the load order (and so the store's
+// term dictionary) is then a function of the triple set alone, which
+// keeps the local engine's output topology-independent.
+func buildGatherStore(shardTriples [][]rdf.Triple) (*store.Store, error) {
+	seen := map[string]struct{}{}
+	var all []rdf.Triple
+	for _, ts := range shardTriples {
+		for _, t := range ts {
+			k := tripleKey(t)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			all = append(all, t)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return tripleKey(all[i]) < tripleKey(all[j]) })
+	st := store.New()
+	if err := st.AddAll(all); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/sparql"
+)
+
+// unionResults concatenates per-shard result sets (nil slots are
+// degraded-mode skips). Row order is irrelevant — the caller applies
+// sparql.MergeFinalize — but CONSTRUCT graphs are deduplicated and
+// canonically sorted here, since MergeFinalize leaves them alone.
+func unionResults(q *sparql.Query, results []*sparql.Results) (*sparql.Results, error) {
+	if q.Construct != nil {
+		return unionGraphs(results)
+	}
+	merged := &sparql.Results{}
+	rows := 0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if merged.Vars == nil {
+			merged.Vars = r.Vars
+		} else if !sameVars(merged.Vars, r.Vars) {
+			// Shards parse identical query text, so diverging headers
+			// mean a backend is not answering the query we sent.
+			return nil, fmt.Errorf("shard: result header mismatch: %v vs %v", merged.Vars, r.Vars)
+		}
+		rows += len(r.Rows)
+	}
+	if merged.Vars == nil {
+		return nil, errors.New("shard: no shard results")
+	}
+	merged.Rows = make([][]rdf.Term, 0, rows)
+	for _, r := range results {
+		if r != nil {
+			merged.Rows = append(merged.Rows, r.Rows...)
+		}
+	}
+	return merged, nil
+}
+
+// unionGraphs merges CONSTRUCT outputs: a graph is a set, so the
+// shard graphs are united, deduplicated, and canonically ordered.
+func unionGraphs(results []*sparql.Results) (*sparql.Results, error) {
+	merged := &sparql.Results{IsConstruct: true}
+	seen := map[string]struct{}{}
+	any := false
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		any = true
+		for _, t := range r.Triples {
+			k := tripleKey(t)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			merged.Triples = append(merged.Triples, t)
+		}
+	}
+	if !any {
+		return nil, errors.New("shard: no shard results")
+	}
+	sort.Slice(merged.Triples, func(i, j int) bool {
+		return tripleKey(merged.Triples[i]) < tripleKey(merged.Triples[j])
+	})
+	return merged, nil
+}
+
+// tripleKey is the canonical sort/dedup key of a triple.
+func tripleKey(t rdf.Triple) string {
+	var b strings.Builder
+	b.WriteString(t.S.String())
+	b.WriteByte('\x00')
+	b.WriteString(t.P.String())
+	b.WriteByte('\x00')
+	b.WriteString(t.O.String())
+	return b.String()
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

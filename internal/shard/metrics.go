@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+// metrics is the coordinator's registry series, pre-created at
+// construction. nil disables everything through the obs nil fast
+// paths.
+type metrics struct {
+	// per shard, labeled shard="<i>"
+	queries []*obs.Counter
+	errors  []*obs.Counter
+	latency []*obs.Histogram
+
+	plans      map[planKind]*obs.Counter
+	inflight   *obs.Gauge
+	mergePhase map[string]*obs.Histogram
+	incomplete *obs.Counter
+	skipped    *obs.Counter
+}
+
+// mergePhases is the label vocabulary of the merge-phase histogram.
+var mergePhases = [...]string{"scatter", "merge", "finalize"}
+
+// newMetrics registers the coordinator series for an n-shard topology.
+func newMetrics(reg *obs.Registry, n int) *metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &metrics{
+		plans:      make(map[planKind]*obs.Counter, len(planKinds)),
+		mergePhase: make(map[string]*obs.Histogram, len(mergePhases)),
+		inflight: reg.Gauge("re2xolap_shard_scatter_inflight",
+			"Per-shard requests currently in flight from the coordinator."),
+		incomplete: reg.Counter("re2xolap_shard_incomplete_total",
+			"Degraded-mode answers served without one or more failed shards."),
+		skipped: reg.Counter("re2xolap_shard_skipped_total",
+			"Shard responses dropped from an answer in degraded mode."),
+	}
+	reg.GaugeFunc("re2xolap_shard_fanout", "Shards behind the coordinator.",
+		func() float64 { return float64(n) })
+	for i := 0; i < n; i++ {
+		l := obs.L("shard", fmt.Sprint(i))
+		m.queries = append(m.queries, reg.Counter("re2xolap_shard_queries_total",
+			"Queries the coordinator scattered, by shard.", l))
+		m.errors = append(m.errors, reg.Counter("re2xolap_shard_errors_total",
+			"Failed shard calls, by shard (post-resilience).", l))
+		m.latency = append(m.latency, reg.Histogram("re2xolap_shard_query_seconds",
+			"Per-shard call latency as seen by the coordinator.", nil, l))
+	}
+	for _, k := range planKinds {
+		m.plans[k] = reg.Counter("re2xolap_shard_plans_total",
+			"Coordinator queries by scatter-gather plan.", obs.L("plan", k.String()))
+	}
+	for _, p := range mergePhases {
+		m.mergePhase[p] = reg.Histogram("re2xolap_shard_merge_seconds",
+			"Coordinator time by merge phase.", nil, obs.L("phase", p))
+	}
+	return m
+}
+
+func (m *metrics) shardCall(i int, wall time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.queries[i].Inc()
+	m.latency[i].ObserveDuration(wall)
+	if err != nil {
+		m.errors[i].Inc()
+	}
+}
+
+func (m *metrics) plan(k planKind) {
+	if m == nil {
+		return
+	}
+	m.plans[k].Inc()
+}
+
+func (m *metrics) phase(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mergePhase[name].ObserveDuration(d)
+}
+
+func (m *metrics) scatterStart() {
+	if m == nil {
+		return
+	}
+	m.inflight.Inc()
+}
+
+func (m *metrics) scatterEnd() {
+	if m == nil {
+		return
+	}
+	m.inflight.Dec()
+}
+
+func (m *metrics) degraded(skipped int) {
+	if m == nil {
+		return
+	}
+	m.incomplete.Inc()
+	m.skipped.Add(int64(skipped))
+}

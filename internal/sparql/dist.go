@@ -1,0 +1,603 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"re2xolap/internal/rdf"
+)
+
+// Distributed-execution support: the helpers internal/shard needs to
+// merge per-shard partial results into one canonical result set.
+//
+// The coordinator's determinism contract is *topology independence*:
+// for a fixed dataset, the merged result is a pure function of the
+// query and the union of the shards' triples, regardless of how many
+// shards the data is split across. A single store has a natural row
+// order (its join emission order); a federation does not, so wherever
+// the language leaves order unspecified the coordinator imposes a
+// canonical one (see MergeFinalize). Everything here lives in package
+// sparql because it reuses the executor's value semantics — orderLess,
+// numValue, expression evaluation — which is exactly what makes the
+// merged output byte-compatible with a 1-shard topology.
+
+// CanonicalRowKey serializes a result row into a byte-comparable key.
+// It is the tie-break (and, absent ORDER BY, the entire sort key) the
+// coordinator uses to give merged results a deterministic order.
+func CanonicalRowKey(row []rdf.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		if Bound(t) {
+			b.WriteString(t.String())
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// MergeFinalize applies the query's solution modifiers to a merged,
+// cross-shard result set: rows are sorted by the ORDER BY keys with
+// CanonicalRowKey as the final tie-break (or by the canonical key
+// alone when the query has no ORDER BY), then DISTINCT, OFFSET, and
+// LIMIT apply exactly as in the sequential engine.
+//
+// The canonical tie-break is what makes a scatter-gather merge
+// deterministic: a stable sort (the engine's choice) would leave ties
+// in arrival order, which depends on the shard topology.
+func MergeFinalize(q *Query, res *Results) {
+	if res.IsAsk || res.IsConstruct {
+		return
+	}
+	type keyed struct {
+		row   []rdf.Term
+		keys  []Value
+		canon string
+	}
+	ks := make([]keyed, len(res.Rows))
+	for i, r := range res.Rows {
+		k := keyed{row: r, canon: CanonicalRowKey(r)}
+		if len(q.OrderBy) > 0 {
+			b := outBinding{vars: res.Vars, row: r}
+			k.keys = make([]Value, len(q.OrderBy))
+			for j, o := range q.OrderBy {
+				v, err := evalExpr(o.Expr, b)
+				if err == nil {
+					k.keys[j] = v
+				}
+			}
+		}
+		ks[i] = k
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		for k, o := range q.OrderBy {
+			a, b := ks[i].keys[k], ks[j].keys[k]
+			if orderLess(a, b) {
+				return !o.Desc
+			}
+			if orderLess(b, a) {
+				return o.Desc
+			}
+		}
+		return ks[i].canon < ks[j].canon
+	})
+	for i := range ks {
+		res.Rows[i] = ks[i].row
+	}
+	if q.Distinct {
+		seen := map[string]struct{}{}
+		out := res.Rows[:0]
+		for i, r := range res.Rows {
+			k := ks[i].canon
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, r)
+		}
+		res.Rows = out
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+}
+
+// distAggKind is how one aggregate decomposes into shard-side columns.
+type distAggKind int
+
+const (
+	distCount  distAggKind = iota // one COUNT column; partials add
+	distSum                       // one SUM column; partials add
+	distAvg                       // SUM + COUNT columns; add pairwise, divide at the end
+	distMin                       // one MIN column; keep the orderLess-least
+	distMax                       // one MAX column; keep the orderLess-greatest
+	distSample                    // pushed down as MIN: the canonical sample
+)
+
+// distAgg is the merge plan for one original aggregate.
+type distAgg struct {
+	orig AggExpr
+	kind distAggKind
+	// col/col2 are the shard-result column names carrying the partial
+	// state (col2 is the AVG count column).
+	col, col2 string
+}
+
+// partialColPrefix names the synthetic shard-query columns. It shares
+// the engine's internal-variable namespace conventions but must not
+// collide with internalVarPrefix ("_path"), which SELECT * excludes.
+const partialColPrefix = "_sg"
+
+// PartialAggPlan is a decomposed GROUP BY query: ShardQuery pushes
+// partial aggregation down to each shard, Merge combines the shards'
+// partial states and finalizes HAVING and the projection. The caller
+// applies MergeFinalize afterwards.
+type PartialAggPlan struct {
+	orig    *Query
+	shard   *Query
+	aggs    []AggExpr
+	aggIdx  map[string]int
+	daggs   []distAgg
+	keyVars []string
+}
+
+// ShardQuery returns the rewritten per-shard query. Callers must not
+// mutate it.
+func (p *PartialAggPlan) ShardQuery() *Query { return p.shard }
+
+// PlanPartialAggregation decomposes an aggregate query into per-shard
+// partial aggregation plus a coordinator merge. It reports ok = false
+// for shapes whose partial states do not merge exactly (or not
+// deterministically across topologies):
+//
+//   - any DISTINCT aggregate (needs a global dedup set),
+//   - GROUP_CONCAT (concatenation order depends on per-shard row
+//     order, which varies with the topology),
+//   - plain variables projected (or used in HAVING/ORDER BY
+//     expressions) without appearing in GROUP BY — the engine
+//     resolves them from a representative row, which is
+//     topology-dependent.
+//
+// SAMPLE is decomposed as MIN: the language lets SAMPLE return any
+// group member, and the least member is the only choice every
+// topology agrees on. AVG decomposes into (SUM, COUNT) pairs; for a
+// group mixing numeric and non-numeric values the pushed-down COUNT
+// counts bound rather than numeric-valid values, which can deviate
+// from the sequential AVG (the gather fallback is exact).
+func PlanPartialAggregation(q *Query) (*PartialAggPlan, bool) {
+	if q.Ask || q.Construct != nil || !q.IsAggregate() || q.Star {
+		return nil, false
+	}
+	aggs, aggIdx := collectAggs(q)
+	for _, a := range aggs {
+		if a.Distinct || a.Fn == "GROUP_CONCAT" {
+			return nil, false
+		}
+		switch a.Fn {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE":
+		default:
+			return nil, false
+		}
+	}
+	inGroupBy := map[string]bool{}
+	for _, v := range q.GroupBy {
+		inGroupBy[v] = true
+	}
+	// Every non-aggregated variable reaching the output must be a
+	// GROUP BY key, or its value would come from a topology-dependent
+	// representative row.
+	check := func(e Expr) bool {
+		for _, v := range nonAggVars(e, nil) {
+			if !inGroupBy[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, it := range q.Select {
+		if it.Expr == nil {
+			if !inGroupBy[it.Var] {
+				return nil, false
+			}
+		} else if !check(it.Expr) {
+			return nil, false
+		}
+	}
+	for _, h := range q.Having {
+		if !check(h) {
+			return nil, false
+		}
+	}
+	for _, o := range q.OrderBy {
+		// ORDER BY may also reference projection aliases, which are
+		// resolved over the output row; only reject free variables.
+		for _, v := range nonAggVars(o.Expr, nil) {
+			if !inGroupBy[v] && !selectsVar(q, v) {
+				return nil, false
+			}
+		}
+	}
+
+	p := &PartialAggPlan{orig: q, aggs: aggs, aggIdx: aggIdx, keyVars: q.GroupBy}
+	shard := &Query{
+		Where:   q.Where,
+		GroupBy: q.GroupBy,
+		Limit:   -1,
+	}
+	for _, v := range q.GroupBy {
+		shard.Select = append(shard.Select, SelectItem{Var: v})
+	}
+	for i, a := range aggs {
+		col := func(suffix string) string {
+			return fmt.Sprintf("%s%d_%s", partialColPrefix, i, suffix)
+		}
+		var d distAgg
+		d.orig = a
+		switch a.Fn {
+		case "COUNT":
+			d.kind = distCount
+			d.col = col("n")
+			shard.Select = append(shard.Select, SelectItem{Var: d.col, Expr: a})
+		case "SUM":
+			d.kind = distSum
+			d.col = col("sum")
+			shard.Select = append(shard.Select, SelectItem{Var: d.col, Expr: a})
+		case "AVG":
+			d.kind = distAvg
+			d.col = col("sum")
+			d.col2 = col("cnt")
+			shard.Select = append(shard.Select,
+				SelectItem{Var: d.col, Expr: AggExpr{Fn: "SUM", Arg: a.Arg}},
+				SelectItem{Var: d.col2, Expr: AggExpr{Fn: "COUNT", Arg: a.Arg}})
+		case "MIN":
+			d.kind = distMin
+			d.col = col("min")
+			shard.Select = append(shard.Select, SelectItem{Var: d.col, Expr: a})
+		case "MAX":
+			d.kind = distMax
+			d.col = col("max")
+			shard.Select = append(shard.Select, SelectItem{Var: d.col, Expr: a})
+		case "SAMPLE":
+			d.kind = distSample
+			d.col = col("smp")
+			shard.Select = append(shard.Select, SelectItem{Var: d.col, Expr: AggExpr{Fn: "MIN", Arg: a.Arg}})
+		}
+		p.daggs = append(p.daggs, d)
+	}
+	p.shard = shard
+	return p, true
+}
+
+// selectsVar reports whether the query projects a column named v.
+func selectsVar(q *Query, v string) bool {
+	for _, it := range q.Select {
+		if it.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// nonAggVars collects the variables of e that occur outside aggregate
+// arguments (aggregate-internal variables are consumed per shard).
+func nonAggVars(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case AggExpr:
+		return dst
+	case VarExpr:
+		return append(dst, x.Name)
+	case BinaryExpr:
+		return nonAggVars(x.R, nonAggVars(x.L, dst))
+	case UnaryExpr:
+		return nonAggVars(x.E, dst)
+	case InExpr:
+		dst = nonAggVars(x.E, dst)
+		for _, y := range x.List {
+			dst = nonAggVars(y, dst)
+		}
+		return dst
+	case FuncExpr:
+		for _, y := range x.Args {
+			dst = nonAggVars(y, dst)
+		}
+		return dst
+	case ExistsExpr:
+		return exprVars(x, dst)
+	}
+	return dst
+}
+
+// distPartial is the merged cross-shard state of one aggregate within
+// one group.
+type distPartial struct {
+	n    int64   // COUNT, AVG count
+	sum  float64 // SUM / AVG
+	best Value   // MIN / MAX / SAMPLE
+}
+
+// distGroup is one cross-shard group under merge.
+type distGroup struct {
+	key   []rdf.Term // GROUP BY key terms
+	canon string
+	parts []distPartial
+}
+
+// Merge combines per-shard partial-aggregate results (one *Results
+// per shard, in shard order; nil entries — failed shards in degraded
+// mode — are skipped) into the final result rows: groups are united
+// by key, partial states merged, aggregates finalized, HAVING applied,
+// and the projection evaluated. Group order is canonical (by key
+// serialization); the caller applies MergeFinalize for ORDER BY /
+// DISTINCT / LIMIT.
+func (p *PartialAggPlan) Merge(shardResults []*Results) (*Results, error) {
+	groups := map[string]*distGroup{}
+	for _, sr := range shardResults {
+		if sr == nil {
+			continue
+		}
+		cols, err := p.shardColumns(sr)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range sr.Rows {
+			key := make([]rdf.Term, len(p.keyVars))
+			for i, c := range cols.key {
+				key[i] = r[c]
+			}
+			ck := CanonicalRowKey(key)
+			g, ok := groups[ck]
+			if !ok {
+				g = &distGroup{key: key, canon: ck, parts: make([]distPartial, len(p.daggs))}
+				groups[ck] = g
+			}
+			for ai, d := range p.daggs {
+				if err := mergeDistPartial(&g.parts[ai], d.kind, r, cols.col[ai], cols.col2[ai]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// A global aggregate (no GROUP BY) over an all-empty federation
+	// still yields one group so COUNT finalizes to 0 — each shard
+	// already emits its empty-group row, but every entry may have been
+	// nil in degraded mode.
+	if len(groups) == 0 && len(p.keyVars) == 0 {
+		groups[""] = &distGroup{parts: make([]distPartial, len(p.daggs))}
+	}
+	order := make([]string, 0, len(groups))
+	for k := range groups {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+
+	res := &Results{}
+	for _, it := range p.orig.Select {
+		res.Vars = append(res.Vars, it.Var)
+	}
+	for _, ck := range order {
+		g := groups[ck]
+		vals := make([]Value, len(p.daggs))
+		for ai, d := range p.daggs {
+			vals[ai] = finalizeDistPartial(g.parts[ai], d)
+		}
+		b := distBinding{keyVars: p.keyVars, key: g.key, aggVals: vals, aggIdx: p.aggIdx}
+		keep := true
+		for _, h := range p.orig.Having {
+			ok, err := evalBool(substituteAggValues(h, p.aggIdx, vals), b)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		line := make([]rdf.Term, len(p.orig.Select))
+		for i, it := range p.orig.Select {
+			var v Value
+			if it.Expr == nil {
+				v = b.value(it.Var)
+			} else {
+				var err error
+				v, err = evalExpr(substituteAggValues(it.Expr, p.aggIdx, vals), b)
+				if err != nil {
+					v = Value{}
+				}
+			}
+			if v.Bound {
+				line[i] = v.Term
+			}
+		}
+		res.Rows = append(res.Rows, line)
+	}
+	return res, nil
+}
+
+// shardCols maps the plan's columns into one shard result's layout.
+type shardCols struct {
+	key  []int
+	col  []int // per dagg: primary column
+	col2 []int // per dagg: AVG count column (-1 otherwise)
+}
+
+func (p *PartialAggPlan) shardColumns(sr *Results) (shardCols, error) {
+	var c shardCols
+	find := func(name string) (int, error) {
+		i := sr.Column(name)
+		if i < 0 {
+			return 0, fmt.Errorf("sparql: shard result missing column ?%s", name)
+		}
+		return i, nil
+	}
+	for _, v := range p.keyVars {
+		i, err := find(v)
+		if err != nil {
+			return c, err
+		}
+		c.key = append(c.key, i)
+	}
+	for _, d := range p.daggs {
+		i, err := find(d.col)
+		if err != nil {
+			return c, err
+		}
+		c.col = append(c.col, i)
+		j := -1
+		if d.col2 != "" {
+			if j, err = find(d.col2); err != nil {
+				return c, err
+			}
+		}
+		c.col2 = append(c.col2, j)
+	}
+	return c, nil
+}
+
+// mergeDistPartial folds one shard row's partial state for one
+// aggregate into the cross-shard state. col/col2 index the row's
+// partial columns (col2 only for AVG's count).
+func mergeDistPartial(dst *distPartial, kind distAggKind, r []rdf.Term, col, col2 int) error {
+	t := r[col]
+	switch kind {
+	case distCount:
+		n, err := termInt(t)
+		if err != nil {
+			return err
+		}
+		dst.n += n
+	case distSum:
+		f, err := termFloat(t)
+		if err != nil {
+			return err
+		}
+		dst.sum += f
+	case distAvg:
+		f, err := termFloat(t)
+		if err != nil {
+			return err
+		}
+		n, err := termInt(r[col2])
+		if err != nil {
+			return err
+		}
+		// A shard whose group had no valid values reports SUM 0,
+		// COUNT 0 — adding both is the identity.
+		dst.sum += f
+		dst.n += n
+	case distMin, distSample:
+		if !Bound(t) {
+			return nil
+		}
+		v := boundValue(t)
+		if !dst.best.Bound || orderLess(v, dst.best) {
+			dst.best = v
+		}
+	case distMax:
+		if !Bound(t) {
+			return nil
+		}
+		v := boundValue(t)
+		if !dst.best.Bound || orderLess(dst.best, v) {
+			dst.best = v
+		}
+	}
+	return nil
+}
+
+// finalizeDistPartial turns a merged state into the aggregate's value
+// using the same numValue rules as the sequential fold.
+func finalizeDistPartial(p distPartial, d distAgg) Value {
+	switch d.kind {
+	case distCount:
+		return numValue(float64(p.n))
+	case distSum:
+		return numValue(p.sum)
+	case distAvg:
+		if p.n == 0 {
+			return Value{}
+		}
+		return numValue(p.sum / float64(p.n))
+	default:
+		return p.best
+	}
+}
+
+func termInt(t rdf.Term) (int64, error) {
+	if !Bound(t) {
+		return 0, fmt.Errorf("sparql: unbound partial count")
+	}
+	n, err := strconv.ParseInt(t.Value, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sparql: partial count %q: %w", t.Value, err)
+	}
+	return n, nil
+}
+
+func termFloat(t rdf.Term) (float64, error) {
+	if !Bound(t) {
+		// An unbound SUM cannot happen (SUM over nothing is 0), but an
+		// endpoint is free to omit it; treat as the additive identity.
+		return 0, nil
+	}
+	f, ok := t.Numeric()
+	if !ok {
+		return 0, fmt.Errorf("sparql: partial sum %q is not numeric", t.Value)
+	}
+	return f, nil
+}
+
+// distBinding resolves GROUP BY key variables against a merged group.
+type distBinding struct {
+	keyVars []string
+	key     []rdf.Term
+	aggVals []Value
+	aggIdx  map[string]int
+}
+
+func (b distBinding) value(name string) Value {
+	for i, v := range b.keyVars {
+		if v == name && i < len(b.key) && Bound(b.key[i]) {
+			return boundValue(b.key[i])
+		}
+	}
+	return Value{}
+}
+
+// substituteAggValues replaces AggExpr nodes with the merged group's
+// finalized constants, mirroring substituteAggregates for the
+// coordinator-side binding.
+func substituteAggValues(e Expr, aggIdx map[string]int, vals []Value) Expr {
+	switch x := e.(type) {
+	case AggExpr:
+		idx, ok := aggIdx[x.String()]
+		if !ok || !vals[idx].Bound {
+			return VarExpr{Name: internalVarPrefix + "_unboundagg"}
+		}
+		return ConstExpr{Term: vals[idx].Term}
+	case BinaryExpr:
+		return BinaryExpr{Op: x.Op, L: substituteAggValues(x.L, aggIdx, vals), R: substituteAggValues(x.R, aggIdx, vals)}
+	case UnaryExpr:
+		return UnaryExpr{Op: x.Op, E: substituteAggValues(x.E, aggIdx, vals)}
+	case InExpr:
+		list := make([]Expr, len(x.List))
+		for i, y := range x.List {
+			list[i] = substituteAggValues(y, aggIdx, vals)
+		}
+		return InExpr{E: substituteAggValues(x.E, aggIdx, vals), List: list, Not: x.Not}
+	case FuncExpr:
+		args := make([]Expr, len(x.Args))
+		for i, y := range x.Args {
+			args[i] = substituteAggValues(y, aggIdx, vals)
+		}
+		return FuncExpr{Name: x.Name, Args: args}
+	}
+	return e
+}

@@ -1,0 +1,233 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/rdf"
+	"re2xolap/internal/store"
+)
+
+// distTestTriples is a small corpus with a skewed group structure so
+// partial merging is exercised: three subjects per region, integer
+// measures, one subject with a missing measure.
+func distTestTriples() []rdf.Triple {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var ts []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		ts = append(ts, rdf.Triple{S: iri(s), P: iri(p), O: o})
+	}
+	for i := 0; i < 9; i++ {
+		subj := fmt.Sprintf("obs%d", i)
+		region := fmt.Sprintf("r%d", i%3)
+		add(subj, "region", iri(region))
+		if i != 4 { // obs4 has no value: exercises unbound handling
+			add(subj, "value", rdf.NewInteger(int64(10+i*i)))
+		}
+		add(subj, "label", rdf.NewString(fmt.Sprintf("obs %d", i)))
+	}
+	return ts
+}
+
+// splitStores partitions triples across n stores by a subject-count
+// round robin (any deterministic split works for these tests).
+func splitStores(t *testing.T, ts []rdf.Triple, n int) []*store.Store {
+	t.Helper()
+	sts := make([]*store.Store, n)
+	for i := range sts {
+		sts[i] = store.New()
+	}
+	for _, tr := range ts {
+		i := int(tr.S.Value[len(tr.S.Value)-1]-'0') % n
+		if err := sts[i].Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sts
+}
+
+// runPartialPlan executes the plan's shard query on each store and
+// merges, returning the finalized (pre-MergeFinalize) results.
+func runPartialPlan(t *testing.T, p *PartialAggPlan, sts []*store.Store) *Results {
+	t.Helper()
+	var shardRes []*Results
+	for _, st := range sts {
+		r, err := NewEngine(st).Query(p.ShardQuery())
+		if err != nil {
+			t.Fatalf("shard query: %v", err)
+		}
+		shardRes = append(shardRes, r)
+	}
+	res, err := p.Merge(shardRes)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return res
+}
+
+// rowStrings renders rows for comparison.
+func rowStrings(res *Results) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, t := range r {
+			if Bound(t) {
+				parts[j] = t.String()
+			}
+		}
+		out[i] = strings.Join(parts, " | ")
+	}
+	return out
+}
+
+// TestPartialAggregationMatchesSingleNode runs decomposable aggregate
+// queries through the shard-rewrite path over 1..4-way splits and
+// checks the merged result equals the single-node result (after
+// canonical ordering on both sides, since group order differs).
+func TestPartialAggregationMatchesSingleNode(t *testing.T) {
+	ts := distTestTriples()
+	single := store.New()
+	if err := single.AddAll(ts); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`,
+		`SELECT ?r (COUNT(*) AS ?n) WHERE { ?s <http://x/region> ?r } GROUP BY ?r`,
+		`SELECT ?r (SUM(?v) AS ?t) (AVG(?v) AS ?a) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`,
+		`SELECT ?r (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`,
+		`SELECT (COUNT(?v) AS ?n) (SUM(?v) AS ?t) WHERE { ?s <http://x/value> ?v }`,
+		`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r HAVING (COUNT(?v) > 2)`,
+		`SELECT ?r ((SUM(?v) + COUNT(?v)) AS ?mix) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`,
+		// Empty result: no subject matches this predicate.
+		`SELECT (COUNT(?v) AS ?n) WHERE { ?s <http://x/nope> ?v }`,
+	}
+	for _, qs := range queries {
+		q, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qs, err)
+		}
+		p, ok := PlanPartialAggregation(q)
+		if !ok {
+			t.Fatalf("expected decomposable: %s", qs)
+		}
+		want, err := NewEngine(single).QueryString(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		MergeFinalize(q, want) // canonicalize the single-node order too
+		for _, n := range []int{1, 2, 3, 4} {
+			got := runPartialPlan(t, p, splitStores(t, ts, n))
+			MergeFinalize(q, got)
+			g, w := rowStrings(got), rowStrings(want)
+			if fmt.Sprint(g) != fmt.Sprint(w) {
+				t.Errorf("%s\n%d shards:\n got %v\nwant %v", qs, n, g, w)
+			}
+		}
+	}
+}
+
+// TestPartialAggregationSampleDeterministic checks SAMPLE merges to
+// the same value on every topology (the canonical least member), even
+// though it may differ from the sequential engine's choice.
+func TestPartialAggregationSampleDeterministic(t *testing.T) {
+	ts := distTestTriples()
+	qs := `SELECT ?r (SAMPLE(?v) AS ?any) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`
+	q, err := Parse(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := PlanPartialAggregation(q)
+	if !ok {
+		t.Fatal("expected decomposable")
+	}
+	var first []string
+	for _, n := range []int{1, 2, 3, 4} {
+		got := runPartialPlan(t, p, splitStores(t, ts, n))
+		MergeFinalize(q, got)
+		rs := rowStrings(got)
+		if first == nil {
+			first = rs
+			continue
+		}
+		if fmt.Sprint(rs) != fmt.Sprint(first) {
+			t.Errorf("%d shards: got %v, want %v", n, rs, first)
+		}
+	}
+}
+
+// TestPlanPartialAggregationRejects lists the shapes that must fall
+// back to the gather path.
+func TestPlanPartialAggregationRejects(t *testing.T) {
+	reject := []string{
+		// DISTINCT aggregate needs a global dedup set.
+		`SELECT (COUNT(DISTINCT ?v) AS ?n) WHERE { ?s <http://x/value> ?v }`,
+		// GROUP_CONCAT order is per-shard row order.
+		`SELECT ?r (GROUP_CONCAT(?v) AS ?all) WHERE { ?s <http://x/region> ?r . ?s <http://x/value> ?v } GROUP BY ?r`,
+		// Plain var outside GROUP BY: representative-row dependent.
+		`SELECT ?s (COUNT(?v) AS ?n) WHERE { ?s <http://x/value> ?v } GROUP BY ?r`,
+		// Non-aggregate query.
+		`SELECT ?s WHERE { ?s <http://x/value> ?v }`,
+		// ASK is not a projection.
+		`ASK { ?s <http://x/value> ?v }`,
+	}
+	for _, qs := range reject {
+		q, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qs, err)
+		}
+		if _, ok := PlanPartialAggregation(q); ok {
+			t.Errorf("expected non-decomposable: %s", qs)
+		}
+	}
+}
+
+// TestMergeFinalizeCanonicalOrder checks the canonical tie-break: rows
+// equal under ORDER BY keys land in term-serialization order, and the
+// full modifier stack (DISTINCT, OFFSET, LIMIT) applies on top.
+func TestMergeFinalizeCanonicalOrder(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	mk := func(rows ...[]rdf.Term) *Results {
+		return &Results{Vars: []string{"a", "b"}, Rows: rows}
+	}
+	q, err := Parse(`SELECT ?a ?b WHERE { ?a <http://x/p> ?b } ORDER BY ?a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mk(
+		[]rdf.Term{iri("k1"), iri("z")},
+		[]rdf.Term{iri("k2"), iri("m")},
+		[]rdf.Term{iri("k1"), iri("a")},
+		[]rdf.Term{iri("k1"), iri("a")}, // duplicate
+	)
+	MergeFinalize(q, res)
+	got := rowStrings(res)
+	want := []string{
+		"<http://x/k1> | <http://x/a>",
+		"<http://x/k1> | <http://x/a>",
+		"<http://x/k1> | <http://x/z>",
+		"<http://x/k2> | <http://x/m>",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("order: got %v, want %v", got, want)
+	}
+
+	// DISTINCT + OFFSET + LIMIT on an unordered query: canonical key
+	// is the entire sort.
+	q2, err := Parse(`SELECT DISTINCT ?a ?b WHERE { ?a <http://x/p> ?b } OFFSET 1 LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := mk(
+		[]rdf.Term{iri("k2"), iri("m")},
+		[]rdf.Term{iri("k1"), iri("z")},
+		[]rdf.Term{iri("k1"), iri("z")},
+		[]rdf.Term{iri("k1"), iri("a")},
+	)
+	MergeFinalize(q2, res2)
+	got2 := rowStrings(res2)
+	want2 := []string{"<http://x/k1> | <http://x/z>"}
+	if fmt.Sprint(got2) != fmt.Sprint(want2) {
+		t.Fatalf("distinct/offset/limit: got %v, want %v", got2, want2)
+	}
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"re2xolap/internal/rdf"
+)
+
+func TestLoadPartitioned(t *testing.T) {
+	nt := `<http://t/a> <http://t/p> "1" .
+<http://t/b> <http://t/p> "2" .
+<http://t/a> <http://t/q> "3" .
+<http://t/c> <http://t/p> "4" .
+`
+	// Route by last byte of the subject IRI: a→0, b→1, c→2.
+	shardOf := func(s rdf.Term) int { return int(s.Value[len(s.Value)-1] - 'a') }
+	stores, n, err := LoadPartitioned(strings.NewReader(nt), 3, shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("loaded %d triples, want 4", n)
+	}
+	for i, want := range []int{2, 1, 1} {
+		if got := stores[i].Len(); got != want {
+			t.Errorf("shard %d: %d triples, want %d", i, got, want)
+		}
+	}
+	// All of subject a's triples are on shard 0.
+	count := 0
+	for _, tr := range stores[0].Triples() {
+		if tr.S.Value == "http://t/a" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("shard 0 subject a: %d triples, want 2", count)
+	}
+
+	if _, _, err := LoadPartitioned(strings.NewReader(nt), 0, shardOf); err == nil {
+		t.Error("shard count 0 must fail")
+	}
+	bad := func(rdf.Term) int { return 7 }
+	if _, _, err := LoadPartitioned(strings.NewReader(nt), 3, bad); err == nil {
+		t.Error("out-of-range shard must fail")
+	}
+}
