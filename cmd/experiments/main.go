@@ -146,5 +146,9 @@ func run(exp, scaleName string, seed int64, perSize int, csvDir string, policy *
 	if err := section("fig10", func() error { return bench.RunFig10(w, eurostat) }); err != nil {
 		return err
 	}
+	// The step tables attribute the whole run's endpoint-query cost to
+	// the workflow steps that issued it (keyword-search, membership-*,
+	// witness, refine:*, ...), one table per dataset.
+	bench.WriteStepTables(w, datasets)
 	return nil
 }

@@ -17,6 +17,7 @@
 //	apply <n>                   execute refinement n
 //	back                        backtrack to the previous query
 //	profile                     print the virtual schema graph
+//	profile <query|current>     run under the runtime profiler (EXPLAIN ANALYZE)
 //	sparql <query>              run a raw SPARQL query
 //	help, quit
 package main
@@ -199,6 +200,30 @@ func repl(ctx context.Context, engine *core.Engine, g *vgraph.Graph, client endp
 					s.Queries, s.Retries, s.BreakerTrips, rc.State())
 			}
 		case "profile":
+			if rest != "" {
+				// profile <query|current>: run under the runtime profiler
+				// and print the EXPLAIN ANALYZE operator tree.
+				if rest == "current" {
+					cur := sess.Current()
+					if cur == nil {
+						fmt.Fprintln(out, "no active query")
+						continue
+					}
+					rest = cur.Query.ToSPARQL()
+				}
+				ip, ok := client.(*endpoint.InProcess)
+				if !ok {
+					fmt.Fprintln(out, "profile requires an in-process store (-data or -gen)")
+					continue
+				}
+				_, p, err := ip.Engine.Profile(qctx(ctx, "profile"), rest)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					continue
+				}
+				fmt.Fprint(out, p.String())
+				continue
+			}
 			fmt.Fprint(out, g.String())
 			if p, err := engine.Profile(qctx(ctx, "profile")); err == nil {
 				fmt.Fprint(out, p.String())
@@ -425,6 +450,7 @@ func printHelp(out io.Writer) {
   back                     backtrack to the previous query
   save <file.json>         export the exploration history
   profile                  print the virtual schema graph
+  profile <query|current>  run a query under the runtime profiler (EXPLAIN ANALYZE)
   sparql <query>           run raw SPARQL
   explain <query|current>  show the query plan
   trace                    toggle per-command query tracing

@@ -64,6 +64,7 @@ func main() {
 	shardSlot := flag.String("shard", "", "shard-server mode: serve only partition i of n, as 'i/n'")
 	degraded := flag.Bool("degraded", false, "coordinator: answer with partial results when shards fail (sets X-Re2xolap-Incomplete)")
 	traceExport := flag.String("trace-export", "", "append per-request OTLP/JSON trace lines to this file ('-' for stdout)")
+	debugQueries := flag.Int("debug-queries", 0, "keep the last N query profiles and serve them as JSON on /debug/queries (0 disables)")
 	flag.Parse()
 
 	if *configPath != "" {
@@ -94,6 +95,9 @@ func main() {
 			log.Fatalf("sparqld: %v", err)
 		}
 		opts = append(opts, endpoint.WithTraceExport(sink))
+	}
+	if *debugQueries > 0 {
+		opts = append(opts, endpoint.WithQueryLog(obs.NewQueryRing(*debugQueries)))
 	}
 
 	handler, err := buildHandler(*shards, *shardSlot, *data, *gen, *obsCount, *workers, *degraded, *addr, reg, opts)

@@ -13,6 +13,7 @@ import (
 	"re2xolap/internal/core"
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/store"
 	"re2xolap/internal/vgraph"
@@ -26,6 +27,7 @@ type Dataset struct {
 	Client        *endpoint.InProcess
 	Graph         *vgraph.Graph
 	Engine        *core.Engine
+	Registry      *obs.Registry
 	LoadTime      time.Duration
 	BootstrapTime time.Duration
 }
@@ -49,7 +51,10 @@ func PrepareWithPolicy(spec datagen.Spec, p *endpoint.Policy) (*Dataset, error) 
 		return nil, err
 	}
 	loadTime := time.Since(t0)
-	c := endpoint.NewInProcess(st)
+	// A per-dataset registry collects per-step query timings; the
+	// experiment reports print them as step tables (StepStats).
+	reg := obs.NewRegistry()
+	c := endpoint.NewInProcess(st, endpoint.WithRegistry(reg))
 	var qc endpoint.Client = c
 	if p != nil {
 		qc = endpoint.NewResilient(c, endpoint.WithPolicy(*p))
@@ -59,12 +64,15 @@ func PrepareWithPolicy(spec datagen.Spec, p *endpoint.Policy) (*Dataset, error) 
 	if err != nil {
 		return nil, fmt.Errorf("bench: bootstrap %s: %w", spec.Name, err)
 	}
+	eng := core.NewEngine(qc, g, spec.Config())
+	eng.Instrument(reg)
 	return &Dataset{
 		Spec:          spec,
 		Store:         st,
 		Client:        c,
 		Graph:         g,
-		Engine:        core.NewEngine(qc, g, spec.Config()),
+		Engine:        eng,
+		Registry:      reg,
 		LoadTime:      loadTime,
 		BootstrapTime: time.Since(t1),
 	}, nil

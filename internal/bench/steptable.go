@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteStepTable prints the per-step endpoint-query timing table for
+// one prepared dataset: how many queries each synthesis/refinement
+// step (keyword-search, membership-*, witness, refine:*, ...) issued,
+// how much endpoint time it cost in total, and its latency quantiles.
+// The stats accumulate in the dataset's registry across every
+// experiment section, so the table printed at the end of a run
+// attributes the whole run's query cost to workflow steps.
+func WriteStepTable(w io.Writer, d *Dataset) {
+	stats := d.Engine.StepStats()
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "  (no step timings recorded)")
+		return
+	}
+	fmt.Fprintf(w, "  %-24s %8s %7s %12s %10s %10s %10s\n",
+		"step", "queries", "errors", "total", "p50", "p95", "p99")
+	var queries, errors int64
+	var total float64
+	for _, s := range stats {
+		fmt.Fprintf(w, "  %-24s %8d %7d %12s %10s %10s %10s\n",
+			s.Step, s.Queries, s.Errors,
+			fmtSeconds(s.TotalSeconds), fmtSeconds(s.P50), fmtSeconds(s.P95), fmtSeconds(s.P99))
+		queries += s.Queries
+		errors += s.Errors
+		total += s.TotalSeconds
+	}
+	fmt.Fprintf(w, "  %-24s %8d %7d %12s\n", "TOTAL", queries, errors, fmtSeconds(total))
+}
+
+// WriteStepTables prints one step table per dataset under a header.
+func WriteStepTables(w io.Writer, datasets []*Dataset) {
+	fmt.Fprintln(w, "== Per-step query timings ==")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "%s:\n", d.Spec.Name)
+		WriteStepTable(w, d)
+	}
+}
+
+// fmtSeconds renders a duration measured in float seconds compactly.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

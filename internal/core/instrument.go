@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,6 +63,45 @@ func (m *stepMetrics) record(step string, wall time.Duration, err error) {
 	if err != nil {
 		errc.Inc()
 	}
+}
+
+// StepStat is the per-step timing summary StepStats reports: query
+// and error counts, total endpoint time, and latency quantiles
+// estimated from the step's histogram.
+type StepStat struct {
+	Step         string
+	Queries      int64
+	Errors       int64
+	TotalSeconds float64
+	P50, P95     float64
+	P99          float64
+}
+
+// StepStats summarizes the per-step query accounting since Instrument,
+// sorted by step name. Nil (engine not instrumented) yields nil, so
+// report printers need no separate branch.
+func (e *Engine) StepStats() []StepStat {
+	m := e.steps
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]StepStat, 0, len(m.queries))
+	for step, q := range m.queries {
+		h := m.seconds[step]
+		out = append(out, StepStat{
+			Step:         step,
+			Queries:      q.Value(),
+			Errors:       m.errors[step].Value(),
+			TotalSeconds: h.Sum(),
+			P50:          h.Quantile(0.5),
+			P95:          h.Quantile(0.95),
+			P99:          h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
 }
 
 // query issues one endpoint query tagged with the synthesis step that

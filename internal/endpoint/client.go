@@ -73,13 +73,27 @@ func (c *InProcess) QueryX(ctx context.Context, req Request) (*sparql.Results, Q
 	}
 	ctx, span := querySpan(ctx, req, "sparql")
 	start := time.Now()
-	res, pt, err := c.Engine.QueryStringTimed(ctx, req.Query)
+	var res *sparql.Results
+	var err error
+	if req.Opts.Profile {
+		var prof *sparql.Profile
+		res, prof, err = c.Engine.Profile(ctx, req.Query)
+		if prof != nil {
+			meta.Profile = prof
+			meta.Phases = prof.Phases
+			meta.Rows = prof.Phases.Rows
+		}
+	} else {
+		var pt sparql.PhaseTimings
+		res, pt, err = c.Engine.QueryStringTimed(ctx, req.Query)
+		meta.Phases = pt
+		meta.Rows = pt.Rows
+	}
 	if err != nil {
 		err = classifyLocal(ctx, err)
 	}
 	meta.Wall = time.Since(start)
-	meta.Phases, meta.HasPhases = pt, true
-	meta.Rows = pt.Rows
+	meta.HasPhases = true
 	span.End()
 	// c.m.record would double-count queries: c.queries IS c.m.queries
 	// when a registry is attached, so count once and add latency/errors
@@ -183,6 +197,15 @@ func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", ResultsContentType)
+	// Propagate the ambient trace across the process boundary: the
+	// serving side continues the same trace ID (W3C Trace Context), so
+	// coordinator fan-out spans and shard-side engine spans stitch into
+	// one trace in the OTLP export.
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		if tp := sp.Traceparent(); tp != "" {
+			req.Header.Set("traceparent", tp)
+		}
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient

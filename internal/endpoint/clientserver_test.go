@@ -3,6 +3,7 @@ package endpoint
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -156,5 +157,133 @@ func TestServerTraceExport(t *testing.T) {
 	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
 	if len(spans) == 0 || spans[0].Name != "sparql-request" {
 		t.Fatalf("unexpected span tree: %+v", spans)
+	}
+}
+
+// TestTraceparentPropagation checks the cross-process stitching end to
+// end at the protocol layer: HTTPClient injects the W3C traceparent
+// header from the ambient span, and a WithTraceExport server continues
+// that trace — the exported span tree carries the caller's trace ID
+// with the caller's span as the root's parent.
+func TestTraceparentPropagation(t *testing.T) {
+	st := clientServerStore(t)
+	var buf syncBuffer
+	sink := obs.NewOTLPSink(&buf, "shard")
+	inner := NewServer(st, WithTraceExport(sink))
+	var gotHeader string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get("traceparent")
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	tr := obs.NewTrace("coordinator")
+	ctx := obs.ContextWith(context.Background(), tr.Root())
+	c := NewHTTPClient(srv.URL)
+	if _, _, err := c.QueryX(ctx, Request{Query: `SELECT ?s WHERE { ?s <http://t/v> ?o }`}); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+
+	tid, sid, ok := obs.ParseTraceparent(gotHeader)
+	if !ok {
+		t.Fatalf("server saw no valid traceparent header: %q", gotHeader)
+	}
+	wantTID, _, ok := obs.ParseTraceparent(tr.Root().Traceparent())
+	if !ok || tid != wantTID {
+		t.Fatalf("header trace ID = %x, want coordinator's %x", tid, wantTID)
+	}
+
+	var req struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string
+					SpanID       string
+					ParentSpanID string
+					Name         string
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &req); err != nil {
+		t.Fatal(err)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if spans[0].TraceID != hex.EncodeToString(tid[:]) {
+		t.Errorf("exported trace ID %s, want %s", spans[0].TraceID, hex.EncodeToString(tid[:]))
+	}
+	if spans[0].ParentSpanID != hex.EncodeToString(sid[:]) {
+		t.Errorf("exported root parent %s, want caller span %s", spans[0].ParentSpanID, hex.EncodeToString(sid[:]))
+	}
+}
+
+// TestServerQueryLog checks WithQueryLog records served queries and
+// Routes exposes them as /debug/queries.
+func TestServerQueryLog(t *testing.T) {
+	st := clientServerStore(t)
+	ring := obs.NewQueryRing(8)
+	s := NewServer(st, WithQueryLog(ring))
+	srv := httptest.NewServer(s.Routes(RoutesConfig{}))
+	defer srv.Close()
+
+	resp, err := http.PostForm(srv.URL+"/sparql", url.Values{"query": {`SELECT ?s WHERE { ?s <http://t/v> ?o }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/queries status %d", resp.StatusCode)
+	}
+	var recs []obs.QueryRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Rows != 3 || recs[0].Source != "server" {
+		t.Fatalf("unexpected query log: %+v", recs)
+	}
+	if len(recs[0].PhaseMS) == 0 {
+		t.Error("query log entry missing phase breakdown")
+	}
+}
+
+// TestInProcessProfileOption checks the opt-in QueryX profile: the
+// meta carries a per-operator tree whose root row count matches the
+// result, with estimated-vs-actual deltas for the scans.
+func TestInProcessProfileOption(t *testing.T) {
+	st := clientServerStore(t)
+	c := NewInProcess(st)
+	res, meta, err := c.QueryX(context.Background(),
+		Request{Query: `SELECT ?s ?v WHERE { ?s <http://t/v> ?v } ORDER BY ?v`, Opts: QueryOpts{Profile: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Profile == nil {
+		t.Fatal("Opts.Profile set but meta.Profile nil")
+	}
+	if got := meta.Profile.Root.RowsOut; got != res.Len() {
+		t.Errorf("profile root rows = %d, result rows = %d", got, res.Len())
+	}
+	if len(meta.Profile.Deltas()) == 0 {
+		t.Error("no cardinality deltas in profile")
+	}
+	// Without the option the profile stays nil and results match.
+	bare, meta2, err := c.QueryX(context.Background(),
+		Request{Query: `SELECT ?s ?v WHERE { ?s <http://t/v> ?v } ORDER BY ?v`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Profile != nil {
+		t.Error("profile filled without Opts.Profile")
+	}
+	if res.String() != bare.String() {
+		t.Errorf("profiled results diverge from bare:\n%s\nvs\n%s", res, bare)
 	}
 }

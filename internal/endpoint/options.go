@@ -35,6 +35,7 @@ type options struct {
 	maxQueryLen int
 	workers     *int
 	traceSink   *obs.OTLPSink
+	queryLog    *obs.QueryRing
 }
 
 // applyOptions folds opts into a settings bag.
@@ -93,6 +94,16 @@ func WithWorkers(n int) Option {
 // WithTraceExport turns on per-request tracing in the server: each
 // /sparql request runs under a fresh trace whose span tree is
 // exported to the sink (OTLP/JSON lines) when the request completes.
+// A request carrying a W3C traceparent header continues the caller's
+// trace instead of starting a fresh one.
 func WithTraceExport(s *obs.OTLPSink) Option {
 	return func(o *options) { o.traceSink = s }
+}
+
+// WithQueryLog records every served query's profile summary (wall
+// time, rows, phase breakdown, federation plan and per-shard
+// accounting) into the ring, and makes Routes expose it as
+// /debug/queries (last-N, JSON, newest-first).
+func WithQueryLog(r *obs.QueryRing) Option {
+	return func(o *options) { o.queryLog = r }
 }

@@ -26,6 +26,11 @@ type QueryOpts struct {
 	// Span, when non-nil, overrides the trace span from the context as
 	// the parent for this query's spans.
 	Span *obs.Span
+	// Profile asks the executing engine for a per-operator runtime
+	// profile (EXPLAIN ANALYZE data: rows in/out, wall time, estimated
+	// vs actual cardinality). Only the in-process client can honor it;
+	// remote clients ignore the flag and leave QueryMeta.Profile nil.
+	Profile bool
 }
 
 // QueryMeta is the per-query execution metadata QuerierX reports
@@ -55,6 +60,17 @@ type QueryMeta struct {
 	// or more failed shards. Complete single-backend clients never set
 	// it.
 	Incomplete bool
+	// Plan is the federation plan class (colocated/partial_agg/gather)
+	// when a shard coordinator executed the query; empty otherwise.
+	Plan string
+	// Shards is the per-shard accounting (rows, wall time,
+	// attempts/retries) a coordinator reports for federated queries.
+	Shards []obs.ShardCall
+	// Profile is the per-operator runtime profile, filled only when the
+	// request set QueryOpts.Profile and the executing client is
+	// in-process. Profile.Deltas() gives estimated-vs-actual
+	// cardinality per operator.
+	Profile *sparql.Profile
 }
 
 // QuerierX is the extension interface of the protocol boundary: a
@@ -167,6 +183,8 @@ func recordSlow(l *obs.SlowLog, query string, meta QueryMeta, err error) {
 		WallMS:  float64(meta.Wall) / float64(time.Millisecond),
 		Rows:    meta.Rows,
 		Retries: meta.Retries,
+		Plan:    meta.Plan,
+		Shards:  meta.Shards,
 		Query:   query,
 	}
 	if meta.HasPhases {

@@ -36,10 +36,11 @@ type Server struct {
 	// of mutating the field afterwards.
 	MaxQueryLen int
 
-	reg    *obs.Registry
-	m      *serverMetrics
-	slow   *obs.SlowLog
-	traces *obs.OTLPSink
+	reg     *obs.Registry
+	m       *serverMetrics
+	slow    *obs.SlowLog
+	traces  *obs.OTLPSink
+	queries *obs.QueryRing
 }
 
 // serverMetrics caches the server's registry series.
@@ -58,7 +59,7 @@ var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "
 // WithMaxQueryLen, WithWorkers.
 func NewServer(st *store.Store, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink}
+	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -86,7 +87,7 @@ func NewServer(st *store.Store, opts ...Option) *Server {
 // via the X-Re2xolap-Incomplete response header.
 func NewClientServer(c Client, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink}
+	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -194,7 +195,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var trace *obs.Trace
 	if s.traces != nil {
-		trace = obs.NewTrace("sparql-request")
+		// A W3C traceparent header stitches this request into the
+		// caller's trace: same trace ID, the caller's span as the root's
+		// parent. Without one the request starts a fresh trace.
+		if tid, sid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			trace = obs.NewTraceWithRemoteParent("sparql-request", tid, sid)
+		} else {
+			trace = obs.NewTrace("sparql-request")
+		}
 		ctx = obs.ContextWith(ctx, trace.Root())
 		defer func() {
 			trace.End()
@@ -204,11 +212,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	var res *sparql.Results
 	var pt sparql.PhaseTimings
+	var meta QueryMeta
 	var err error
-	timed := s.m != nil || s.slow != nil
+	timed := s.m != nil || s.slow != nil || s.queries != nil
 	switch {
 	case s.client != nil:
-		var meta QueryMeta
 		res, meta, err = QueryX(ctx, s.client, Request{Query: query})
 		if meta.HasPhases {
 			pt = meta.Phases
@@ -240,7 +248,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		wall := time.Since(start)
 		s.m.countRequest(requestOutcome(err), wall)
-		s.recordSlow(query, wall, pt, 0, err)
+		s.recordSlow(query, wall, pt, 0, meta, err)
+		s.recordRing(query, wall, pt, meta, 0, err)
 		return
 	}
 
@@ -256,21 +265,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if s.m != nil {
 			s.m.serialize.ObserveDuration(ser)
 		}
-		s.recordSlowWithSerialize(query, wall, pt, res.Len(), ser)
+		s.recordSlowWithSerialize(query, wall, pt, res.Len(), meta, ser)
+		s.recordRing(query, wall, pt, meta, res.Len(), nil)
 	}
+}
+
+// recordRing appends one served query's profile summary to the
+// /debug/queries ring. nil-safe (ring absent).
+func (s *Server) recordRing(query string, wall time.Duration, pt sparql.PhaseTimings, meta QueryMeta, rows int, err error) {
+	if s.queries == nil {
+		return
+	}
+	rec := obs.QueryRecord{
+		Source:     "server",
+		Step:       meta.Step,
+		Plan:       meta.Plan,
+		WallMS:     float64(wall) / float64(time.Millisecond),
+		Rows:       rows,
+		PhaseMS:    obs.PhaseMS(pt.Map()),
+		Shards:     meta.Shards,
+		Incomplete: meta.Incomplete,
+		Query:      query,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.queries.Record(rec)
 }
 
 // recordSlow feeds the structured slow-query log from the server side
 // (phase breakdown, no serialize component).
-func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, err error) {
+func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, meta QueryMeta, err error) {
 	if !s.slow.Slow(wall) {
 		return
 	}
 	entry := obs.SlowQuery{
 		Source:  "server",
+		Step:    meta.Step,
 		WallMS:  float64(wall) / float64(time.Millisecond),
 		PhaseMS: obs.PhaseMS(pt.Map()),
 		Rows:    rows,
+		Retries: meta.Retries,
+		Plan:    meta.Plan,
+		Shards:  meta.Shards,
 		Query:   query,
 	}
 	if err != nil {
@@ -281,7 +318,7 @@ func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTim
 
 // recordSlowWithSerialize adds the serialization phase to the
 // breakdown.
-func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, ser time.Duration) {
+func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sparql.PhaseTimings, rows int, meta QueryMeta, ser time.Duration) {
 	if !s.slow.Slow(wall) {
 		return
 	}
@@ -291,9 +328,13 @@ func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sp
 	}
 	s.slow.Record(obs.SlowQuery{
 		Source:  "server",
+		Step:    meta.Step,
 		WallMS:  float64(wall) / float64(time.Millisecond),
 		PhaseMS: obs.PhaseMS(phases),
 		Rows:    rows,
+		Retries: meta.Retries,
+		Plan:    meta.Plan,
+		Shards:  meta.Shards,
 		Query:   query,
 	})
 }
@@ -346,7 +387,8 @@ type RoutesConfig struct {
 
 // Routes assembles the operational mux: /sparql (hardened), /metrics
 // (Prometheus text format; 404 unless the server was built
-// WithRegistry), /healthz, and — when cfg.Pprof — /debug/pprof/.
+// WithRegistry), /healthz, /debug/queries (when built WithQueryLog),
+// and — when cfg.Pprof — /debug/pprof/.
 func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", Harden(s, cfg.Harden))
@@ -359,6 +401,9 @@ func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 		// Client-backed server: no local store to count.
 		fmt.Fprintln(w, "ok")
 	})
+	if s.queries != nil {
+		mux.Handle("/debug/queries", s.queries.Handler())
+	}
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -14,11 +14,18 @@ import (
 // PromContentType is the content type of the text exposition format.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// promQuantiles are the estimated quantiles every histogram family
+// additionally exposes as a synthetic <name>_quantile gauge family.
+var promQuantiles = []float64{0.5, 0.95, 0.99}
+
 // WriteProm writes every metric in the Prometheus text exposition
 // format (version 0.0.4): families sorted by name, each with one
 // # HELP and # TYPE line, series sorted by label set. Histograms
-// expand into cumulative _bucket{le=...} series plus _sum and _count.
-// A nil registry writes nothing.
+// expand into cumulative _bucket{le=...} series plus _sum and _count,
+// and additionally into a <name>_quantile gauge family carrying the
+// p50/p95/p99 estimates (linear interpolation within the buckets, the
+// histogram_quantile estimate precomputed server-side). A nil registry
+// writes nothing.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -26,12 +33,22 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
-	for name := range r.families {
+	for name, f := range r.families {
 		names = append(names, name)
+		// Synthetic quantile family per histogram, merged into the sorted
+		// name order so the exposition stays name-sorted. A real family
+		// already holding the derived name wins.
+		if f.kind == kindHistogram && r.families[name+"_quantile"] == nil {
+			names = append(names, name+"_quantile")
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.families[name]
+		if f == nil {
+			writeQuantileFamily(bw, name, r.families[strings.TrimSuffix(name, "_quantile")])
+			continue
+		}
 		if f.help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
@@ -47,6 +64,25 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	return bw.Flush()
+}
+
+// writeQuantileFamily writes the estimated-quantile gauges derived
+// from one histogram family.
+func writeQuantileFamily(w io.Writer, name string, f *family) {
+	fmt.Fprintf(w, "# HELP %s Estimated quantiles of %s.\n", name, f.name)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	keys := make([]string, 0, len(f.instances))
+	for k := range f.instances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		in := f.instances[k]
+		for _, q := range promQuantiles {
+			labels := append(append([]Label{}, in.labels...), L("quantile", formatFloat(q)))
+			fmt.Fprintf(w, "%s%s %s\n", name, labelString(labels, ""), formatFloat(in.h.Quantile(q)))
+		}
+	}
 }
 
 func writeInstance(w io.Writer, f *family, in *instance) {

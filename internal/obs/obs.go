@@ -166,6 +166,45 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the fixed buckets by linear interpolation within
+// the bucket holding the target rank — the same estimate a Prometheus
+// server's histogram_quantile computes. A rank landing in the +Inf
+// bucket clamps to the last finite bound (histogram_quantile
+// semantics). Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, total := h.snapshot()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lower := 0.0
+			var prev int64
+			if i > 0 {
+				lower = h.bounds[i-1]
+				prev = cum[i-1]
+			}
+			inBucket := float64(c - prev)
+			if inBucket == 0 {
+				return h.bounds[i]
+			}
+			return lower + (h.bounds[i]-lower)*(rank-float64(prev))/inBucket
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // snapshot returns cumulative bucket counts aligned with bounds plus
 // the +Inf total, consistent enough for exposition (each counter is
 // read atomically; scrapes racing observations may be off by the

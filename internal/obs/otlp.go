@@ -76,11 +76,14 @@ type OTLPOptions struct {
 	// Service is the service.name resource attribute ("re2xolap" when
 	// empty).
 	Service string
-	// TraceID fixes the 16-byte trace ID; the zero value derives one
-	// from the root span's start time and a process-wide sequence.
+	// TraceID fixes the 16-byte trace ID; the zero value uses the
+	// trace's own ID (set by NewTrace / NewTraceWithRemoteParent), and
+	// traces without one derive an ID from the root span's start time
+	// and a process-wide sequence.
 	TraceID [16]byte
-	// NewSpanID overrides span-ID generation (tests fix it for golden
-	// files); nil numbers the spans depth-first from 1, which is
+	// NewSpanID overrides span-ID generation for every span (tests fix
+	// it for golden files); nil exports each span's own creation-time
+	// ID, numbering any ID-less spans depth-first from 1, which is
 	// deterministic given the tree shape.
 	NewSpanID func() [8]byte
 }
@@ -101,6 +104,9 @@ func EncodeOTLP(w io.Writer, t *Trace, opts OTLPOptions) error {
 	root := t.Root()
 	traceID := opts.TraceID
 	if traceID == ([16]byte{}) {
+		traceID = t.traceID
+	}
+	if traceID == ([16]byte{}) {
 		seq := otlpSeq.Add(1)
 		nano := uint64(rootStart(t).UnixNano())
 		for i := 0; i < 8; i++ {
@@ -108,6 +114,7 @@ func EncodeOTLP(w io.Writer, t *Trace, opts OTLPOptions) error {
 			traceID[8+i] = byte(seq >> (56 - 8*i))
 		}
 	}
+	override := opts.NewSpanID != nil
 	newID := opts.NewSpanID
 	if newID == nil {
 		var n uint64
@@ -123,13 +130,24 @@ func EncodeOTLP(w io.Writer, t *Trace, opts OTLPOptions) error {
 
 	var spans []otlpSpan
 	tid := hex.EncodeToString(traceID[:])
+	// A remote parent (trace continued from another process) becomes
+	// the exported root's parentSpanId, stitching the two processes'
+	// spans into one tree. An explicit NewSpanID override regenerates
+	// all IDs, so the remote link would dangle — skip it there.
+	rootParent := ""
+	if !override && t.parentSpan != ([8]byte{}) {
+		rootParent = hex.EncodeToString(t.parentSpan[:])
+	}
 	// One lock for the whole walk: the tree is tiny (a handful of
 	// spans per query) and a consistent snapshot beats span-by-span
 	// locking.
 	t.mu.Lock()
 	var walk func(s *Span, parent string)
 	walk = func(s *Span, parent string) {
-		id := newID()
+		id := s.id
+		if override || id == ([8]byte{}) {
+			id = newID()
+		}
 		sid := hex.EncodeToString(id[:])
 		end := s.start.Add(s.dur)
 		if !s.ended {
@@ -158,7 +176,7 @@ func EncodeOTLP(w io.Writer, t *Trace, opts OTLPOptions) error {
 			walk(c, sid)
 		}
 	}
-	walk(root, "")
+	walk(root, rootParent)
 	t.mu.Unlock()
 
 	req := otlpRequest{ResourceSpans: []otlpResourceSpans{{

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileUniform checks the estimates against a uniform
+// distribution where the exact quantiles are known: 1000 observations
+// evenly spread over (0, 1] with bounds every 0.1 give exact linear
+// interpolation inside each bucket.
+func TestQuantileUniform(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5},
+		{0.95, 0.95},
+		{0.99, 0.99},
+		{0.1, 0.1},
+		{1.0, 1.0},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 0.011 {
+			t.Errorf("Quantile(%g) = %g, want ~%g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSkewed pins the interpolation on a two-bucket
+// distribution: 90 observations in (0, 1], 10 in (1, 2].
+func TestQuantileSkewed(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// p50 interpolates within the first bucket: rank 50 of 90 → 5/9.
+	if got, want := h.Quantile(0.5), 50.0/90.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %g, want %g", got, want)
+	}
+	// p95 lands in the second bucket: rank 95, 5 of 10 into (1,2] → 1.5.
+	if got := h.Quantile(0.95); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p95 = %g, want 1.5", got)
+	}
+}
+
+// TestQuantileEdges covers nil, empty, clamping, and the +Inf bucket.
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g", got)
+	}
+	h := NewHistogram([]float64{1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g", got)
+	}
+	// All observations above the last bound: clamp to it, as
+	// histogram_quantile does.
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("+Inf-bucket quantile = %g, want 10 (last finite bound)", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(2); got != 10 {
+		t.Errorf("Quantile(2) = %g, want 10", got)
+	}
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %g", got)
+	}
+}
+
+// TestQuantileExposition checks the synthetic <name>_quantile gauge
+// family reaches the text format with its own TYPE line.
+func TestQuantileExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE q_seconds_quantile gauge") {
+		t.Errorf("missing quantile TYPE line:\n%s", out)
+	}
+	for _, q := range []string{`quantile="0.5"`, `quantile="0.95"`, `quantile="0.99"`} {
+		if !strings.Contains(out, "q_seconds_quantile{"+q+"}") {
+			t.Errorf("missing %s series:\n%s", q, out)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ShardCall summarizes one shard's part in a federated query: the
+// rows it contributed, its wall time, and the resilience layer's
+// attempt/retry counts against it.
+type ShardCall struct {
+	Shard    int     `json:"shard"`
+	Rows     int     `json:"rows"`
+	WallMS   float64 `json:"wall_ms"`
+	Attempts int     `json:"attempts,omitempty"`
+	Retries  int     `json:"retries,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// QueryRecord is one entry of the query ring buffer: a structured
+// profile summary of one served query, the JSON the /debug/queries
+// endpoint returns.
+type QueryRecord struct {
+	Time   string `json:"time"`
+	Source string `json:"source,omitempty"`
+	Step   string `json:"step,omitempty"` // issuing workflow step tag
+	// Plan is the federation plan class (colocated/partial_agg/gather)
+	// when the query went through a shard coordinator.
+	Plan       string             `json:"plan,omitempty"`
+	WallMS     float64            `json:"wall_ms"`
+	Rows       int                `json:"rows"`
+	PhaseMS    map[string]float64 `json:"phase_ms,omitempty"`
+	Shards     []ShardCall        `json:"shards,omitempty"`
+	Incomplete bool               `json:"incomplete,omitempty"`
+	Error      string             `json:"error,omitempty"`
+	Query      string             `json:"query"`
+}
+
+// QueryRing keeps the last N query records in a fixed ring. A nil
+// *QueryRing is the disabled state: Record no-ops and Snapshot
+// returns nil, following the package's nil-safe pattern. Safe for
+// concurrent use.
+type QueryRing struct {
+	mu   sync.Mutex
+	buf  []QueryRecord
+	next int
+	full bool
+	now  func() time.Time // injectable clock (tests)
+}
+
+// NewQueryRing returns a ring holding the last n records (n <= 0
+// defaults to 128).
+func NewQueryRing(n int) *QueryRing {
+	if n <= 0 {
+		n = 128
+	}
+	return &QueryRing{buf: make([]QueryRecord, n), now: time.Now}
+}
+
+// Record appends one entry, evicting the oldest when full. The
+// timestamp is filled here and oversized query text is truncated like
+// the slow-query log's.
+func (r *QueryRing) Record(q QueryRecord) {
+	if r == nil {
+		return
+	}
+	q.Time = r.now().UTC().Format(time.RFC3339Nano)
+	if len(q.Query) > maxSlowQueryLen {
+		q.Query = q.Query[:maxSlowQueryLen] + "...(truncated)"
+	}
+	r.mu.Lock()
+	r.buf[r.next] = q
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns how many records the ring currently holds.
+func (r *QueryRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the held records newest-first.
+func (r *QueryRing) Snapshot() []QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Handler serves the ring as a JSON array, newest-first (the
+// /debug/queries endpoint). A nil ring serves 404.
+func (r *QueryRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "query log disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

@@ -20,8 +20,13 @@ type SlowQuery struct {
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"` // parse/plan/join/aggregate/sort/serialize
 	Rows    int                `json:"rows"`
 	Retries int                `json:"retries,omitempty"`
-	Error   string             `json:"error,omitempty"`
-	Query   string             `json:"query"`
+	// Plan and Shards describe federated execution: the coordinator's
+	// plan class (colocated/partial_agg/gather) and the per-shard
+	// attempt/retry/row accounting.
+	Plan   string      `json:"plan,omitempty"`
+	Shards []ShardCall `json:"shards,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Query  string      `json:"query"`
 }
 
 // maxSlowQueryLen bounds the logged query text so one enormous VALUES

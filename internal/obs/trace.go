@@ -2,9 +2,12 @@ package obs
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,11 +24,19 @@ import (
 type Trace struct {
 	mu   sync.Mutex
 	root *Span
+	// traceID and parentSpan are immutable after construction: the
+	// 16-byte W3C trace ID this tree belongs to, and the remote parent
+	// span when the trace continues one started in another process
+	// (zero for local roots). The OTLP exporter reads both so that
+	// federation fan-out stitches into one trace.
+	traceID    [16]byte
+	parentSpan [8]byte
 }
 
 // Span is one timed node of a trace.
 type Span struct {
 	tr       *Trace
+	id       [8]byte // W3C span ID, fixed at creation
 	name     string
 	start    time.Time
 	dur      time.Duration // 0 until End
@@ -40,10 +51,52 @@ type spanEvent struct {
 	at   time.Duration // offset from span start
 }
 
+// idSeq feeds span- and trace-ID generation; combined with the start
+// nanosecond it makes IDs unique per process without a RNG dependency.
+var idSeq atomic.Uint64
+
+// newSpanID returns a non-zero 8-byte span ID (splitmix64 over the
+// sequence so IDs do not look sequential on the wire).
+func newSpanID() [8]byte {
+	z := idSeq.Add(1) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b289
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], z)
+	return id
+}
+
+// newTraceID derives a 16-byte trace ID from the clock and the
+// process-wide sequence.
+func newTraceID() [16]byte {
+	var id [16]byte
+	binary.BigEndian.PutUint64(id[:8], uint64(time.Now().UnixNano()))
+	binary.BigEndian.PutUint64(id[8:], idSeq.Add(1))
+	return id
+}
+
 // NewTrace starts a trace whose root span has the given name.
 func NewTrace(name string) *Trace {
-	t := &Trace{}
-	t.root = &Span{tr: t, name: name, start: time.Now()}
+	t := &Trace{traceID: newTraceID()}
+	t.root = &Span{tr: t, id: newSpanID(), name: name, start: time.Now()}
+	return t
+}
+
+// NewTraceWithRemoteParent starts a trace that continues a trace from
+// another process: it keeps the remote trace ID and records the remote
+// span as the root's parent, so the exported spans stitch under the
+// caller's trace (W3C trace-context semantics). Zero IDs fall back to
+// a fresh local trace.
+func NewTraceWithRemoteParent(name string, traceID [16]byte, parentSpan [8]byte) *Trace {
+	if traceID == ([16]byte{}) || parentSpan == ([8]byte{}) {
+		return NewTrace(name)
+	}
+	t := &Trace{traceID: traceID, parentSpan: parentSpan}
+	t.root = &Span{tr: t, id: newSpanID(), name: name, start: time.Now()}
 	return t
 }
 
@@ -66,7 +119,7 @@ func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	c := &Span{tr: s.tr, id: newSpanID(), name: name, start: time.Now()}
 	s.tr.mu.Lock()
 	s.children = append(s.children, c)
 	s.tr.mu.Unlock()
@@ -93,7 +146,7 @@ func (s *Span) Record(name string, d time.Duration) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tr: s.tr, name: name, start: time.Now().Add(-d), dur: d, ended: true}
+	c := &Span{tr: s.tr, id: newSpanID(), name: name, start: time.Now().Add(-d), dur: d, ended: true}
 	s.tr.mu.Lock()
 	s.children = append(s.children, c)
 	s.tr.mu.Unlock()
@@ -217,4 +270,45 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	c := parent.Start(name)
 	return ContextWith(ctx, c), c
+}
+
+// Traceparent renders the span as a W3C trace-context header value
+// (00-<trace-id>-<span-id>-01), or "" when the span carries no IDs (a
+// nil span, or one built outside NewTrace). Sending this header lets
+// the receiving process continue the trace via
+// NewTraceWithRemoteParent.
+func (s *Span) Traceparent() string {
+	if s == nil || s.tr == nil || s.id == ([8]byte{}) || s.tr.traceID == ([16]byte{}) {
+		return ""
+	}
+	return FormatTraceparent(s.tr.traceID, s.id)
+}
+
+// FormatTraceparent renders a W3C traceparent header value with the
+// sampled flag set.
+func FormatTraceparent(traceID [16]byte, spanID [8]byte) string {
+	return "00-" + hex.EncodeToString(traceID[:]) + "-" + hex.EncodeToString(spanID[:]) + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value, accepting
+// any version byte except the invalid ff, and rejecting zero trace or
+// span IDs per the spec.
+func ParseTraceparent(h string) (traceID [16]byte, spanID [8]byte, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return traceID, spanID, false
+	}
+	if strings.EqualFold(parts[0], "ff") {
+		return traceID, spanID, false
+	}
+	if _, err := hex.Decode(traceID[:], []byte(parts[1])); err != nil {
+		return [16]byte{}, spanID, false
+	}
+	if _, err := hex.Decode(spanID[:], []byte(parts[2])); err != nil {
+		return [16]byte{}, [8]byte{}, false
+	}
+	if traceID == ([16]byte{}) || spanID == ([8]byte{}) {
+		return [16]byte{}, [8]byte{}, false
+	}
+	return traceID, spanID, true
 }

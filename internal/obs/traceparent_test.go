@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTrace("request")
+	h := tr.Root().Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent shape: %q", h)
+	}
+	tid, sid, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) failed", h)
+	}
+	if tid != tr.traceID || sid != tr.root.id {
+		t.Error("round-trip lost IDs")
+	}
+	// Child spans carry the same trace ID but their own span ID.
+	child := tr.Root().Start("phase")
+	ctid, csid, ok := ParseTraceparent(child.Traceparent())
+	if !ok || ctid != tid || csid == sid {
+		t.Errorf("child traceparent: ok=%v sameTrace=%v sameSpan=%v", ok, ctid == tid, csid == sid)
+	}
+	// Nil and ID-less spans render empty.
+	var nilSpan *Span
+	if nilSpan.Traceparent() != "" {
+		t.Error("nil span traceparent not empty")
+	}
+	if (&Span{tr: &Trace{}}).Traceparent() != "" {
+		t.Error("ID-less span traceparent not empty")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"00-zz-zz-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // invalid version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span ID
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01",  // short span ID
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	tid, sid, ok := ParseTraceparent(" 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01 ")
+	if !ok || tid == ([16]byte{}) || sid == ([8]byte{}) {
+		t.Error("valid header with whitespace rejected")
+	}
+}
+
+// TestRemoteParentStitching checks that a trace continued via
+// NewTraceWithRemoteParent exports under the caller's trace ID with
+// the remote span as the root's parent — the property the federation
+// smoke asserts end to end.
+func TestRemoteParentStitching(t *testing.T) {
+	parent := NewTrace("coordinator")
+	span := parent.Root().Start("shard-0")
+	tid, sid, ok := ParseTraceparent(span.Traceparent())
+	if !ok {
+		t.Fatal("no traceparent on coordinator span")
+	}
+	remote := NewTraceWithRemoteParent("sparql-request", tid, sid)
+	remote.Root().Start("parse").End()
+	remote.End()
+
+	decode := func(tr *Trace) (traceID string, spans []struct {
+		SpanID       string
+		ParentSpanID string
+		Name         string
+	}) {
+		var buf bytes.Buffer
+		if err := EncodeOTLP(&buf, tr, OTLPOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		var req struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []struct {
+						TraceID      string
+						SpanID       string
+						ParentSpanID string
+						Name         string
+					}
+				}
+			}
+		}
+		if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+			t.Fatal(err)
+		}
+		all := req.ResourceSpans[0].ScopeSpans[0].Spans
+		for _, s := range all {
+			spans = append(spans, struct {
+				SpanID       string
+				ParentSpanID string
+				Name         string
+			}{s.SpanID, s.ParentSpanID, s.Name})
+		}
+		return all[0].TraceID, spans
+	}
+
+	coordTID, coordSpans := decode(parent)
+	shardTID, shardSpans := decode(remote)
+	if coordTID != shardTID {
+		t.Errorf("trace IDs differ across processes: %s vs %s", coordTID, shardTID)
+	}
+	// The shard root's parent is the coordinator's shard-0 span.
+	var shard0ID string
+	for _, s := range coordSpans {
+		if s.Name == "shard-0" {
+			shard0ID = s.SpanID
+		}
+	}
+	if shard0ID == "" || shardSpans[0].ParentSpanID != shard0ID {
+		t.Errorf("shard root parent = %q, want coordinator span %q", shardSpans[0].ParentSpanID, shard0ID)
+	}
+	// Zero IDs fall back to a fresh local trace.
+	fresh := NewTraceWithRemoteParent("x", [16]byte{}, [8]byte{})
+	if fresh.traceID == ([16]byte{}) || fresh.parentSpan != ([8]byte{}) {
+		t.Error("zero remote IDs should start a fresh local trace")
+	}
+}

@@ -106,6 +106,7 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 	}
 	kind, aggPlan := classify(q)
 	c.m.plan(kind)
+	meta.Plan = kind.String()
 
 	parent := req.Opts.Span
 	if parent == nil {
@@ -123,15 +124,17 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 	}
 
 	var res *sparql.Results
+	var calls []obs.ShardCall
 	var incomplete bool
 	switch kind {
 	case planColocated:
-		res, incomplete, err = c.runColocated(ctx, q, req.Opts.Step)
+		res, calls, incomplete, err = c.runColocated(ctx, q, req.Opts.Step)
 	case planPartialAgg:
-		res, incomplete, err = c.runPartialAgg(ctx, q, aggPlan, req.Opts.Step)
+		res, calls, incomplete, err = c.runPartialAgg(ctx, q, aggPlan, req.Opts.Step)
 	default:
-		res, incomplete, err = c.runGather(ctx, q, req.Opts.Step)
+		res, calls, incomplete, err = c.runGather(ctx, q, req.Opts.Step)
 	}
+	meta.Shards = calls
 	meta.Wall = time.Since(start)
 	if res != nil {
 		meta.Rows = res.Len()
@@ -148,24 +151,29 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 // (skipped > 0 then). In strict mode the first failure by shard index
 // is returned; when every shard fails, the first failure is returned
 // in either mode.
-func (c *Coordinator) scatterText(ctx context.Context, query, step string) (results []*sparql.Results, skipped int, err error) {
+func (c *Coordinator) scatterText(ctx context.Context, query, step string) (results []*sparql.Results, calls []obs.ShardCall, skipped int, err error) {
 	scatterStart := time.Now()
 	defer func() { c.m.phase("scatter", time.Since(scatterStart)) }()
 	n := len(c.shards)
 	results = make([]*sparql.Results, n)
+	calls = make([]obs.ShardCall, n)
 	errs := make([]error, n)
 	span := obs.SpanFrom(ctx)
 	_ = par.Do(c.workers, n, func(i int) error {
 		sp := span.Start(fmt.Sprintf("shard-%d", i))
 		c.m.scatterStart()
 		callStart := time.Now()
-		res, _, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+		res, qmeta, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
 			Query: query,
 			Opts:  endpoint.QueryOpts{Step: step, Span: sp},
 		})
 		wall := time.Since(callStart)
 		c.m.scatterEnd()
 		c.m.shardCall(i, wall, qerr)
+		calls[i] = shardCall(i, wall, res, qmeta, qerr)
+		if res != nil {
+			sp.SetAttr("rows", fmt.Sprint(res.Len()))
+		}
 		if qerr != nil {
 			sp.SetAttr("error", qerr.Error())
 		}
@@ -184,44 +192,62 @@ func (c *Coordinator) scatterText(ctx context.Context, query, step string) (resu
 		}
 	}
 	if failed == 0 {
-		return results, 0, nil
+		return results, calls, 0, nil
 	}
 	if !c.cfg.Degraded || failed == n {
-		return nil, 0, firstErr
+		return nil, calls, 0, firstErr
 	}
 	c.m.degraded(failed)
-	return results, failed, nil
+	return results, calls, failed, nil
+}
+
+// shardCall summarizes one shard round trip for QueryMeta.Shards (and
+// through it the slow-query log and the /debug/queries ring).
+func shardCall(i int, wall time.Duration, res *sparql.Results, qmeta endpoint.QueryMeta, qerr error) obs.ShardCall {
+	call := obs.ShardCall{
+		Shard:    i,
+		WallMS:   float64(wall) / float64(time.Millisecond),
+		Attempts: qmeta.Attempts,
+		Retries:  qmeta.Retries,
+	}
+	if res != nil {
+		call.Rows = res.Len()
+	}
+	if qerr != nil {
+		call.Error = qerr.Error()
+	}
+	return call
 }
 
 // runColocated executes the colocated plan: strip the solution
 // modifiers (they only apply to the global result), scatter, union
 // the rows, and canonically finalize.
-func (c *Coordinator) runColocated(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
+func (c *Coordinator) runColocated(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
 	if q.Ask {
 		return c.runAsk(ctx, q, step)
 	}
 	shardQ := stripModifiers(q)
-	results, skipped, err := c.scatterText(ctx, shardQ.String(), step)
+	results, calls, skipped, err := c.scatterText(ctx, shardQ.String(), step)
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 	mergeStart := time.Now()
 	merged, err := unionResults(q, results)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 	finStart := time.Now()
 	sparql.MergeFinalize(q, merged)
 	c.m.phase("finalize", time.Since(finStart))
-	return merged, skipped > 0, nil
+	return merged, calls, skipped > 0, nil
 }
 
 // runAsk scatters a colocated ASK and ORs the shard booleans.
-func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
-	results, skipped, err := c.scatterText(ctx, q.String(), step)
+func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
+	results, calls, skipped, err := c.scatterText(ctx, q.String(), step)
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 	res := &sparql.Results{IsAsk: true}
 	for _, r := range results {
@@ -230,26 +256,26 @@ func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) 
 			break
 		}
 	}
-	return res, skipped > 0, nil
+	return res, calls, skipped > 0, nil
 }
 
 // runPartialAgg pushes partial aggregation to the shards and
 // finalizes groups at the coordinator.
-func (c *Coordinator) runPartialAgg(ctx context.Context, q *sparql.Query, plan *sparql.PartialAggPlan, step string) (*sparql.Results, bool, error) {
-	results, skipped, err := c.scatterText(ctx, plan.ShardQuery().String(), step)
+func (c *Coordinator) runPartialAgg(ctx context.Context, q *sparql.Query, plan *sparql.PartialAggPlan, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
+	results, calls, skipped, err := c.scatterText(ctx, plan.ShardQuery().String(), step)
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 	mergeStart := time.Now()
 	merged, err := plan.Merge(results)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 	finStart := time.Now()
 	sparql.MergeFinalize(q, merged)
 	c.m.phase("finalize", time.Since(finStart))
-	return merged, skipped > 0, nil
+	return merged, calls, skipped > 0, nil
 }
 
 // stripModifiers copies q without ORDER BY / LIMIT / OFFSET: those

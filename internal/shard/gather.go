@@ -204,31 +204,47 @@ func (f fetchSpec) triples(res *sparql.Results) []rdf.Triple {
 // runGather executes the gather plan: scatter the fetch queries,
 // rebuild the union of the shard contributions in a local store, and
 // run the original query there.
-func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, bool, error) {
+func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
 	specs := collectFetchSpecs(q)
 	scatterStart := time.Now()
 	n := len(c.shards)
 	shardTriples := make([][]rdf.Triple, n)
+	calls := make([]obs.ShardCall, n)
 	errs := make([]error, n)
 	span := obs.SpanFrom(ctx)
 	_ = par.Do(c.workers, n, func(i int) error {
 		sp := span.Start(fmt.Sprintf("shard-%d", i))
 		defer sp.End()
+		shardStart := time.Now()
+		// One ShardCall summarizes all fetch queries against shard i:
+		// rows are the triples it contributed, attempts/retries sum over
+		// the fetches.
+		call := &calls[i]
+		call.Shard = i
+		defer func() {
+			call.WallMS = float64(time.Since(shardStart)) / float64(time.Millisecond)
+			sp.SetAttr("rows", fmt.Sprint(call.Rows))
+		}()
 		for _, spec := range specs {
 			c.m.scatterStart()
 			callStart := time.Now()
-			res, _, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+			res, qmeta, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
 				Query: spec.query,
 				Opts:  endpoint.QueryOpts{Step: step, Span: sp},
 			})
 			c.m.scatterEnd()
 			c.m.shardCall(i, time.Since(callStart), qerr)
+			call.Attempts += qmeta.Attempts
+			call.Retries += qmeta.Retries
 			if qerr != nil {
 				sp.SetAttr("error", qerr.Error())
+				call.Error = qerr.Error()
 				errs[i] = qerr
 				return nil
 			}
-			shardTriples[i] = append(shardTriples[i], spec.triples(res)...)
+			fetched := spec.triples(res)
+			call.Rows += len(fetched)
+			shardTriples[i] = append(shardTriples[i], fetched...)
 		}
 		return nil
 	})
@@ -247,7 +263,7 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	incomplete := false
 	if failed > 0 {
 		if !c.cfg.Degraded || failed == n {
-			return nil, false, firstErr
+			return nil, calls, false, firstErr
 		}
 		c.m.degraded(failed)
 		incomplete = true
@@ -262,7 +278,7 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	local, err := buildGatherStore(shardTriples)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
 
 	finStart := time.Now()
@@ -273,9 +289,9 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	res, err := eng.QueryContext(ctx, q)
 	c.m.phase("finalize", time.Since(finStart))
 	if err != nil {
-		return nil, false, err
+		return nil, calls, false, err
 	}
-	return res, incomplete, nil
+	return res, calls, incomplete, nil
 }
 
 // buildGatherStore unions the shard contributions, deduplicates, and

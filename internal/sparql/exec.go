@@ -41,8 +41,13 @@ type Engine struct {
 // NewEngine returns an engine over st.
 func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
 
-// QueryString parses and executes src.
+// QueryString parses and executes src. An EXPLAIN or EXPLAIN ANALYZE
+// prefix returns the static plan or the runtime profile as a one-column
+// result set instead of executing normally.
 func (e *Engine) QueryString(src string) (*Results, error) {
+	if rest, analyze, ok := explainPrefix(src); ok {
+		return e.runExplain(context.Background(), rest, analyze)
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -56,6 +61,9 @@ func (e *Engine) QueryString(src string) (*Results, error) {
 // routed through the timed path so phase metrics and spans are
 // recorded; otherwise this is the zero-overhead path.
 func (e *Engine) QueryStringContext(ctx context.Context, src string) (*Results, error) {
+	if rest, analyze, ok := explainPrefix(src); ok {
+		return e.runExplain(ctx, rest, analyze)
+	}
 	if e.metrics != nil || obs.SpanFrom(ctx) != nil {
 		res, _, err := e.QueryStringTimed(ctx, src)
 		return res, err
@@ -84,15 +92,17 @@ func (e *Engine) QueryContext(ctx context.Context, q *Query) (*Results, error) {
 // queryWithView executes q against an already-taken store view, so
 // subqueries share the outer query's snapshot.
 func (e *Engine) queryWithView(ctx context.Context, q *Query, view *store.View) (*Results, error) {
-	return e.queryPhased(ctx, q, view, nil)
+	return e.queryPhased(ctx, q, view, nil, nil)
 }
 
-// queryPhased is queryWithView with optional phase accounting: when pt
-// is non-nil the plan/join/aggregate/sort wall times and the result
-// row count are recorded into it. pt == nil (the default path, and all
-// subqueries) takes no timestamps at all, keeping the uninstrumented
-// hot path byte-identical to the pre-observability engine.
-func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt *PhaseTimings) (*Results, error) {
+// queryPhased is queryWithView with optional phase accounting and
+// operator profiling: when pt is non-nil the plan/join/aggregate/sort
+// wall times and the result row count are recorded into it; when prof
+// is non-nil every operator additionally records a ProfileNode. pt ==
+// nil, prof == nil (the default path, and all subqueries) takes no
+// timestamps at all, keeping the uninstrumented hot path
+// byte-identical to the pre-observability engine.
+func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt *PhaseTimings, prof *profiler) (*Results, error) {
 	var mark time.Time
 	if pt != nil {
 		mark = time.Now()
@@ -101,7 +111,7 @@ func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt
 		eng: e, view: view, dict: view.Dict(),
 		slots: map[string]int{}, ctx: ctx,
 		workers: e.Exec.workers(), threshold: e.Exec.threshold(),
-		dead: new(atomic.Bool),
+		dead: new(atomic.Bool), prof: prof,
 	}
 	// Short-circuit budget: ASK and plain LIMIT queries stop the join
 	// as soon as enough full solutions exist, so their cost does not
@@ -132,16 +142,44 @@ func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt
 		return &Results{IsAsk: true, Boolean: len(rows) > 0}, nil
 	}
 	if q.Construct != nil {
-		return ex.construct(q, rows)
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("construct", fmt.Sprintf("%d template triples", len(q.Construct)), len(rows))
+		}
+		res, cerr := ex.construct(q, rows)
+		if res != nil {
+			ex.profClose(pn, len(res.Triples))
+		} else {
+			ex.profClose(pn, 0)
+		}
+		return res, cerr
 	}
 	if pt != nil {
 		mark = time.Now()
 	}
 	var res *Results
+	var pn *ProfileNode
 	if q.IsAggregate() {
+		if ex.prof != nil {
+			pn = ex.prof.open("aggregate", aggregateDetail(q), len(rows))
+			if ex.parallel(len(rows)) {
+				pn.Workers = e.Exec.shards()
+			}
+		}
 		res, err = ex.aggregate(q, rows)
 	} else {
+		if ex.prof != nil {
+			pn = ex.prof.open("project", "", len(rows))
+			if ex.parallel(len(rows)) {
+				pn.Workers = ex.workers
+			}
+		}
 		res, err = ex.project(q, rows)
+	}
+	if res != nil {
+		ex.profClose(pn, len(res.Rows))
+	} else {
+		ex.profClose(pn, 0)
 	}
 	if pt != nil {
 		now := time.Now()
@@ -151,9 +189,14 @@ func (e *Engine) queryPhased(ctx context.Context, q *Query, view *store.View, pt
 	if err != nil {
 		return nil, err
 	}
+	var mn *ProfileNode
+	if ex.prof != nil {
+		mn = ex.prof.open("modifiers", modifierDetail(q), len(res.Rows))
+	}
 	if err := applyModifiers(q, res); err != nil {
 		return nil, err
 	}
+	ex.profClose(mn, len(res.Rows))
 	if pt != nil {
 		pt.Sort = time.Since(mark)
 	}
@@ -187,6 +230,10 @@ type executor struct {
 	ctx   context.Context
 	ticks int
 	dead  *atomic.Bool
+	// prof collects the per-operator profile when non-nil; nil (the
+	// default, and every worker clone) is the disabled state, costing
+	// one pointer check per operator.
+	prof *profiler
 }
 
 // cancelCheckInterval is how many row extensions pass between context
@@ -287,16 +334,26 @@ func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
 	rows := []row{make(row, len(ex.varSeq))}
 	// Subqueries run first: their solutions seed the join like VALUES.
 	for _, sub := range subs {
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("subquery", sub.Query.String(), len(rows))
+		}
 		var err error
 		rows, err = ex.joinSubSelect(rows, sub)
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}
 	}
 	// VALUES blocks join first: they are small and selective.
 	for _, v := range values {
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("values", strings.Join(v.Vars, ", "), len(rows))
+		}
 		var err error
 		rows, err = ex.joinValues(rows, v)
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}
@@ -305,32 +362,79 @@ func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
 	if !ex.eng.DisableTextIndex {
 		for _, f := range filters {
 			if v, kw, ok := textConstraint(f); ok {
-				rows = ex.joinCandidates(rows, v, ex.view.TextSearch(kw))
+				ids := ex.view.TextSearch(kw)
+				var pn *ProfileNode
+				if ex.prof != nil {
+					pn = ex.prof.open("text-seed", fmt.Sprintf("?%s ~ %q", v, kw), len(rows))
+					pn.Est = int64(len(ids))
+				}
+				rows = ex.joinCandidates(rows, v, ids)
+				ex.profClose(pn, len(rows))
 			}
 		}
 	}
 	var err error
 	if ex.limit > 0 && len(optionals) == 0 && len(unions) == 0 && len(closures) == 0 && len(subs) == 0 && len(binds) == 0 {
-		return ex.joinDFS(rows, patterns, filters)
+		if ex.prof == nil {
+			return ex.joinDFS(rows, patterns, filters)
+		}
+		// The DFS interleaves all patterns and filters per solution path,
+		// so it profiles as one operator.
+		pn := ex.prof.open("dfs", fmt.Sprintf("%d patterns, budget %d", len(patterns), ex.limit), len(rows))
+		if ex.workers > 1 && ex.limit != 1 && len(patterns) > 0 {
+			pn.Workers = ex.workers
+		}
+		out, derr := ex.joinDFS(rows, patterns, filters)
+		ex.profClose(pn, len(out))
+		return out, derr
 	}
 	rows, err = ex.joinPatterns(rows, patterns, filters)
 	if err != nil {
 		return nil, err
 	}
 	for _, cp := range closures {
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("closure", cp.String(), len(rows))
+		}
 		rows, err = ex.joinClosure(rows, cp)
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}
 	}
 	for _, u := range unions {
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("union", fmt.Sprintf("%d branches", len(u.Branches)), len(rows))
+			if ex.workers > 1 && len(u.Branches) > 1 {
+				pn.Workers = ex.workers
+			}
+		}
+		// Branch evaluation re-enters joinPatterns; suppress nested
+		// profiling so the union reports as one operator whether its
+		// branches ran sequentially or on clones.
+		saved := ex.prof
+		ex.prof = nil
 		rows, err = ex.joinUnion(rows, u)
+		ex.prof = saved
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}
 	}
 	for _, opt := range optionals {
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("optional", fmt.Sprintf("%d patterns", len(opt.Patterns)), len(rows))
+		}
+		// The left-join re-enters joinPatterns once per input row;
+		// suppress nested profiling for the same reason as UNION.
+		saved := ex.prof
+		ex.prof = nil
 		rows, err = ex.joinOptional(rows, opt)
+		ex.prof = saved
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}
@@ -338,6 +442,14 @@ func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
 	// BIND assignments compute per-row values once all patterns are
 	// joined. A failed or unbound expression leaves the variable unbound
 	// (SPARQL semantics).
+	var bindNode *ProfileNode
+	if ex.prof != nil && len(binds) > 0 {
+		names := make([]string, len(binds))
+		for i, be := range binds {
+			names[i] = "?" + be.Var
+		}
+		bindNode = ex.prof.open("bind", strings.Join(names, ", "), len(rows))
+	}
 	for _, be := range binds {
 		slot := ex.slot(be.Var)
 		rows = ex.extendRows(rows)
@@ -354,13 +466,22 @@ func (ex *executor) evalWhere(elems []PatternElement) ([]row, error) {
 			rows[i] = nr
 		}
 	}
+	ex.profClose(bindNode, len(rows))
 	// Any filters not consumed during the pattern join run now
 	// (joinPatterns marks consumed filters by nil-ing them).
 	for _, f := range filters {
 		if f == nil {
 			continue
 		}
+		var pn *ProfileNode
+		if ex.prof != nil {
+			pn = ex.prof.open("filter", fmt.Sprint(f), len(rows))
+			if ex.parallel(len(rows)) {
+				pn.Workers = ex.workers
+			}
+		}
 		rows = ex.applyFilter(rows, f)
+		ex.profClose(pn, len(rows))
 	}
 	return rows, nil
 }
@@ -479,7 +600,15 @@ func (ex *executor) joinPatterns(rows []row, patterns []TriplePattern, filters [
 				}
 			}
 			if ready {
+				var pn *ProfileNode
+				if ex.prof != nil {
+					pn = ex.prof.open("filter", fmt.Sprint(f), len(rows))
+					if ex.parallel(len(rows)) {
+						pn.Workers = ex.workers
+					}
+				}
 				rows = ex.applyFilter(rows, f)
+				ex.profClose(pn, len(rows))
 				filters[i] = nil
 			}
 		}
@@ -492,8 +621,24 @@ func (ex *executor) joinPatterns(rows []row, patterns []TriplePattern, filters [
 		}
 		tp := remaining[idx]
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		var pn *ProfileNode
+		if ex.prof != nil {
+			op := "scan"
+			for _, n := range []Node{tp.S, tp.P, tp.O} {
+				if n.IsVar && boundVars[n.Var] {
+					op = "index join"
+					break
+				}
+			}
+			pn = ex.prof.open(op, fmt.Sprint(tp), len(rows))
+			pn.Est = int64(ex.view.MatchCount(ex.constID(tp.S), ex.constID(tp.P), ex.constID(tp.O)))
+			if ex.parallel(len(rows)) {
+				pn.Workers = ex.workers
+			}
+		}
 		var err error
 		rows, err = ex.joinPattern(rows, tp)
+		ex.profClose(pn, len(rows))
 		if err != nil {
 			return nil, err
 		}

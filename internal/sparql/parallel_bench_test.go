@@ -68,6 +68,19 @@ func BenchmarkBGPJoinObserved(b *testing.B) {
 	}
 	b.Run("nil", func(b *testing.B) { run(b, nil) })
 	b.Run("metrics", func(b *testing.B) { run(b, obs.NewRegistry()) })
+	// The runtime profiler's enabled cost, for comparison; its disabled
+	// cost is already inside "nil" (one nil check per operator).
+	b.Run("profiled", func(b *testing.B) {
+		eng := NewEngine(st)
+		eng.Exec.Workers = 1
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Profile(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkGroupBy(b *testing.B) {

@@ -93,6 +93,16 @@ func (e *Engine) Instrumented() bool { return e.metrics != nil }
 // as a side effect. The protocol layer uses this to fill QueryMeta
 // and feed the slow-query log.
 func (e *Engine) QueryStringTimed(ctx context.Context, src string) (*Results, PhaseTimings, error) {
+	if rest, analyze, ok := explainPrefix(src); ok {
+		var pt PhaseTimings
+		start := time.Now()
+		res, err := e.runExplain(ctx, rest, analyze)
+		pt.Plan = time.Since(start)
+		if res != nil {
+			pt.Rows = res.Len()
+		}
+		return res, pt, err
+	}
 	var pt PhaseTimings
 	start := time.Now()
 	q, err := Parse(src)
@@ -101,7 +111,7 @@ func (e *Engine) QueryStringTimed(ctx context.Context, src string) (*Results, Ph
 		e.recordQuery(pt, obs.SpanFrom(ctx), err)
 		return nil, pt, err
 	}
-	res, err := e.queryPhased(ctx, q, e.st.View(), &pt)
+	res, err := e.queryPhased(ctx, q, e.st.View(), &pt, nil)
 	if res != nil {
 		pt.Rows = res.Len()
 	}

@@ -1,0 +1,142 @@
+package sparql
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// profileText flattens a one-column "plan" Results into text.
+func profileText(t *testing.T, res *Results) string {
+	t.Helper()
+	if len(res.Vars) != 1 || res.Vars[0] != "plan" {
+		t.Fatalf("explain results vars = %v, want [plan]", res.Vars)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].Value)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestExplainPrefixRouting checks QueryString recognizes the EXPLAIN
+// and EXPLAIN ANALYZE prefixes and returns the plan (or profile) as a
+// one-column result set, so it travels through every client and
+// serialization unchanged.
+func TestExplainPrefixRouting(t *testing.T) {
+	eng := NewEngine(testStore(t))
+	query := `SELECT ?c (SUM(?v) AS ?s) WHERE { ?o <http://ex.org/origin> ?c . ?o <http://ex.org/value> ?v } GROUP BY ?c`
+
+	res, err := eng.QueryString("EXPLAIN " + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := profileText(t, res)
+	if !strings.Contains(txt, "scan") && !strings.Contains(txt, "join") {
+		t.Errorf("EXPLAIN output has no plan operators:\n%s", txt)
+	}
+	if strings.Contains(txt, "wall=") {
+		t.Errorf("plain EXPLAIN should not execute:\n%s", txt)
+	}
+
+	res, err = eng.QueryString("explain analyze " + query) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt = profileText(t, res)
+	for _, want := range []string{"EXPLAIN ANALYZE", "rows=", "wall=", "phases:", "aggregate"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, txt)
+		}
+	}
+
+	// The prefix must not shadow real queries or break error reporting.
+	if _, err := eng.QueryString("EXPLAIN NOT SPARQL"); err == nil {
+		t.Error("EXPLAIN of a bad query did not error")
+	}
+	if _, err := eng.QueryString(query); err != nil {
+		t.Errorf("plain query broken by prefix routing: %v", err)
+	}
+}
+
+// TestProfileRowCounts checks the actual row counts in the profile are
+// consistent: the root matches the final result cardinality and every
+// scan carries an estimate for the delta report.
+func TestProfileRowCounts(t *testing.T) {
+	eng := NewEngine(testStore(t))
+	query := `SELECT ?o ?c WHERE { ?o <http://ex.org/origin> ?c . ?o <http://ex.org/value> ?v } ORDER BY ?o`
+	res, p, err := eng.Profile(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.RowsOut != res.Len() {
+		t.Errorf("root rows = %d, result rows = %d", p.Root.RowsOut, res.Len())
+	}
+	if p.Root.Wall <= 0 {
+		t.Error("root wall time not recorded")
+	}
+	deltas := p.Deltas()
+	if len(deltas) == 0 {
+		t.Fatal("no cardinality deltas (no estimated operators?)")
+	}
+	for _, d := range deltas {
+		if d.Est < 0 {
+			t.Errorf("delta for %s %s has no estimate", d.Op, d.Detail)
+		}
+	}
+	// The first scan's actual output is bounded by the store's matching
+	// triples: six origin triples in the fixture.
+	var scan *ProfileNode
+	var find func(n *ProfileNode)
+	find = func(n *ProfileNode) {
+		if scan == nil && (n.Op == "scan" || n.Op == "index join") {
+			scan = n
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(p.Root)
+	if scan == nil {
+		t.Fatal("no scan node in profile tree")
+	}
+	if scan.Est != 6 {
+		t.Errorf("first scan estimate = %d, want 6 (origin triples)", scan.Est)
+	}
+	if scan.RowsOut != 6 {
+		t.Errorf("first scan rows out = %d, want 6", scan.RowsOut)
+	}
+}
+
+// TestProfileMatchesBare checks profiling is pure observation: the
+// result text is identical with and without the profiler, across
+// query shapes that exercise every hooked operator.
+func TestProfileMatchesBare(t *testing.T) {
+	eng := NewEngine(testStore(t))
+	ctx := context.Background()
+	for _, query := range []string{
+		`SELECT ?o ?c WHERE { ?o <http://ex.org/origin> ?c } ORDER BY ?o ?c`,
+		`SELECT ?c (SUM(?v) AS ?s) WHERE { ?o <http://ex.org/origin> ?c . ?o <http://ex.org/value> ?v } GROUP BY ?c ORDER BY ?c`,
+		`SELECT DISTINCT ?c WHERE { { ?o <http://ex.org/origin> ?c } UNION { ?o <http://ex.org/dest> ?c } }`,
+		`SELECT ?c ?l WHERE { ?o <http://ex.org/origin> ?c OPTIONAL { ?c <http://ex.org/label> ?l } } ORDER BY ?c ?l`,
+		`SELECT ?o WHERE { ?o <http://ex.org/value> ?v FILTER(?v > 100) } ORDER BY ?o`,
+		`ASK { ?o <http://ex.org/origin> <http://ex.org/sy> }`,
+		`CONSTRUCT { ?c <http://v/from> ?o } WHERE { ?o <http://ex.org/origin> ?c }`,
+	} {
+		bare, err := eng.QueryString(query)
+		if err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		profiled, p, err := eng.Profile(ctx, query)
+		if err != nil {
+			t.Fatalf("%s: profiled: %v", query, err)
+		}
+		if bare.String() != profiled.String() {
+			t.Errorf("profiled results diverge for %s:\n%s\nvs\n%s", query, profiled, bare)
+		}
+		if p == nil || len(p.Root.Children) == 0 {
+			t.Errorf("%s: empty profile tree", query)
+		}
+	}
+}
