@@ -94,24 +94,43 @@ func TestApplyConfigFileErrors(t *testing.T) {
 }
 
 func TestParseShards(t *testing.T) {
-	specs, err := parseShards("3")
+	groups, err := parseShards("3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 3 || specs[0] != "local" || specs[2] != "local" {
-		t.Fatalf("parseShards(3) = %v", specs)
+	if len(groups) != 3 || groups[0][0] != "local" || groups[2][0] != "local" {
+		t.Fatalf("parseShards(3) = %v", groups)
 	}
-	specs, err = parseShards("http://a:1/sparql, local ,https://b:2/sparql")
+	groups, err = parseShards("http://a:1/sparql, local ,https://b:2/sparql")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"http://a:1/sparql", "local", "https://b:2/sparql"}
 	for i := range want {
-		if specs[i] != want[i] {
-			t.Fatalf("specs = %v, want %v", specs, want)
+		if len(groups[i]) != 1 || groups[i][0] != want[i] {
+			t.Fatalf("groups = %v, want single-replica %v", groups, want)
 		}
 	}
-	for _, bad := range []string{"0", "-2", "", "ftp://x", "local,,local"} {
+	groups, err = parseShards("http://a1:1/sparql|http://a2:2/sparql, local | local ,https://b:3/sparql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := [][]string{
+		{"http://a1:1/sparql", "http://a2:2/sparql"},
+		{"local", "local"},
+		{"https://b:3/sparql"},
+	}
+	for i := range wantGroups {
+		if len(groups[i]) != len(wantGroups[i]) {
+			t.Fatalf("groups = %v, want %v", groups, wantGroups)
+		}
+		for j := range wantGroups[i] {
+			if groups[i][j] != wantGroups[i][j] {
+				t.Fatalf("groups = %v, want %v", groups, wantGroups)
+			}
+		}
+	}
+	for _, bad := range []string{"0", "-2", "", "ftp://x", "local,,local", "local||local", "local,|"} {
 		if _, err := parseShards(bad); err == nil {
 			t.Errorf("parseShards(%q): want error", bad)
 		}
@@ -139,14 +158,19 @@ func TestBuildHandlerTopologies(t *testing.T) {
 	reg := obs.NewRegistry()
 	opts := []endpoint.Option{endpoint.WithRegistry(reg)}
 
-	single, err := buildHandler("", "", "", genName, obsN, 0, false, ":0", reg, opts)
+	single, _, _, err := buildHandler(handlerConfig{Gen: genName, ObsCount: obsN, Addr: ":0"}, reg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := buildHandler("3", "", "", genName, obsN, 0, false, ":0", obs.NewRegistry(), []endpoint.Option{})
+	coord, coordinator, _, err := buildHandler(handlerConfig{Shards: "3", Gen: genName, ObsCount: obsN, Addr: ":0"},
+		obs.NewRegistry(), []endpoint.Option{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if coordinator == nil {
+		t.Fatal("coordinator mode did not return the coordinator")
+	}
+	defer coordinator.Close()
 
 	query := `SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?p`
 	fetch := func(h http.Handler) []byte {

@@ -14,12 +14,26 @@
 //   - single node (default): serve the whole dataset;
 //   - shard server (-shard i/n): serve only partition i of an n-way
 //     subject-hash split of the dataset;
-//   - coordinator (-shards N | -shards url,local,url): scatter-gather
-//     queries over N shard backends, in-process, remote, or mixed,
-//     with answers byte-identical to a single node over the union.
+//   - coordinator (-shards N | -shards "a|b,c|d" | -topology file):
+//     scatter-gather queries over replica groups — each shard an
+//     ordered set of identical replicas with health probing
+//     (-health-interval), failover, and optional hedging
+//     (-hedge-after) — with answers byte-identical to a single node
+//     over the union.
+//
+// Coordinator topologies can change at runtime: SIGHUP re-resolves
+// the -topology file immediately, and -topology-poll watches its
+// mtime. In-flight queries drain on the topology they started with.
 //
 // Every flag can also come from a JSON config file (-config); flags
 // given explicitly on the command line override the file.
+//
+// The listener comes up before the dataset finishes loading: /livez
+// answers 200 immediately (the process is alive) while /healthz and
+// /readyz answer 503 with a JSON body until the store is loaded —
+// and, on coordinators with probing enabled, until every shard has at
+// least one probe-confirmed healthy replica — so load balancers do
+// not route to cold processes.
 //
 // The server is hardened for untrusted traffic: per-request query
 // deadlines (-query-timeout), in-flight limiting with 503 shedding
@@ -38,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,9 +75,14 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as JSON lines to stderr (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	configPath := flag.String("config", "", "JSON config file with flag-name keys; explicit flags override it")
-	shards := flag.String("shards", "", "coordinator mode: shard count, or comma list of shard /sparql URLs and the word 'local'")
+	shards := flag.String("shards", "", "coordinator mode: shard count, or comma list of shard replica groups ('|'-separated /sparql URLs or 'local')")
 	shardSlot := flag.String("shard", "", "shard-server mode: serve only partition i of n, as 'i/n'")
 	degraded := flag.Bool("degraded", false, "coordinator: answer with partial results when shards fail (sets X-Re2xolap-Incomplete)")
+	topology := flag.String("topology", "", "coordinator mode: JSON topology file naming replica URLs per shard (reloaded on SIGHUP)")
+	topologyPoll := flag.Duration("topology-poll", 0, "poll the -topology file's mtime this often and reload on change (0 disables)")
+	healthInterval := flag.Duration("health-interval", 0, "coordinator: probe every replica this often (0 disables health probing)")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "coordinator: per-probe deadline")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge a shard call to the next replica after this budget (0 disables)")
 	traceExport := flag.String("trace-export", "", "append per-request OTLP/JSON trace lines to this file ('-' for stdout)")
 	debugQueries := flag.Int("debug-queries", 0, "keep the last N query profiles and serve them as JSON on /debug/queries (0 disables)")
 	flag.Parse()
@@ -74,6 +94,9 @@ func main() {
 	}
 	if *shards != "" && *shardSlot != "" {
 		log.Fatalf("sparqld: -shards (coordinator) and -shard (shard server) are mutually exclusive")
+	}
+	if *topology != "" && (*shards != "" || *shardSlot != "") {
+		log.Fatalf("sparqld: -topology is a coordinator mode of its own; drop -shards/-shard")
 	}
 
 	// Metrics are always on — the registry costs a few atomic adds per
@@ -100,20 +123,54 @@ func main() {
 		opts = append(opts, endpoint.WithQueryLog(obs.NewQueryRing(*debugQueries)))
 	}
 
-	handler, err := buildHandler(*shards, *shardSlot, *data, *gen, *obsCount, *workers, *degraded, *addr, reg, opts)
-	if err != nil {
-		log.Fatalf("sparqld: %v", err)
+	hcfg := handlerConfig{
+		Shards:         *shards,
+		ShardSlot:      *shardSlot,
+		Topology:       *topology,
+		Data:           *data,
+		Gen:            *gen,
+		ObsCount:       *obsCount,
+		Workers:        *workers,
+		Degraded:       *degraded,
+		Addr:           *addr,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		HedgeAfter:     *hedgeAfter,
 	}
 
-	srv := newHTTPServer(*addr, handler, endpoint.HardenConfig{
-		QueryTimeout: *queryTimeout,
-		MaxInFlight:  *maxInFlight,
-	}, *queryTimeout, *pprofOn)
+	// The listener comes up immediately on a holding handler that
+	// answers /livez 200 and everything else 503 "loading", then the
+	// real handler is built (dataset load, partitioning, topology
+	// resolution) and swapped in. Probers see an honest not-ready
+	// instead of a connection refusal.
+	sw := &swapHandler{}
+	sw.Store(loadingHandler())
+	srv := newHTTPServer(*addr, sw, *queryTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var coord atomic.Pointer[shard.Coordinator]
+	go func() {
+		handler, c, ft, err := buildHandler(hcfg, reg, opts)
+		if err != nil {
+			log.Fatalf("sparqld: %v", err)
+		}
+		sw.Store(handler.Routes(endpoint.RoutesConfig{
+			Harden: endpoint.HardenConfig{
+				QueryTimeout: *queryTimeout,
+				MaxInFlight:  *maxInFlight,
+			},
+			Pprof: *pprofOn,
+		}))
+		if c != nil {
+			coord.Store(c)
+			go watchTopology(ctx, c, ft, *topologyPoll)
+		}
+	}()
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
 	// in-flight queries the grace period before exiting.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -131,56 +188,169 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("sparqld: serve: %v", err)
 		}
+		if c := coord.Load(); c != nil {
+			c.Close()
+		}
 		log.Printf("sparqld: shutdown complete")
 	}
 }
 
-// buildHandler assembles the SPARQL handler for whichever of the
-// three roles the flags select.
-func buildHandler(shards, shardSlot, data, gen string, obsCount, workers int, degraded bool, addr string, reg *obs.Registry, opts []endpoint.Option) (*endpoint.Server, error) {
-	switch {
-	case shardSlot != "":
-		i, n, err := parseShardSlot(shardSlot)
-		if err != nil {
-			return nil, err
+// swapHandler atomically swaps the serving handler: the holding
+// handler during startup, the real routes once the dataset is loaded.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) Store(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+// loadingHandler is what the listener serves before the store is
+// loaded: alive but not ready.
+func loadingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/livez" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = io.WriteString(w, `{"status":"ok"}`+"\n")
+			return
 		}
-		parts, err := buildPartitions(data, gen, obsCount, n)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, `{"status":"unavailable","reason":"store loading"}`+"\n")
+	})
+}
+
+// watchTopology applies live topology changes to a running
+// coordinator: SIGHUP forces a re-resolve, and — when the topology
+// came from a file and -topology-poll is set — the file's mtime is
+// polled so edits apply without any signal. Reload is cheap and
+// idempotent (an unchanged view is a no-op), so spurious wakeups are
+// harmless.
+func watchTopology(ctx context.Context, c *shard.Coordinator, ft *shard.FileTopology, poll time.Duration) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	var tick <-chan time.Time
+	if ft != nil && poll > 0 {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		tick = t.C
+	}
+	reload := func(trigger string) {
+		changed, err := c.Reload()
+		switch {
+		case err != nil:
+			log.Printf("sparqld: topology reload (%s): %v", trigger, err)
+		case changed:
+			log.Printf("sparqld: topology reloaded (%s): %d shards, replicas %v", trigger, c.Shards(), c.Replicas())
+		case trigger == "sighup":
+			// An explicit signal deserves an acknowledgment; the poll
+			// path stays quiet to avoid a log line per tick.
+			log.Printf("sparqld: topology reload (sighup): unchanged")
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			reload("sighup")
+		case <-tick:
+			changed, err := ft.Changed()
+			if err != nil {
+				log.Printf("sparqld: topology poll: %v", err)
+				continue
+			}
+			if changed {
+				reload("poll")
+			}
+		}
+	}
+}
+
+// handlerConfig is the flag bundle buildHandler consumes.
+type handlerConfig struct {
+	Shards    string
+	ShardSlot string
+	Topology  string
+	Data      string
+	Gen       string
+	ObsCount  int
+	Workers   int
+	Degraded  bool
+	Addr      string
+
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	HedgeAfter     time.Duration
+}
+
+// buildHandler assembles the SPARQL handler for whichever of the
+// roles the flags select. The returned coordinator and file topology
+// are nil except in the coordinator modes (and the file topology only
+// for -topology).
+func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) (*endpoint.Server, *shard.Coordinator, *shard.FileTopology, error) {
+	shardCfg := shard.Config{
+		Workers:  cfg.Workers,
+		Degraded: cfg.Degraded,
+		Registry: reg,
+		Health: shard.HealthConfig{
+			Interval: cfg.HealthInterval,
+			Timeout:  cfg.HealthTimeout,
+		},
+		HedgeAfter: cfg.HedgeAfter,
+	}
+	switch {
+	case cfg.ShardSlot != "":
+		i, n, err := parseShardSlot(cfg.ShardSlot)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
+		}
+		parts, err := buildPartitions(cfg.Data, cfg.Gen, cfg.ObsCount, n)
+		if err != nil {
+			return nil, nil, nil, err
 		}
 		st := parts[i]
 		log.Printf("sparqld: serving shard %d/%d (%d triples) on %s/sparql (metrics on /metrics)",
-			i, n, st.Len(), addr)
-		return endpoint.NewServer(st, opts...), nil
-	case shards != "":
-		specs, err := parseShards(shards)
+			i, n, st.Len(), cfg.Addr)
+		return endpoint.NewServer(st, opts...), nil, nil, nil
+	case cfg.Topology != "":
+		ft := shard.NewFileTopology(cfg.Topology)
+		coord, err := shard.NewDynamic(ft, remoteDialer, shardCfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		backends, err := buildBackends(specs, data, gen, obsCount, workers)
+		log.Printf("sparqld: coordinating %d shards (replicas %v) from %s on %s/sparql (degraded=%v, metrics on /metrics)",
+			coord.Shards(), coord.Replicas(), cfg.Topology, cfg.Addr, cfg.Degraded)
+		opts = append(opts, endpoint.WithReadiness(coord.Ready))
+		return endpoint.NewClientServer(coord, opts...), coord, ft, nil
+	case cfg.Shards != "":
+		groups, err := parseShards(cfg.Shards)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		coord, err := shard.New(backends, shard.Config{
-			Workers:  workers,
-			Degraded: degraded,
-			Registry: reg,
-		})
+		backends, err := buildBackends(groups, cfg.Data, cfg.Gen, cfg.ObsCount, cfg.Workers)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		log.Printf("sparqld: coordinating %d shards on %s/sparql (degraded=%v, metrics on /metrics)",
-			coord.Shards(), addr, degraded)
-		return endpoint.NewClientServer(coord, opts...), nil
+		coord, err := shard.NewReplicated(backends, shardCfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		log.Printf("sparqld: coordinating %d shards (replicas %v) on %s/sparql (degraded=%v, metrics on /metrics)",
+			coord.Shards(), coord.Replicas(), cfg.Addr, cfg.Degraded)
+		opts = append(opts, endpoint.WithReadiness(coord.Ready))
+		return endpoint.NewClientServer(coord, opts...), coord, nil, nil
 	default:
-		st, err := buildStore(data, gen, obsCount)
+		st, err := buildStore(cfg.Data, cfg.Gen, cfg.ObsCount)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		stats := st.Stats()
 		log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql (metrics on /metrics)",
-			stats.Triples, stats.Terms, stats.Predicates, addr)
-		return endpoint.NewServer(st, opts...), nil
+			stats.Triples, stats.Terms, stats.Predicates, cfg.Addr)
+		return endpoint.NewServer(st, opts...), nil, nil, nil
 	}
 }
 
@@ -200,20 +370,18 @@ func openTraceSink(path string) (*obs.OTLPSink, error) {
 	return obs.NewOTLPSink(w, "sparqld"), nil
 }
 
-// newHTTPServer wraps the SPARQL handler in the hardened http.Server:
-// the Harden middleware stack plus protocol-level timeouts.
+// newHTTPServer wraps the handler in the hardened http.Server.
 // ReadHeaderTimeout bounds how long a client may dribble headers
 // (Slowloris); WriteTimeout leaves headroom over the query deadline so
 // slow result writes are bounded too.
-func newHTTPServer(addr string, handler *endpoint.Server, cfg endpoint.HardenConfig, queryTimeout time.Duration, pprofOn bool) *http.Server {
-	mux := handler.Routes(endpoint.RoutesConfig{Harden: cfg, Pprof: pprofOn})
+func newHTTPServer(addr string, handler http.Handler, queryTimeout time.Duration) *http.Server {
 	writeTimeout := 15 * time.Minute
 	if queryTimeout > 0 {
 		writeTimeout = queryTimeout + time.Minute
 	}
 	return &http.Server{
 		Addr:              addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      writeTimeout,

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
 	"re2xolap/internal/store"
 )
 
@@ -26,10 +31,11 @@ ex:obs2 ex:dim ex:fr ; ex:value 20 .
 
 func TestNewServerHardening(t *testing.T) {
 	handler := endpoint.NewServer(testStore(t), endpoint.WithWorkers(4))
-	srv := newHTTPServer(":0", handler, endpoint.HardenConfig{
+	mux := handler.Routes(endpoint.RoutesConfig{Harden: endpoint.HardenConfig{
 		QueryTimeout: time.Minute,
 		MaxInFlight:  4,
-	}, time.Minute, false)
+	}})
+	srv := newHTTPServer(":0", mux, time.Minute)
 	if srv.ReadHeaderTimeout <= 0 {
 		t.Error("ReadHeaderTimeout not set (Slowloris protection missing)")
 	}
@@ -76,5 +82,76 @@ func TestBuildStoreErrors(t *testing.T) {
 	}
 	if _, err := presetByName("production", 5); err != nil {
 		t.Errorf("production preset: %v", err)
+	}
+}
+
+func TestSwapHandlerLoadingSequence(t *testing.T) {
+	sw := &swapHandler{}
+	sw.Store(loadingHandler())
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/livez"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/livez while loading = %d %q", code, body)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/sparql?query=x"} {
+		code, body := get(path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while loading = %d, want 503", path, code)
+		}
+		if !strings.Contains(body, "store loading") {
+			t.Fatalf("%s body = %q, want a loading reason", path, body)
+		}
+	}
+
+	// Swap in the real handler: routes come alive.
+	handler := endpoint.NewServer(testStore(t))
+	sw.Store(handler.Routes(endpoint.RoutesConfig{}))
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz after swap = %d", code)
+	}
+}
+
+func TestBuildHandlerTopologyFile(t *testing.T) {
+	// A topology file naming remote replicas builds a dynamic
+	// coordinator; "local" specs are rejected with a clear error.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(path, []byte(`{"shards": [["local"]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := buildHandler(handlerConfig{Topology: path, Addr: ":0"}, obs.NewRegistry(), nil); err == nil ||
+		!strings.Contains(err.Error(), "local") {
+		t.Fatalf("local spec in topology file: err = %v, want rejection", err)
+	}
+
+	// Remote specs dial fine (no connection is made at build time).
+	if err := os.WriteFile(path, []byte(`{"shards": [["http://a:1/sparql","http://b:2/sparql"],["http://c:3/sparql"]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, coord, ft, err := buildHandler(handlerConfig{Topology: path, Addr: ":0"}, obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil || coord == nil || ft == nil {
+		t.Fatal("topology mode must return server, coordinator, and file topology")
+	}
+	defer coord.Close()
+	if coord.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", coord.Shards())
+	}
+	if reps := coord.Replicas(); len(reps) != 2 || reps[0] != 2 || reps[1] != 1 {
+		t.Fatalf("replicas = %v, want [2 1]", reps)
 	}
 }

@@ -12,36 +12,60 @@ import (
 	"re2xolap/internal/store"
 )
 
-// parseShards interprets the -shards flag. A plain integer N means N
-// in-process partitions of the local dataset; otherwise the value is
-// a comma-separated list with one entry per shard, each either a
-// remote /sparql base URL or the word "local" for an in-process
-// partition. Shard i of the partitioner maps to entry i, so a mixed
-// deployment must list entries in partition order on every node.
-func parseShards(s string) ([]string, error) {
+// parseShards interprets the -shards flag as replica groups: one
+// comma-separated entry per shard, each entry a |-separated list of
+// replicas in preference order. A replica is a remote /sparql base URL
+// or the word "local" for an in-process partition; a plain integer N
+// means N single-replica in-process partitions of the local dataset.
+//
+//	-shards 3
+//	-shards http://a:8085/sparql,local,http://b:8085/sparql
+//	-shards "http://a1/sparql|http://a2/sparql,http://b1/sparql|http://b2/sparql"
+//
+// Shard i of the partitioner maps to entry i, so a mixed deployment
+// must list entries in partition order on every node. Replicas within
+// a group must hold identical copies of partition i — that is what
+// lets the coordinator fail over between them without changing answer
+// bytes.
+func parseShards(s string) ([][]string, error) {
 	s = strings.TrimSpace(s)
 	if n, err := strconv.Atoi(s); err == nil {
 		if n < 1 {
 			return nil, fmt.Errorf("-shards %d: shard count must be >= 1", n)
 		}
-		specs := make([]string, n)
-		for i := range specs {
-			specs[i] = "local"
+		groups := make([][]string, n)
+		for i := range groups {
+			groups[i] = []string{"local"}
 		}
-		return specs, nil
+		return groups, nil
 	}
-	specs := strings.Split(s, ",")
-	for i, spec := range specs {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
+	entries := strings.Split(s, ",")
+	groups := make([][]string, len(entries))
+	for i, entry := range entries {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
 			return nil, fmt.Errorf("-shards: empty entry at position %d", i)
 		}
-		if spec != "local" && !strings.HasPrefix(spec, "http://") && !strings.HasPrefix(spec, "https://") {
-			return nil, fmt.Errorf("-shards entry %q: want a shard count, %q, or an http(s) URL", spec, "local")
+		for _, spec := range strings.Split(entry, "|") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				return nil, fmt.Errorf("-shards entry %d: empty replica spec", i)
+			}
+			if err := validateReplicaSpec(spec); err != nil {
+				return nil, err
+			}
+			groups[i] = append(groups[i], spec)
 		}
-		specs[i] = spec
 	}
-	return specs, nil
+	return groups, nil
+}
+
+// validateReplicaSpec checks one replica spec's shape.
+func validateReplicaSpec(spec string) error {
+	if spec == "local" || strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
+		return nil
+	}
+	return fmt.Errorf("-shards replica %q: want a shard count, %q, or an http(s) URL", spec, "local")
 }
 
 // parseShardSlot interprets the -shard flag's "i/n" form: this
@@ -101,33 +125,55 @@ func buildPartitions(data, gen string, obsCount, n int) ([]*store.Store, error) 
 	return stores, nil
 }
 
-// buildBackends turns the -shards specs into one endpoint.Client per
-// shard. Local partitions are only built when at least one entry asks
-// for one, so an all-remote coordinator needs no -data/-gen.
-func buildBackends(specs []string, data, gen string, obsCount, workers int) ([]endpoint.Client, error) {
+// buildBackends turns the -shards replica groups into one client per
+// replica. Local partitions are only built when at least one spec asks
+// for one, so an all-remote coordinator needs no -data/-gen. All
+// "local" replicas of shard i share partition store i (the store is
+// read-only under query), which is exactly the identical-copy contract
+// replica failover relies on.
+func buildBackends(groups [][]string, data, gen string, obsCount, workers int) ([][]endpoint.Client, error) {
 	needLocal := false
-	for _, spec := range specs {
-		if spec == "local" {
-			needLocal = true
+	for _, g := range groups {
+		for _, spec := range g {
+			if spec == "local" {
+				needLocal = true
+			}
 		}
 	}
 	var parts []*store.Store
 	if needLocal {
 		var err error
-		parts, err = buildPartitions(data, gen, obsCount, len(specs))
+		parts, err = buildPartitions(data, gen, obsCount, len(groups))
 		if err != nil {
 			return nil, err
 		}
 	}
-	backends := make([]endpoint.Client, len(specs))
-	for i, spec := range specs {
-		if spec == "local" {
-			backends[i] = endpoint.NewInProcess(parts[i], endpoint.WithWorkers(workers))
-			log.Printf("sparqld: shard %d: in-process, %d triples", i, parts[i].Len())
-		} else {
-			backends[i] = endpoint.NewHTTPClient(spec)
-			log.Printf("sparqld: shard %d: remote %s", i, spec)
+	backends := make([][]endpoint.Client, len(groups))
+	for i, g := range groups {
+		backends[i] = make([]endpoint.Client, len(g))
+		for j, spec := range g {
+			if spec == "local" {
+				backends[i][j] = endpoint.NewInProcess(parts[i], endpoint.WithWorkers(workers))
+				log.Printf("sparqld: shard %d replica %d: in-process, %d triples", i, j, parts[i].Len())
+			} else {
+				backends[i][j] = endpoint.NewHTTPClient(spec)
+				log.Printf("sparqld: shard %d replica %d: remote %s", i, j, spec)
+			}
 		}
 	}
 	return backends, nil
+}
+
+// remoteDialer is the shard.Dialer behind -topology: file topologies
+// name remote replicas only ("local" needs a partition count fixed at
+// startup, which contradicts a topology that can change shape).
+func remoteDialer(shardIdx, replica int, spec string) (endpoint.Client, error) {
+	if spec == "local" {
+		return nil, fmt.Errorf("-topology file: shard %d replica %d: %q replicas are not supported in file topologies (use -shards for in-process partitions)", shardIdx, replica, spec)
+	}
+	if err := validateReplicaSpec(spec); err != nil {
+		return nil, err
+	}
+	log.Printf("sparqld: shard %d replica %d: remote %s", shardIdx, replica, spec)
+	return endpoint.NewHTTPClient(spec), nil
 }

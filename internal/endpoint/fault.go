@@ -35,8 +35,20 @@ type FaultConfig struct {
 	// transient errors (independent of the rates).
 	FailFirst int
 	// Down makes every query fail with a transient error: a hard-down
-	// endpoint, for breaker tests.
+	// endpoint, for breaker tests. SetDown toggles the same state at
+	// runtime (killing and reviving a replica mid-test).
 	Down bool
+	// Blackhole makes every query hang until the caller's context
+	// expires — a network partition rather than a fast failure, for
+	// testing timeout-driven failover. SetBlackhole toggles it at
+	// runtime.
+	Blackhole bool
+	// FlapDown/FlapUp make the endpoint flap deterministically: each
+	// cycle it is down (transient errors) for the first FlapDown calls,
+	// then up for the next FlapUp calls. FlapDown <= 0 disables
+	// flapping; FlapUp <= 0 defaults to FlapDown.
+	FlapDown int
+	FlapUp   int
 }
 
 // FaultClient decorates a Client with injectable faults: latency,
@@ -52,12 +64,27 @@ type FaultClient struct {
 
 	calls    atomic.Int64
 	injected atomic.Int64
+	down     atomic.Bool
+	blackh   atomic.Bool
 }
 
 // NewFault wraps inner with the given fault schedule.
 func NewFault(inner Client, cfg FaultConfig) *FaultClient {
-	return &FaultClient{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c := &FaultClient{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c.down.Store(cfg.Down)
+	c.blackh.Store(cfg.Blackhole)
+	return c
 }
+
+// SetDown flips the hard-down state at runtime: true makes every
+// subsequent call fail transiently (the replica was killed), false
+// revives it. Safe for concurrent use.
+func (c *FaultClient) SetDown(down bool) { c.down.Store(down) }
+
+// SetBlackhole flips the blackhole state at runtime: true makes every
+// subsequent call hang until its context expires (a partition), false
+// heals it.
+func (c *FaultClient) SetBlackhole(on bool) { c.blackh.Store(on) }
 
 // Unwrap returns the decorated client.
 func (c *FaultClient) Unwrap() Client { return c.inner }
@@ -80,8 +107,17 @@ const (
 
 // draw picks the fault for the next call.
 func (c *FaultClient) draw(call int64) faultKind {
-	if c.cfg.Down || call <= int64(c.cfg.FailFirst) {
+	if c.down.Load() || call <= int64(c.cfg.FailFirst) {
 		return faultTransient
+	}
+	if c.cfg.FlapDown > 0 {
+		up := c.cfg.FlapUp
+		if up <= 0 {
+			up = c.cfg.FlapDown
+		}
+		if (call-1)%int64(c.cfg.FlapDown+up) < int64(c.cfg.FlapDown) {
+			return faultTransient
+		}
 	}
 	c.mu.Lock()
 	r := c.rng.Float64()
@@ -109,6 +145,14 @@ func (c *FaultClient) QueryX(ctx context.Context, req Request) (*sparql.Results,
 	meta := QueryMeta{Source: "fault", Step: req.Opts.Step, Attempts: 1}
 	call := c.calls.Add(1)
 	start := time.Now()
+	if c.blackh.Load() {
+		// A partitioned endpoint: nothing comes back, ever. The caller's
+		// deadline is the only way out.
+		c.injected.Add(1)
+		<-ctx.Done()
+		meta.Wall = time.Since(start)
+		return nil, meta, classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: fault: blackholed (call %d): %w", call, ctx.Err())))
+	}
 	if c.cfg.Latency > 0 {
 		t := time.NewTimer(c.cfg.Latency)
 		select {
@@ -144,6 +188,23 @@ func (c *FaultClient) QueryX(ctx context.Context, req Request) (*sparql.Results,
 	res, im, err := QueryX(ctx, c.inner, req)
 	im.Source = "fault"
 	return res, im, err
+}
+
+// Ping implements Pinger so health probers see the injected state:
+// a blackholed client hangs until the context expires, a down client
+// fails, and everything else delegates to the inner client. Probes do
+// NOT advance the call counter or the rate schedule — flap and rate
+// faults are driven by query traffic alone, so probe frequency cannot
+// perturb a deterministic fault replay.
+func (c *FaultClient) Ping(ctx context.Context) error {
+	if c.blackh.Load() {
+		<-ctx.Done()
+		return classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: fault: blackholed probe: %w", ctx.Err())))
+	}
+	if c.down.Load() {
+		return MarkRetryable(fmt.Errorf("endpoint: fault: injected down state"))
+	}
+	return Ping(ctx, c.inner)
 }
 
 // truncated re-encodes res as SPARQL JSON, cuts the body in half, and

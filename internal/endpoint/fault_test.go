@@ -107,3 +107,88 @@ func TestFaultLatencyHonoursContext(t *testing.T) {
 		t.Error("injected latency did not respect cancellation")
 	}
 }
+
+func TestFaultBlackhole(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{Blackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`)
+	if err == nil {
+		t.Fatal("blackholed call returned")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("blackhole past a deadline should classify as timeout: %v", err)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Error("blackhole ignored cancellation")
+	}
+	if inner.QueryCount() != 0 {
+		t.Errorf("inner client reached %d times while blackholed", inner.QueryCount())
+	}
+	// Heal at runtime.
+	fc.SetBlackhole(false)
+	if _, err := fc.Query(context.Background(), `ASK { ?s ?p ?o . }`); err != nil {
+		t.Fatalf("healed blackhole still failing: %v", err)
+	}
+}
+
+func TestFaultFlappy(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	// Cycle: down 2, up 3.
+	fc := NewFault(inner, FaultConfig{FlapDown: 2, FlapUp: 3})
+	ctx := context.Background()
+	var got []bool
+	for i := 0; i < 10; i++ {
+		_, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`)
+		got = append(got, err == nil)
+		if err != nil && !Retryable(err) {
+			t.Fatalf("call %d: flap fault not retryable: %v", i+1, err)
+		}
+	}
+	want := []bool{false, false, true, true, true, false, false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flap schedule = %v, want %v", got, want)
+		}
+	}
+	// FlapUp defaults to FlapDown.
+	fc2 := NewFault(NewInProcess(testStore(t)), FaultConfig{FlapDown: 1})
+	var got2 []bool
+	for i := 0; i < 4; i++ {
+		_, err := fc2.Query(ctx, `ASK { ?s ?p ?o . }`)
+		got2 = append(got2, err == nil)
+	}
+	want2 := []bool{false, true, false, true}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatalf("default-FlapUp schedule = %v, want %v", got2, want2)
+		}
+	}
+}
+
+func TestFaultPing(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{})
+	ctx := context.Background()
+	if err := fc.Ping(ctx); err != nil {
+		t.Fatalf("healthy ping: %v", err)
+	}
+	fc.SetDown(true)
+	if err := fc.Ping(ctx); err == nil || !Retryable(err) {
+		t.Fatalf("down ping = %v, want retryable error", err)
+	}
+	fc.SetDown(false)
+	fc.SetBlackhole(true)
+	pctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := fc.Ping(pctx); err == nil {
+		t.Fatal("blackholed ping returned nil")
+	}
+	// Probes never advance the call counter: the query fault schedule
+	// is independent of probe frequency.
+	if fc.Calls() != 0 {
+		t.Errorf("pings advanced the call counter to %d", fc.Calls())
+	}
+}

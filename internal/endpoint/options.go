@@ -36,6 +36,7 @@ type options struct {
 	workers     *int
 	traceSink   *obs.OTLPSink
 	queryLog    *obs.QueryRing
+	ready       func() error
 }
 
 // applyOptions folds opts into a settings bag.
@@ -98,6 +99,17 @@ func WithWorkers(n int) Option {
 // trace instead of starting a fresh one.
 func WithTraceExport(s *obs.OTLPSink) Option {
 	return func(o *options) { o.traceSink = s }
+}
+
+// WithReadiness makes /healthz (and /readyz) a readiness probe
+// (NewServer, NewClientServer): while fn returns a non-nil error the
+// endpoint answers 503 with a JSON body naming the reason, so load
+// balancers and shard health probers route around a process that is
+// alive but not yet able to answer — still loading its store, or a
+// coordinator with an entirely-down shard. Liveness stays on /livez,
+// which is 200 for as long as the process serves HTTP at all.
+func WithReadiness(fn func() error) Option {
+	return func(o *options) { o.ready = fn }
 }
 
 // WithQueryLog records every served query's profile summary (wall

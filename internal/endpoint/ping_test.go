@@ -1,0 +1,219 @@
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"re2xolap/internal/sparql"
+)
+
+func TestHealthURL(t *testing.T) {
+	cases := map[string]string{
+		"http://h:1/sparql":  "http://h:1/healthz",
+		"http://h:1/sparql/": "http://h:1/healthz",
+		"http://h:1":         "http://h:1/healthz",
+		"http://h:1/":        "http://h:1/healthz",
+	}
+	for in, want := range cases {
+		if got := healthURL(in); got != want {
+			t.Errorf("healthURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPingFastPaths covers the Pinger implementations: in-process is
+// alive with the process, the resilient wrapper delegates straight to
+// its inner client (no breaker interaction), and plain clients fall
+// back to the ASK probe.
+func TestPingFastPaths(t *testing.T) {
+	ctx := context.Background()
+	ip := NewInProcess(testStore(t))
+	if err := Ping(ctx, ip); err != nil {
+		t.Fatalf("in-process ping: %v", err)
+	}
+	if ip.QueryCount() != 0 {
+		t.Error("in-process ping ran a query")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := Ping(cctx, ip); err == nil {
+		t.Error("cancelled ping must fail")
+	}
+
+	// Resilient wrapper: a down inner client fails the probe even when
+	// the breaker would still be closed.
+	fc := NewFault(NewInProcess(testStore(t)), FaultConfig{Down: true})
+	rc := NewResilient(fc)
+	if err := Ping(ctx, rc); err == nil {
+		t.Error("resilient ping must see the down backend")
+	}
+
+	// A client without Ping: probe via ASK.
+	plain := plainClient{inner: NewInProcess(testStore(t))}
+	if err := Ping(ctx, plain); err != nil {
+		t.Fatalf("ASK fallback ping: %v", err)
+	}
+}
+
+// plainClient hides every optional facet of the inner client.
+type plainClient struct{ inner *InProcess }
+
+func (c plainClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	return c.inner.Query(ctx, query)
+}
+
+// TestHTTPClientPing checks the GET /healthz fast path: 200 means
+// healthy, 503 means not, and a server without the route falls back
+// to the ASK probe.
+func TestHTTPClientPing(t *testing.T) {
+	st := testStore(t)
+	srv := httptest.NewServer(NewServer(st).Routes(RoutesConfig{}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL + "/sparql")
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("healthy server ping: %v", err)
+	}
+
+	// A 503 readiness answer fails the probe.
+	notReady := httptest.NewServer(NewServer(st, WithReadiness(func() error {
+		return context.DeadlineExceeded
+	})).Routes(RoutesConfig{}))
+	defer notReady.Close()
+	if err := NewHTTPClient(notReady.URL + "/sparql").Ping(context.Background()); err == nil {
+		t.Fatal("503 readiness must fail the probe")
+	}
+
+	// No /healthz route at all: fall back to the ASK probe on /sparql.
+	var asks atomic.Int64
+	bare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/sparql" {
+			http.NotFound(w, r)
+			return
+		}
+		asks.Add(1)
+		NewServer(st).ServeHTTP(w, r)
+	}))
+	defer bare.Close()
+	if err := NewHTTPClient(bare.URL + "/sparql").Ping(context.Background()); err != nil {
+		t.Fatalf("ASK fallback against bare endpoint: %v", err)
+	}
+	if asks.Load() != 1 {
+		t.Errorf("ASK fallback queries = %d, want 1", asks.Load())
+	}
+}
+
+// TestServerReadinessGating checks the liveness/readiness split on the
+// serving mux: /livez is always 200, /healthz and /readyz flip from
+// 503 (JSON reason) to 200 with the readiness hook.
+func TestServerReadinessGating(t *testing.T) {
+	var ready atomic.Bool
+	s := NewServer(testStore(t), WithReadiness(func() error {
+		if ready.Load() {
+			return nil
+		}
+		return context.DeadlineExceeded
+	}))
+	srv := httptest.NewServer(s.Routes(RoutesConfig{}))
+	defer srv.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: body not JSON: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/livez"); code != 200 || body["status"] != "ok" {
+		t.Fatalf("/livez = %d %v", code, body)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, body := get(path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before ready = %d, want 503", path, code)
+		}
+		if body["status"] != "unavailable" || body["reason"] == "" {
+			t.Fatalf("%s body = %v, want unavailable with a reason", path, body)
+		}
+	}
+
+	ready.Store(true)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, body := get(path)
+		if code != 200 || body["status"] != "ok" {
+			t.Fatalf("%s after ready = %d %v", path, code, body)
+		}
+	}
+	// The store-backed server also reports its triple count once ready.
+	if _, body := get("/healthz"); body["triples"] == nil {
+		t.Error("ready healthz missing triples count")
+	}
+}
+
+// skippingClient reports a degraded answer missing shards 1 and 3.
+type skippingClient struct{ inner *InProcess }
+
+func (c skippingClient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	r, _, err := c.QueryX(ctx, Request{Query: query})
+	return r, err
+}
+
+func (c skippingClient) QueryX(ctx context.Context, req Request) (*sparql.Results, QueryMeta, error) {
+	res, meta, err := c.inner.QueryX(ctx, req)
+	meta.Incomplete = true
+	meta.SkippedShards = []int{1, 3}
+	return res, meta, err
+}
+
+// TestSkippedShardsHeader checks a degraded coordinator answer names
+// the skipped shard indices on the wire.
+func TestSkippedShardsHeader(t *testing.T) {
+	srv := httptest.NewServer(NewClientServer(skippingClient{inner: NewInProcess(testStore(t))}))
+	defer srv.Close()
+	resp, err := http.PostForm(srv.URL, url.Values{"query": {`SELECT ?s WHERE { ?s ?p ?o }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Re2xolap-Incomplete"); got != "true" {
+		t.Fatalf("X-Re2xolap-Incomplete = %q", got)
+	}
+	if got := resp.Header.Get("X-Re2xolap-Skipped-Shards"); got != "1,3" {
+		t.Fatalf("X-Re2xolap-Skipped-Shards = %q, want \"1,3\"", got)
+	}
+}
+
+// TestPingDoesNotTripBreaker: probes bypass the resilience layer, so
+// a failing probe must not consume breaker state and a healthy query
+// must still pass immediately after failed probes.
+func TestPingDoesNotTripBreaker(t *testing.T) {
+	fc := NewFault(NewInProcess(testStore(t)), FaultConfig{})
+	rc := NewResilient(fc)
+	ctx := context.Background()
+	fc.SetDown(true)
+	for i := 0; i < 20; i++ {
+		if err := Ping(ctx, rc); err == nil {
+			t.Fatal("down backend ping succeeded")
+		}
+	}
+	fc.SetDown(false)
+	start := time.Now()
+	if _, err := rc.Query(ctx, `ASK { ?s ?p ?o . }`); err != nil {
+		t.Fatalf("query after failed probes: %v (breaker tripped by probes?)", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("query delayed after probes")
+	}
+}

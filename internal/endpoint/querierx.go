@@ -60,6 +60,10 @@ type QueryMeta struct {
 	// or more failed shards. Complete single-backend clients never set
 	// it.
 	Incomplete bool
+	// SkippedShards names the shard indices an incomplete answer was
+	// served without, so callers see *which* partitions are missing,
+	// not just that one is. Empty when Incomplete is false.
+	SkippedShards []int
 	// Plan is the federation plan class (colocated/partial_agg/gather)
 	// when a shard coordinator executed the query; empty otherwise.
 	Plan string
@@ -178,14 +182,15 @@ func recordSlow(l *obs.SlowLog, query string, meta QueryMeta, err error) {
 		return
 	}
 	entry := obs.SlowQuery{
-		Source:  meta.Source,
-		Step:    meta.Step,
-		WallMS:  float64(meta.Wall) / float64(time.Millisecond),
-		Rows:    meta.Rows,
-		Retries: meta.Retries,
-		Plan:    meta.Plan,
-		Shards:  meta.Shards,
-		Query:   query,
+		Source:        meta.Source,
+		Step:          meta.Step,
+		WallMS:        float64(meta.Wall) / float64(time.Millisecond),
+		Rows:          meta.Rows,
+		Retries:       meta.Retries,
+		Plan:          meta.Plan,
+		Shards:        meta.Shards,
+		SkippedShards: meta.SkippedShards,
+		Query:         query,
 	}
 	if meta.HasPhases {
 		entry.PhaseMS = obs.PhaseMS(meta.Phases.Map())

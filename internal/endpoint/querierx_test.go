@@ -203,8 +203,11 @@ func TestServerRoutes(t *testing.T) {
 		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
 	}
 
-	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, "ok 6 triples") {
+	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) || !strings.Contains(body, `"triples":6`) {
 		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body, _ := get("/livez"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("livez = %d %q", code, body)
 	}
 	if code, _, _ := get("/debug/pprof/"); code != 404 {
 		t.Errorf("pprof should be gated off by default, got %d", code)

@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,11 @@ type Server struct {
 	slow    *obs.SlowLog
 	traces  *obs.OTLPSink
 	queries *obs.QueryRing
+	// ready reports readiness for /healthz (nil error = ready); set via
+	// WithReadiness. nil means ready as soon as the server exists — the
+	// store-backed constructors take a fully-loaded store, so that is
+	// correct for them by construction.
+	ready func() error
 }
 
 // serverMetrics caches the server's registry series.
@@ -59,7 +65,7 @@ var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "
 // WithMaxQueryLen, WithWorkers.
 func NewServer(st *store.Store, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog}
+	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -87,7 +93,7 @@ func NewServer(st *store.Store, opts ...Option) *Server {
 // via the X-Re2xolap-Incomplete response header.
 func NewClientServer(c Client, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog}
+	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -223,8 +229,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		if meta.Incomplete && err == nil {
 			// Header, not an error status: the answer is valid, just
-			// degraded. Clients that care can check it.
+			// degraded. Clients that care can check it — and see which
+			// partitions are missing, not just that one is.
 			w.Header().Set("X-Re2xolap-Incomplete", "true")
+			if len(meta.SkippedShards) > 0 {
+				w.Header().Set("X-Re2xolap-Skipped-Shards", joinInts(meta.SkippedShards))
+			}
 		}
 	case timed:
 		res, pt, err = s.engine.QueryStringTimed(ctx, query)
@@ -283,9 +293,10 @@ func (s *Server) recordRing(query string, wall time.Duration, pt sparql.PhaseTim
 		WallMS:     float64(wall) / float64(time.Millisecond),
 		Rows:       rows,
 		PhaseMS:    obs.PhaseMS(pt.Map()),
-		Shards:     meta.Shards,
-		Incomplete: meta.Incomplete,
-		Query:      query,
+		Shards:        meta.Shards,
+		Incomplete:    meta.Incomplete,
+		SkippedShards: meta.SkippedShards,
+		Query:         query,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -300,15 +311,16 @@ func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTim
 		return
 	}
 	entry := obs.SlowQuery{
-		Source:  "server",
-		Step:    meta.Step,
-		WallMS:  float64(wall) / float64(time.Millisecond),
-		PhaseMS: obs.PhaseMS(pt.Map()),
-		Rows:    rows,
-		Retries: meta.Retries,
-		Plan:    meta.Plan,
-		Shards:  meta.Shards,
-		Query:   query,
+		Source:        "server",
+		Step:          meta.Step,
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		PhaseMS:       obs.PhaseMS(pt.Map()),
+		Rows:          rows,
+		Retries:       meta.Retries,
+		Plan:          meta.Plan,
+		Shards:        meta.Shards,
+		SkippedShards: meta.SkippedShards,
+		Query:         query,
 	}
 	if err != nil {
 		entry.Error = err.Error()
@@ -327,15 +339,16 @@ func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sp
 		phases["serialize"] = ser
 	}
 	s.slow.Record(obs.SlowQuery{
-		Source:  "server",
-		Step:    meta.Step,
-		WallMS:  float64(wall) / float64(time.Millisecond),
-		PhaseMS: obs.PhaseMS(phases),
-		Rows:    rows,
-		Retries: meta.Retries,
-		Plan:    meta.Plan,
-		Shards:  meta.Shards,
-		Query:   query,
+		Source:        "server",
+		Step:          meta.Step,
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		PhaseMS:       obs.PhaseMS(phases),
+		Rows:          rows,
+		Retries:       meta.Retries,
+		Plan:          meta.Plan,
+		Shards:        meta.Shards,
+		SkippedShards: meta.SkippedShards,
+		Query:         query,
 	})
 }
 
@@ -387,20 +400,26 @@ type RoutesConfig struct {
 
 // Routes assembles the operational mux: /sparql (hardened), /metrics
 // (Prometheus text format; 404 unless the server was built
-// WithRegistry), /healthz, /debug/queries (when built WithQueryLog),
-// and — when cfg.Pprof — /debug/pprof/.
+// WithRegistry), /livez (liveness), /healthz and /readyz (readiness),
+// /debug/queries (when built WithQueryLog), and — when cfg.Pprof —
+// /debug/pprof/.
+//
+// Liveness and readiness are distinct probes: /livez answers 200 for
+// as long as the process serves HTTP, while /healthz answers 503 with
+// a JSON body until the server is ready to give correct answers (the
+// WithReadiness hook — a loading store, a coordinator waiting for its
+// first healthy replica per shard). Probers and load balancers should
+// route on /healthz so cold processes take no traffic.
 func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", Harden(s, cfg.Harden))
 	mux.Handle("/metrics", s.reg.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.st != nil {
-			fmt.Fprintf(w, "ok %d triples\n", s.st.Len())
-			return
-		}
-		// Client-backed server: no local store to count.
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	mux.HandleFunc("/healthz", s.serveHealth)
+	mux.HandleFunc("/readyz", s.serveHealth)
 	if s.queries != nil {
 		mux.Handle("/debug/queries", s.queries.Handler())
 	}
@@ -412,6 +431,40 @@ func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// serveHealth implements the readiness side of the probe pair
+// (/healthz, /readyz): 200 with a JSON status once ready, 503 with
+// the blocking reason until then.
+func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.ready != nil {
+		if err := s.ready(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"status": "unavailable",
+				"reason": err.Error(),
+			})
+			return
+		}
+	}
+	body := map[string]any{"status": "ok"}
+	if s.st != nil {
+		body["triples"] = s.st.Len()
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// joinInts renders shard indices for the skipped-shards header.
+func joinInts(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
 }
 
 // wantsXML reports whether the Accept header prefers the XML results

@@ -9,14 +9,20 @@ import (
 
 // ShardCall summarizes one shard's part in a federated query: the
 // rows it contributed, its wall time, and the resilience layer's
-// attempt/retry counts against it.
+// attempt/retry counts against it. With replicated shards, Replica is
+// the replica index that produced the answer and Failovers counts the
+// replicas that were tried and failed before it; Skipped marks a
+// shard whose answer was dropped from a degraded-mode result.
 type ShardCall struct {
-	Shard    int     `json:"shard"`
-	Rows     int     `json:"rows"`
-	WallMS   float64 `json:"wall_ms"`
-	Attempts int     `json:"attempts,omitempty"`
-	Retries  int     `json:"retries,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	Shard     int     `json:"shard"`
+	Replica   int     `json:"replica,omitempty"`
+	Rows      int     `json:"rows"`
+	WallMS    float64 `json:"wall_ms"`
+	Attempts  int     `json:"attempts,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Failovers int     `json:"failovers,omitempty"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // QueryRecord is one entry of the query ring buffer: a structured
@@ -34,6 +40,9 @@ type QueryRecord struct {
 	PhaseMS    map[string]float64 `json:"phase_ms,omitempty"`
 	Shards     []ShardCall        `json:"shards,omitempty"`
 	Incomplete bool               `json:"incomplete,omitempty"`
+	// SkippedShards lists the shard indices a degraded-mode answer was
+	// served without (Incomplete is then true).
+	SkippedShards []int `json:"skipped_shards,omitempty"`
 	Error      string             `json:"error,omitempty"`
 	Query      string             `json:"query"`
 }

@@ -25,8 +25,11 @@ type SlowQuery struct {
 	// attempt/retry/row accounting.
 	Plan   string      `json:"plan,omitempty"`
 	Shards []ShardCall `json:"shards,omitempty"`
-	Error  string      `json:"error,omitempty"`
-	Query  string      `json:"query"`
+	// SkippedShards lists the shard indices a degraded-mode answer was
+	// served without.
+	SkippedShards []int  `json:"skipped_shards,omitempty"`
+	Error         string `json:"error,omitempty"`
+	Query         string `json:"query"`
 }
 
 // maxSlowQueryLen bounds the logged query text so one enormous VALUES

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"re2xolap/internal/endpoint"
@@ -14,77 +16,312 @@ import (
 
 // Config tunes a Coordinator. The zero value is usable: full
 // resilience with the default policy, strict (non-degraded) failure
-// handling, scatter width = shard count, no metrics.
+// handling, scatter width = shard count, no prober, no hedging, no
+// metrics.
 type Config struct {
 	// Workers bounds scatter concurrency and the local engine workers
 	// on the gather path; <= 0 means one goroutine per shard.
 	Workers int
 	// Degraded serves partial results when shards fail: failed shards
-	// are skipped and the answer's QueryMeta.Incomplete is set. When
-	// false any shard failure fails the query (first error by shard
-	// index). An all-shards failure is an error in either mode.
+	// are skipped and the answer's QueryMeta.Incomplete is set, with
+	// the skipped shard indices in QueryMeta.SkippedShards. When false
+	// any shard failure fails the query (first error by shard index).
+	// An all-shards failure is an error in either mode. A shard only
+	// counts as failed once every one of its replicas has been tried.
 	Degraded bool
-	// Policy is the per-shard resilience policy; nil means
-	// endpoint.DefaultPolicy(). Each backend not already resilient is
+	// Policy is the per-replica resilience policy; nil means
+	// endpoint.DefaultPolicy(). Each replica not already resilient is
 	// wrapped in its own endpoint.NewResilient, so one misbehaving
-	// shard trips only its own breaker.
+	// replica trips only its own breaker.
 	Policy *endpoint.Policy
-	// NoResilience skips the per-shard ResilientClient wrapping
+	// NoResilience skips the per-replica ResilientClient wrapping
 	// (tests, or callers that bring their own).
 	NoResilience bool
+	// Health configures the background replica prober; a zero Interval
+	// disables it (failover alone then handles faults, and Ready
+	// reports ready immediately).
+	Health HealthConfig
+	// HedgeAfter, when > 0, hedges slow shard calls: if the preferred
+	// replica has not answered within this budget, the same query is
+	// also sent to the next candidate replica and the first answer
+	// wins. Replicas hold identical partitions, so hedging cannot
+	// change result bytes — only tail latency.
+	HedgeAfter time.Duration
 	// Registry receives the coordinator metrics: per-shard call
-	// counters/latency, plan counters, fan-out and in-flight gauges,
-	// merge-phase timings, degraded-mode counters.
+	// counters/latency/failovers, per-replica health gauges and probe
+	// latency, plan counters, fan-out and in-flight gauges, merge-phase
+	// timings, hedge and topology-reload counters, degraded-mode
+	// counters.
 	Registry *obs.Registry
 }
 
-// Coordinator federates N shard backends behind the endpoint.Client
-// and endpoint.QuerierX interfaces. It is safe for concurrent use.
-type Coordinator struct {
-	shards  []endpoint.Client
-	workers int
-	cfg     Config
-	m       *metrics
+// view is one immutable resolved topology generation. Queries load
+// the pointer once and use that view end to end, so a concurrent
+// Reload never mutates anything an in-flight query can see — old
+// views drain naturally as their queries finish.
+type view struct {
+	tv     TopologyView
+	groups []*replicaSet
 }
 
-// New builds a coordinator over the given shard backends (index =
-// shard number under the Partitioner that split the data).
+// Coordinator federates N logical shards — each an ordered replica
+// set — behind the endpoint.Client and endpoint.QuerierX interfaces.
+// It is safe for concurrent use.
+type Coordinator struct {
+	cfg  Config
+	m    *metrics
+	topo Topology
+	dial Dialer
+
+	view  atomic.Pointer[view]
+	epoch atomic.Int64
+
+	reloadMu sync.Mutex // serializes Reload's read-build-swap
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// New builds a coordinator over single-replica shards (index = shard
+// number under the Partitioner that split the data) — the pre-replica
+// constructor, kept as the common case.
 func New(backends []endpoint.Client, cfg Config) (*Coordinator, error) {
-	if len(backends) == 0 {
+	groups := make([][]endpoint.Client, len(backends))
+	for i, b := range backends {
+		groups[i] = []endpoint.Client{b}
+	}
+	return NewReplicated(groups, cfg)
+}
+
+// NewReplicated builds a coordinator over explicit replica groups:
+// groups[i] lists shard i's replicas in preference order, every
+// replica holding the identical partition i. The topology is static;
+// use NewDynamic for live re-resolution.
+func NewReplicated(groups [][]endpoint.Client, cfg Config) (*Coordinator, error) {
+	if len(groups) == 0 {
 		return nil, errors.New("shard: no backends")
 	}
-	shards := make([]endpoint.Client, len(backends))
-	for i, b := range backends {
-		if b == nil {
-			return nil, fmt.Errorf("shard: backend %d is nil", i)
+	c := newCoordinator(cfg)
+	tv := TopologyView{Groups: make([][]string, len(groups))}
+	built := make([]*replicaSet, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas", i)
 		}
-		shards[i] = b
-		if cfg.NoResilience {
-			continue
+		set := &replicaSet{shard: i}
+		c.m.wireShard(set)
+		tv.Groups[i] = make([]string, len(g))
+		for j, b := range g {
+			if b == nil {
+				return nil, fmt.Errorf("shard: shard %d replica %d is nil", i, j)
+			}
+			spec := fmt.Sprintf("client:%d/%d", i, j)
+			tv.Groups[i][j] = spec
+			set.replicas = append(set.replicas, c.newReplica(i, j, spec, b))
 		}
-		if _, ok := b.(*endpoint.ResilientClient); ok {
-			continue
-		}
-		pol := endpoint.DefaultPolicy()
-		if cfg.Policy != nil {
-			pol = *cfg.Policy
-		}
-		shards[i] = endpoint.NewResilient(b, endpoint.WithPolicy(pol))
+		built[i] = set
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = len(shards)
-	}
-	return &Coordinator{
-		shards:  shards,
-		workers: workers,
-		cfg:     cfg,
-		m:       newMetrics(cfg.Registry, len(shards)),
-	}, nil
+	c.view.Store(&view{tv: tv, groups: built})
+	c.startProber()
+	return c, nil
 }
 
-// Shards returns the shard count.
-func (c *Coordinator) Shards() int { return len(c.shards) }
+// NewDynamic builds a coordinator whose topology can change at
+// runtime: topo names the replica endpoints, dial turns each spec
+// into a client, and Reload re-resolves the topology and swaps the
+// serving view without dropping in-flight queries. Replicas whose
+// spec persists across a reload keep their client, breaker, and
+// health state.
+func NewDynamic(topo Topology, dial Dialer, cfg Config) (*Coordinator, error) {
+	if topo == nil || dial == nil {
+		return nil, errors.New("shard: NewDynamic needs a topology and a dialer")
+	}
+	c := newCoordinator(cfg)
+	c.topo, c.dial = topo, dial
+	tv, err := topo.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	v, err := c.buildView(tv, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.view.Store(v)
+	c.startProber()
+	return c, nil
+}
+
+// newCoordinator sets up the shared shell: config and metrics whose
+// gauges read whatever view is current.
+func newCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{cfg: cfg}
+	c.m = newMetrics(cfg.Registry,
+		func() float64 { return float64(len(c.currentView().groups)) },
+		func() float64 {
+			n := 0
+			for _, g := range c.currentView().groups {
+				n += len(g.replicas)
+			}
+			return float64(n)
+		})
+	return c
+}
+
+// currentView is the nil-tolerant view read (metrics gauge callbacks
+// can fire between construction steps).
+func (c *Coordinator) currentView() *view {
+	if v := c.view.Load(); v != nil {
+		return v
+	}
+	return &view{}
+}
+
+// newReplica wraps one dialed client as a replica: resilient wrapping
+// on the query path (unless disabled or already resilient), the raw
+// client on the probe path, fresh health state, and metric handles.
+func (c *Coordinator) newReplica(shard, index int, spec string, b endpoint.Client) *replica {
+	r := &replica{
+		shard:  shard,
+		index:  index,
+		spec:   spec,
+		raw:    b,
+		client: b,
+		health: newHealthState(),
+	}
+	if !c.cfg.NoResilience {
+		if _, ok := b.(*endpoint.ResilientClient); !ok {
+			pol := endpoint.DefaultPolicy()
+			if c.cfg.Policy != nil {
+				pol = *c.cfg.Policy
+			}
+			r.client = endpoint.NewResilient(b, endpoint.WithPolicy(pol))
+		}
+	}
+	c.m.wireReplica(r)
+	return r
+}
+
+// buildView materializes a resolved topology, reusing replicas from
+// old whose (shard, spec) persists — their clients, breakers, and
+// health history carry over, so a reload that only adds a replica
+// does not reset anyone else's state.
+func (c *Coordinator) buildView(tv TopologyView, old *view) (*view, error) {
+	reuse := map[string][]*replica{}
+	if old != nil {
+		for _, g := range old.groups {
+			for _, r := range g.replicas {
+				k := fmt.Sprintf("%d|%s", r.shard, r.spec)
+				reuse[k] = append(reuse[k], r)
+			}
+		}
+	}
+	groups := make([]*replicaSet, len(tv.Groups))
+	for i, specs := range tv.Groups {
+		set := &replicaSet{shard: i}
+		c.m.wireShard(set)
+		for j, spec := range specs {
+			k := fmt.Sprintf("%d|%s", i, spec)
+			if rs := reuse[k]; len(rs) > 0 {
+				r := rs[0]
+				reuse[k] = rs[1:]
+				if r.index != j {
+					// Same endpoint, new slot: re-wire the per-replica
+					// series under the new index, keep all state.
+					r.index = j
+					c.m.wireReplica(r)
+				}
+				set.replicas = append(set.replicas, r)
+				continue
+			}
+			b, err := c.dial(i, j, spec)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d replica %d (%s): %w", i, j, spec, err)
+			}
+			set.replicas = append(set.replicas, c.newReplica(i, j, spec, b))
+		}
+		groups[i] = set
+	}
+	// Replicas dropped by the new view: zero their up gauge so the
+	// exposition does not keep advertising a healthy slot that no
+	// longer exists (the registry cannot unregister).
+	for _, rs := range reuse {
+		for _, r := range rs {
+			r.mUp.Set(0)
+		}
+	}
+	return &view{tv: tv, groups: groups}, nil
+}
+
+// Reload re-resolves the topology and atomically swaps the serving
+// view. In-flight queries keep the view they started with and drain
+// on it. Returns whether the view actually changed. Coordinators
+// built over explicit client lists (New, NewReplicated) have a static
+// topology and return an error.
+func (c *Coordinator) Reload() (bool, error) {
+	if c.topo == nil || c.dial == nil {
+		return false, errors.New("shard: coordinator topology is static (built from explicit clients)")
+	}
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	tv, err := c.topo.Resolve()
+	if err != nil {
+		return false, err
+	}
+	old := c.view.Load()
+	if old.tv.Equal(tv) {
+		return false, nil
+	}
+	nv, err := c.buildView(tv, old)
+	if err != nil {
+		return false, err
+	}
+	c.view.Store(nv)
+	c.m.reloaded(c.epoch.Add(1))
+	return true, nil
+}
+
+// startProber launches the background health prober when configured.
+func (c *Coordinator) startProber() {
+	if c.cfg.Health.Interval <= 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.probeCancel = cancel
+	c.probeDone = make(chan struct{})
+	go c.probeLoop(ctx)
+}
+
+// Close stops the background prober (if any) and waits for it. The
+// coordinator remains usable for queries afterwards; health states
+// freeze at their last probed value.
+func (c *Coordinator) Close() {
+	if c.probeCancel != nil {
+		c.probeCancel()
+		<-c.probeDone
+		c.probeCancel = nil
+	}
+}
+
+// Shards returns the current shard count.
+func (c *Coordinator) Shards() int { return len(c.currentView().groups) }
+
+// Replicas returns the current replica count per shard.
+func (c *Coordinator) Replicas() []int {
+	v := c.currentView()
+	out := make([]int, len(v.groups))
+	for i, g := range v.groups {
+		out[i] = len(g.replicas)
+	}
+	return out
+}
+
+// workersFor bounds scatter concurrency for an n-shard view.
+func (c *Coordinator) workersFor(n int) int {
+	if c.cfg.Workers > 0 {
+		return c.cfg.Workers
+	}
+	return n
+}
 
 // Query implements endpoint.Client as a thin adapter over QueryX.
 func (c *Coordinator) Query(ctx context.Context, query string) (*sparql.Results, error) {
@@ -93,9 +330,11 @@ func (c *Coordinator) Query(ctx context.Context, query string) (*sparql.Results,
 }
 
 // QueryX implements endpoint.QuerierX: it classifies the query,
-// scatters it (or its rewritten form) to the shards, merges, and
-// reports coordinator metadata. Meta.Incomplete is set when a
-// degraded-mode answer skipped failed shards.
+// scatters it (or its rewritten form) to the shards — each call
+// routed to the shard's first healthy replica with failover — merges,
+// and reports coordinator metadata. Meta.Incomplete is set when a
+// degraded-mode answer skipped failed shards, with the indices in
+// Meta.SkippedShards.
 func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql.Results, endpoint.QueryMeta, error) {
 	meta := endpoint.QueryMeta{Source: "coordinator", Step: req.Opts.Step}
 	start := time.Now()
@@ -108,13 +347,17 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 	c.m.plan(kind)
 	meta.Plan = kind.String()
 
+	// One view per query: everything below runs against this topology
+	// generation even if a Reload lands mid-flight.
+	v := c.currentView()
+
 	parent := req.Opts.Span
 	if parent == nil {
 		parent = obs.SpanFrom(ctx)
 	}
 	span := parent.Start("scatter-gather")
 	span.SetAttr("plan", kind.String())
-	span.SetAttr("shards", fmt.Sprint(len(c.shards)))
+	span.SetAttr("shards", fmt.Sprint(len(v.groups)))
 	if req.Opts.Step != "" {
 		span.SetAttr("step", req.Opts.Step)
 	}
@@ -125,129 +368,116 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 
 	var res *sparql.Results
 	var calls []obs.ShardCall
-	var incomplete bool
+	var skipped []int
 	switch kind {
 	case planColocated:
-		res, calls, incomplete, err = c.runColocated(ctx, q, req.Opts.Step)
+		res, calls, skipped, err = c.runColocated(ctx, v, q, req.Opts.Step)
 	case planPartialAgg:
-		res, calls, incomplete, err = c.runPartialAgg(ctx, q, aggPlan, req.Opts.Step)
+		res, calls, skipped, err = c.runPartialAgg(ctx, v, q, aggPlan, req.Opts.Step)
 	default:
-		res, calls, incomplete, err = c.runGather(ctx, q, req.Opts.Step)
+		res, calls, skipped, err = c.runGather(ctx, v, q, req.Opts.Step)
 	}
 	meta.Shards = calls
 	meta.Wall = time.Since(start)
 	if res != nil {
 		meta.Rows = res.Len()
 	}
-	meta.Incomplete = incomplete
-	if incomplete {
+	meta.Incomplete = len(skipped) > 0
+	meta.SkippedShards = skipped
+	if meta.Incomplete {
 		span.SetAttr("incomplete", "true")
+		span.SetAttr("skipped_shards", fmt.Sprint(skipped))
 	}
 	return res, meta, err
 }
 
-// scatterText sends one query text to every shard. results[i] is
-// shard i's answer; a nil slot is a shard skipped in degraded mode
-// (skipped > 0 then). In strict mode the first failure by shard index
-// is returned; when every shard fails, the first failure is returned
-// in either mode.
-func (c *Coordinator) scatterText(ctx context.Context, query, step string) (results []*sparql.Results, calls []obs.ShardCall, skipped int, err error) {
+// scatterText sends one query text to every shard of the view, each
+// call going through the shard's replica set (failover + optional
+// hedging). results[i] is shard i's answer; a nil slot is a shard
+// skipped in degraded mode (it is then listed in skipped). In strict
+// mode the first failure by shard index is returned; when every shard
+// fails, the first failure is returned in either mode.
+func (c *Coordinator) scatterText(ctx context.Context, v *view, query, step string) (results []*sparql.Results, calls []obs.ShardCall, skipped []int, err error) {
 	scatterStart := time.Now()
 	defer func() { c.m.phase("scatter", time.Since(scatterStart)) }()
-	n := len(c.shards)
+	n := len(v.groups)
 	results = make([]*sparql.Results, n)
 	calls = make([]obs.ShardCall, n)
 	errs := make([]error, n)
 	span := obs.SpanFrom(ctx)
-	_ = par.Do(c.workers, n, func(i int) error {
+	_ = par.Do(c.workersFor(n), n, func(i int) error {
+		g := v.groups[i]
 		sp := span.Start(fmt.Sprintf("shard-%d", i))
 		c.m.scatterStart()
 		callStart := time.Now()
-		res, qmeta, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+		out := g.query(ctx, endpoint.Request{
 			Query: query,
 			Opts:  endpoint.QueryOpts{Step: step, Span: sp},
-		})
+		}, c.cfg.HedgeAfter)
 		wall := time.Since(callStart)
 		c.m.scatterEnd()
-		c.m.shardCall(i, wall, qerr)
-		calls[i] = shardCall(i, wall, res, qmeta, qerr)
-		if res != nil {
-			sp.SetAttr("rows", fmt.Sprint(res.Len()))
+		g.shardCallMetrics(wall, out.err)
+		calls[i] = out.shardCall(i, wall)
+		if out.res != nil {
+			sp.SetAttr("rows", fmt.Sprint(out.res.Len()))
 		}
-		if qerr != nil {
-			sp.SetAttr("error", qerr.Error())
+		sp.SetAttr("replica", fmt.Sprint(out.replica))
+		if out.err != nil {
+			sp.SetAttr("error", out.err.Error())
 		}
 		sp.End()
-		results[i], errs[i] = res, qerr
+		results[i], errs[i] = out.res, out.err
 		return nil
 	})
 	var firstErr error
-	failed := 0
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
-			failed++
+			skipped = append(skipped, i)
+			calls[i].Skipped = true
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d: %w", i, errs[i])
 			}
 		}
 	}
-	if failed == 0 {
-		return results, calls, 0, nil
+	if len(skipped) == 0 {
+		return results, calls, nil, nil
 	}
-	if !c.cfg.Degraded || failed == n {
-		return nil, calls, 0, firstErr
+	if !c.cfg.Degraded || len(skipped) == n {
+		return nil, calls, nil, firstErr
 	}
-	c.m.degraded(failed)
-	return results, calls, failed, nil
-}
-
-// shardCall summarizes one shard round trip for QueryMeta.Shards (and
-// through it the slow-query log and the /debug/queries ring).
-func shardCall(i int, wall time.Duration, res *sparql.Results, qmeta endpoint.QueryMeta, qerr error) obs.ShardCall {
-	call := obs.ShardCall{
-		Shard:    i,
-		WallMS:   float64(wall) / float64(time.Millisecond),
-		Attempts: qmeta.Attempts,
-		Retries:  qmeta.Retries,
-	}
-	if res != nil {
-		call.Rows = res.Len()
-	}
-	if qerr != nil {
-		call.Error = qerr.Error()
-	}
-	return call
+	c.m.degraded(len(skipped))
+	return results, calls, skipped, nil
 }
 
 // runColocated executes the colocated plan: strip the solution
 // modifiers (they only apply to the global result), scatter, union
 // the rows, and canonically finalize.
-func (c *Coordinator) runColocated(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
+func (c *Coordinator) runColocated(ctx context.Context, v *view, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, []int, error) {
 	if q.Ask {
-		return c.runAsk(ctx, q, step)
+		return c.runAsk(ctx, v, q, step)
 	}
 	shardQ := stripModifiers(q)
-	results, calls, skipped, err := c.scatterText(ctx, shardQ.String(), step)
+	results, calls, skipped, err := c.scatterText(ctx, v, shardQ.String(), step)
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 	mergeStart := time.Now()
 	merged, err := unionResults(q, results)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 	finStart := time.Now()
 	sparql.MergeFinalize(q, merged)
 	c.m.phase("finalize", time.Since(finStart))
-	return merged, calls, skipped > 0, nil
+	return merged, calls, skipped, nil
 }
 
 // runAsk scatters a colocated ASK and ORs the shard booleans.
-func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
-	results, calls, skipped, err := c.scatterText(ctx, q.String(), step)
+func (c *Coordinator) runAsk(ctx context.Context, v *view, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, []int, error) {
+	results, calls, skipped, err := c.scatterText(ctx, v, q.String(), step)
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 	res := &sparql.Results{IsAsk: true}
 	for _, r := range results {
@@ -256,26 +486,26 @@ func (c *Coordinator) runAsk(ctx context.Context, q *sparql.Query, step string) 
 			break
 		}
 	}
-	return res, calls, skipped > 0, nil
+	return res, calls, skipped, nil
 }
 
 // runPartialAgg pushes partial aggregation to the shards and
 // finalizes groups at the coordinator.
-func (c *Coordinator) runPartialAgg(ctx context.Context, q *sparql.Query, plan *sparql.PartialAggPlan, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
-	results, calls, skipped, err := c.scatterText(ctx, plan.ShardQuery().String(), step)
+func (c *Coordinator) runPartialAgg(ctx context.Context, v *view, q *sparql.Query, plan *sparql.PartialAggPlan, step string) (*sparql.Results, []obs.ShardCall, []int, error) {
+	results, calls, skipped, err := c.scatterText(ctx, v, plan.ShardQuery().String(), step)
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 	mergeStart := time.Now()
 	merged, err := plan.Merge(results)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 	finStart := time.Now()
 	sparql.MergeFinalize(q, merged)
 	c.m.phase("finalize", time.Since(finStart))
-	return merged, calls, skipped > 0, nil
+	return merged, calls, skipped, nil
 }
 
 // stripModifiers copies q without ORDER BY / LIMIT / OFFSET: those

@@ -203,22 +203,25 @@ func (f fetchSpec) triples(res *sparql.Results) []rdf.Triple {
 
 // runGather executes the gather plan: scatter the fetch queries,
 // rebuild the union of the shard contributions in a local store, and
-// run the original query there.
-func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, bool, error) {
+// run the original query there. Each shard's fetch queries route
+// through its replica set, so every fetch individually fails over —
+// a shard only counts as failed when a fetch exhausts its replicas.
+func (c *Coordinator) runGather(ctx context.Context, v *view, q *sparql.Query, step string) (*sparql.Results, []obs.ShardCall, []int, error) {
 	specs := collectFetchSpecs(q)
 	scatterStart := time.Now()
-	n := len(c.shards)
+	n := len(v.groups)
 	shardTriples := make([][]rdf.Triple, n)
 	calls := make([]obs.ShardCall, n)
 	errs := make([]error, n)
 	span := obs.SpanFrom(ctx)
-	_ = par.Do(c.workers, n, func(i int) error {
+	_ = par.Do(c.workersFor(n), n, func(i int) error {
+		g := v.groups[i]
 		sp := span.Start(fmt.Sprintf("shard-%d", i))
 		defer sp.End()
 		shardStart := time.Now()
 		// One ShardCall summarizes all fetch queries against shard i:
-		// rows are the triples it contributed, attempts/retries sum over
-		// the fetches.
+		// rows are the triples it contributed, attempts/retries/failovers
+		// sum over the fetches, replica is the last fetch's winner.
 		call := &calls[i]
 		call.Shard = i
 		defer func() {
@@ -228,21 +231,23 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 		for _, spec := range specs {
 			c.m.scatterStart()
 			callStart := time.Now()
-			res, qmeta, qerr := endpoint.QueryX(ctx, c.shards[i], endpoint.Request{
+			out := g.query(ctx, endpoint.Request{
 				Query: spec.query,
 				Opts:  endpoint.QueryOpts{Step: step, Span: sp},
-			})
+			}, c.cfg.HedgeAfter)
 			c.m.scatterEnd()
-			c.m.shardCall(i, time.Since(callStart), qerr)
-			call.Attempts += qmeta.Attempts
-			call.Retries += qmeta.Retries
-			if qerr != nil {
-				sp.SetAttr("error", qerr.Error())
-				call.Error = qerr.Error()
-				errs[i] = qerr
+			g.shardCallMetrics(time.Since(callStart), out.err)
+			call.Attempts += out.attempts
+			call.Retries += out.retries
+			call.Failovers += out.failovers
+			call.Replica = out.replica
+			if out.err != nil {
+				sp.SetAttr("error", out.err.Error())
+				call.Error = out.err.Error()
+				errs[i] = out.err
 				return nil
 			}
-			fetched := spec.triples(res)
+			fetched := spec.triples(out.res)
 			call.Rows += len(fetched)
 			shardTriples[i] = append(shardTriples[i], fetched...)
 		}
@@ -251,22 +256,21 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	c.m.phase("scatter", time.Since(scatterStart))
 
 	var firstErr error
-	failed := 0
+	var skipped []int
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
-			failed++
+			skipped = append(skipped, i)
+			calls[i].Skipped = true
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d: %w", i, errs[i])
 			}
 		}
 	}
-	incomplete := false
-	if failed > 0 {
-		if !c.cfg.Degraded || failed == n {
-			return nil, calls, false, firstErr
+	if len(skipped) > 0 {
+		if !c.cfg.Degraded || len(skipped) == n {
+			return nil, calls, nil, firstErr
 		}
-		c.m.degraded(failed)
-		incomplete = true
+		c.m.degraded(len(skipped))
 		for i := range shardTriples {
 			if errs[i] != nil {
 				shardTriples[i] = nil
@@ -278,7 +282,7 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	local, err := buildGatherStore(shardTriples)
 	c.m.phase("merge", time.Since(mergeStart))
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
 
 	finStart := time.Now()
@@ -289,9 +293,9 @@ func (c *Coordinator) runGather(ctx context.Context, q *sparql.Query, step strin
 	res, err := eng.QueryContext(ctx, q)
 	c.m.phase("finalize", time.Since(finStart))
 	if err != nil {
-		return nil, calls, false, err
+		return nil, calls, nil, err
 	}
-	return res, calls, incomplete, nil
+	return res, calls, skipped, nil
 }
 
 // buildGatherStore unions the shard contributions, deduplicates, and

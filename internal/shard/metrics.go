@@ -7,31 +7,40 @@ import (
 	"re2xolap/internal/obs"
 )
 
-// metrics is the coordinator's registry series, pre-created at
-// construction. nil disables everything through the obs nil fast
-// paths.
+// metrics is the coordinator's registry series. Coordinator-wide
+// series are pre-created here; per-shard and per-replica series are
+// created at view build (the registry dedupes by name+labels, so
+// rebuilding a view after a topology reload reuses the existing
+// instances). nil disables everything through the obs nil fast paths.
 type metrics struct {
-	// per shard, labeled shard="<i>"
-	queries []*obs.Counter
-	errors  []*obs.Counter
-	latency []*obs.Histogram
+	reg *obs.Registry // for per-shard/per-replica series at view build
 
 	plans      map[planKind]*obs.Counter
 	inflight   *obs.Gauge
 	mergePhase map[string]*obs.Histogram
 	incomplete *obs.Counter
 	skipped    *obs.Counter
+
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	reloads   *obs.Counter
+	epoch     *obs.Gauge
+	toUp      *obs.Counter
+	toDown    *obs.Counter
 }
 
 // mergePhases is the label vocabulary of the merge-phase histogram.
 var mergePhases = [...]string{"scatter", "merge", "finalize"}
 
-// newMetrics registers the coordinator series for an n-shard topology.
-func newMetrics(reg *obs.Registry, n int) *metrics {
+// newMetrics registers the coordinator-wide series. fanout and
+// replicas report the *current* view's shard and replica counts, so
+// the gauges track live topology reloads.
+func newMetrics(reg *obs.Registry, fanout, replicas func() float64) *metrics {
 	if reg == nil {
 		return nil
 	}
 	m := &metrics{
+		reg:        reg,
 		plans:      make(map[planKind]*obs.Counter, len(planKinds)),
 		mergePhase: make(map[string]*obs.Histogram, len(mergePhases)),
 		inflight: reg.Gauge("re2xolap_shard_scatter_inflight",
@@ -40,18 +49,21 @@ func newMetrics(reg *obs.Registry, n int) *metrics {
 			"Degraded-mode answers served without one or more failed shards."),
 		skipped: reg.Counter("re2xolap_shard_skipped_total",
 			"Shard responses dropped from an answer in degraded mode."),
+		hedges: reg.Counter("re2xolap_shard_hedges_total",
+			"Hedged second requests launched after the latency budget."),
+		hedgeWins: reg.Counter("re2xolap_shard_hedge_wins_total",
+			"Hedged requests that answered before the primary."),
+		reloads: reg.Counter("re2xolap_topology_reloads_total",
+			"Live topology reloads applied by the coordinator."),
+		epoch: reg.Gauge("re2xolap_topology_epoch",
+			"Monotonic topology version; bumps on every applied reload."),
+		toUp: reg.Counter("re2xolap_replica_transitions_total",
+			"Replica health-state transitions.", obs.L("to", "up")),
+		toDown: reg.Counter("re2xolap_replica_transitions_total",
+			"Replica health-state transitions.", obs.L("to", "down")),
 	}
-	reg.GaugeFunc("re2xolap_shard_fanout", "Shards behind the coordinator.",
-		func() float64 { return float64(n) })
-	for i := 0; i < n; i++ {
-		l := obs.L("shard", fmt.Sprint(i))
-		m.queries = append(m.queries, reg.Counter("re2xolap_shard_queries_total",
-			"Queries the coordinator scattered, by shard.", l))
-		m.errors = append(m.errors, reg.Counter("re2xolap_shard_errors_total",
-			"Failed shard calls, by shard (post-resilience).", l))
-		m.latency = append(m.latency, reg.Histogram("re2xolap_shard_query_seconds",
-			"Per-shard call latency as seen by the coordinator.", nil, l))
-	}
+	reg.GaugeFunc("re2xolap_shard_fanout", "Shards behind the coordinator.", fanout)
+	reg.GaugeFunc("re2xolap_shard_replicas", "Replica endpoints across all shards.", replicas)
 	for _, k := range planKinds {
 		m.plans[k] = reg.Counter("re2xolap_shard_plans_total",
 			"Coordinator queries by scatter-gather plan.", obs.L("plan", k.String()))
@@ -63,14 +75,50 @@ func newMetrics(reg *obs.Registry, n int) *metrics {
 	return m
 }
 
-func (m *metrics) shardCall(i int, wall time.Duration, err error) {
+// wireShard attaches the per-shard series to a replica set at view
+// build. Safe on a nil receiver (registry absent): the handles stay
+// nil and no-op.
+func (m *metrics) wireShard(g *replicaSet) {
 	if m == nil {
 		return
 	}
-	m.queries[i].Inc()
-	m.latency[i].ObserveDuration(wall)
+	l := obs.L("shard", fmt.Sprint(g.shard))
+	g.mQueries = m.reg.Counter("re2xolap_shard_queries_total",
+		"Queries the coordinator scattered, by shard.", l)
+	g.mErrors = m.reg.Counter("re2xolap_shard_errors_total",
+		"Failed shard calls, by shard (post-resilience and failover).", l)
+	g.mLatency = m.reg.Histogram("re2xolap_shard_query_seconds",
+		"Per-shard call latency as seen by the coordinator.", nil, l)
+	g.mFailovers = m.reg.Counter("re2xolap_shard_failovers_total",
+		"Shard calls that fell through to another replica.", l)
+	g.hedges, g.hedgeWins = m.hedges, m.hedgeWins
+}
+
+// wireReplica attaches the per-replica series at view build: the
+// up/down gauge (initialized from the current health state) and the
+// probe-latency histogram.
+func (m *metrics) wireReplica(r *replica) {
+	if m == nil {
+		return
+	}
+	ls := []obs.Label{obs.L("shard", fmt.Sprint(r.shard)), obs.L("replica", fmt.Sprint(r.index))}
+	r.mUp = m.reg.Gauge("re2xolap_replica_up",
+		"1 while the replica is considered healthy by the prober.", ls...)
+	r.mProbe = m.reg.Histogram("re2xolap_replica_probe_seconds",
+		"Health-probe latency, by replica.", nil, ls...)
+	if r.health.up.Load() {
+		r.mUp.Set(1)
+	} else {
+		r.mUp.Set(0)
+	}
+}
+
+// shardCall records one resolved shard call on the set's series.
+func (g *replicaSet) shardCallMetrics(wall time.Duration, err error) {
+	g.mQueries.Inc()
+	g.mLatency.ObserveDuration(wall)
 	if err != nil {
-		m.errors[i].Inc()
+		g.mErrors.Inc()
 	}
 }
 
@@ -108,4 +156,25 @@ func (m *metrics) degraded(skipped int) {
 	}
 	m.incomplete.Inc()
 	m.skipped.Add(int64(skipped))
+}
+
+// transition counts one replica up/down flip.
+func (m *metrics) transition(up bool) {
+	if m == nil {
+		return
+	}
+	if up {
+		m.toUp.Inc()
+	} else {
+		m.toDown.Inc()
+	}
+}
+
+// reloaded records one applied topology reload at the given epoch.
+func (m *metrics) reloaded(epoch int64) {
+	if m == nil {
+		return
+	}
+	m.reloads.Inc()
+	m.epoch.Set(epoch)
 }
