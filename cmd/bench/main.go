@@ -2,15 +2,22 @@
 // machine-readable report:
 //
 //	bench -report parallel -scale medium -workers 0 -runs 3 -out BENCH_PR2.json
-//	bench -report scatter  -scale medium -shards 2,4 -out BENCH_PR4.json
+//	bench -report scatter  -scale medium -shards 2,4 -out BENCH_PR8.json
+//	bench -report scatter  -max-overhead 'bound_join=2,gather=2' -out -
 //
 // The parallel report measures the sequential-vs-parallel executor on
 // the three workloads the worker pool targets (BGP join, GROUP BY,
 // end-to-end synthesis). The scatter report measures the sharded
 // coordinator against a single node on one workload per scatter-gather
-// plan class (colocated star, partial-aggregation pushdown, gather
-// fallback). Both embed GOMAXPROCS so readers can tell a one-core run
-// from a multicore one.
+// plan class (colocated star, partial-aggregation pushdown, bound
+// join, gather fallback). Both embed GOMAXPROCS so readers can tell a
+// one-core run from a multicore one.
+//
+// -max-overhead turns the scatter report into a regression gate:
+// ceilings on the scatter/single wall-time ratio keyed by workload
+// name or plan class (name wins), checked after the run. CI uses it
+// to fail the build when a plan class slides back toward the gather
+// cliff.
 package main
 
 import (
@@ -31,7 +38,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	runs := flag.Int("runs", 3, "runs per measurement (best is reported)")
 	shards := flag.String("shards", "2,4", "comma-separated shard counts for -report scatter")
-	out := flag.String("out", "", "output file ('-' for stdout; default BENCH_PR2.json or BENCH_PR4.json by report)")
+	maxOverhead := flag.String("max-overhead", "", "overhead ceilings for -report scatter, keyed by workload name or plan, e.g. 'bound_join=2,bound_join_wide=8' (fail if exceeded)")
+	out := flag.String("out", "", "output file ('-' for stdout; default BENCH_PR2.json or BENCH_PR8.json by report)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -48,6 +56,7 @@ func main() {
 
 	var rep any
 	var lines []string
+	var gate func() error
 	switch *report {
 	case "parallel":
 		if *out == "" {
@@ -64,9 +73,13 @@ func main() {
 		}
 	case "scatter":
 		if *out == "" {
-			*out = "BENCH_PR4.json"
+			*out = "BENCH_PR8.json"
 		}
 		counts, err := parseCounts(*shards)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		limits, err := parseLimits(*maxOverhead)
 		if err != nil {
 			log.Fatalf("bench: %v", err)
 		}
@@ -78,6 +91,9 @@ func main() {
 		for _, x := range r.Results {
 			lines = append(lines, fmt.Sprintf("%-14s %-10s %d shards  single %8.2fms  scatter %8.2fms  overhead %.2fx  (%s, %d rows)",
 				x.Name, x.Dataset, x.Shards, x.SingleMS, x.ScatterMS, x.Overhead, x.Plan, x.Rows))
+		}
+		if len(limits) > 0 {
+			gate = func() error { return r.CheckOverhead(limits) }
 		}
 	default:
 		log.Fatalf("bench: unknown report %q (want parallel or scatter)", *report)
@@ -100,6 +116,12 @@ func main() {
 	for _, l := range lines {
 		fmt.Fprintf(os.Stderr, "bench: %s\n", l)
 	}
+	if gate != nil {
+		if err := gate(); err != nil {
+			log.Fatalf("bench: overhead gate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: overhead gate passed (%s)\n", *maxOverhead)
+	}
 }
 
 // parseCounts parses the -shards list ("2,4") into shard counts.
@@ -113,4 +135,25 @@ func parseCounts(s string) ([]int, error) {
 		counts = append(counts, n)
 	}
 	return counts, nil
+}
+
+// parseLimits parses -max-overhead ("bound_join=2,gather=2.5") into a
+// workload-or-plan → ceiling map.
+func parseLimits(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	limits := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		plan, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return nil, fmt.Errorf("-max-overhead %q: want plan=ratio pairs", s)
+		}
+		r, err := strconv.ParseFloat(val, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-max-overhead %q: ratio %q is not a positive number", s, val)
+		}
+		limits[strings.TrimSpace(plan)] = r
+	}
+	return limits, nil
 }

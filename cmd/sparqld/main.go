@@ -83,6 +83,7 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 0, "coordinator: probe every replica this often (0 disables health probing)")
 	healthTimeout := flag.Duration("health-timeout", time.Second, "coordinator: per-probe deadline")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge a shard call to the next replica after this budget (0 disables)")
+	planCache := flag.Int("plan-cache", 0, "coordinator: plan cache capacity (0 = default, negative disables)")
 	traceExport := flag.String("trace-export", "", "append per-request OTLP/JSON trace lines to this file ('-' for stdout)")
 	debugQueries := flag.Int("debug-queries", 0, "keep the last N query profiles and serve them as JSON on /debug/queries (0 disables)")
 	flag.Parse()
@@ -136,6 +137,7 @@ func main() {
 		HealthInterval: *healthInterval,
 		HealthTimeout:  *healthTimeout,
 		HedgeAfter:     *hedgeAfter,
+		PlanCache:      *planCache,
 	}
 
 	// The listener comes up immediately on a holding handler that
@@ -284,6 +286,25 @@ type handlerConfig struct {
 	HealthInterval time.Duration
 	HealthTimeout  time.Duration
 	HedgeAfter     time.Duration
+	PlanCache      int
+}
+
+// shardOptions translates the coordinator flags to shard options.
+func (cfg handlerConfig) shardOptions(reg *obs.Registry) []shard.Option {
+	opts := []shard.Option{
+		shard.WithWorkers(cfg.Workers),
+		shard.WithDegraded(cfg.Degraded),
+		shard.WithRegistry(reg),
+		shard.WithHealth(shard.HealthConfig{
+			Interval: cfg.HealthInterval,
+			Timeout:  cfg.HealthTimeout,
+		}),
+		shard.WithHedge(cfg.HedgeAfter),
+	}
+	if cfg.PlanCache != 0 {
+		opts = append(opts, shard.WithPlanCache(cfg.PlanCache))
+	}
+	return opts
 }
 
 // buildHandler assembles the SPARQL handler for whichever of the
@@ -291,16 +312,7 @@ type handlerConfig struct {
 // are nil except in the coordinator modes (and the file topology only
 // for -topology).
 func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) (*endpoint.Server, *shard.Coordinator, *shard.FileTopology, error) {
-	shardCfg := shard.Config{
-		Workers:  cfg.Workers,
-		Degraded: cfg.Degraded,
-		Registry: reg,
-		Health: shard.HealthConfig{
-			Interval: cfg.HealthInterval,
-			Timeout:  cfg.HealthTimeout,
-		},
-		HedgeAfter: cfg.HedgeAfter,
-	}
+	shardOpts := cfg.shardOptions(reg)
 	switch {
 	case cfg.ShardSlot != "":
 		i, n, err := parseShardSlot(cfg.ShardSlot)
@@ -317,7 +329,7 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		return endpoint.NewServer(st, opts...), nil, nil, nil
 	case cfg.Topology != "":
 		ft := shard.NewFileTopology(cfg.Topology)
-		coord, err := shard.NewDynamic(ft, remoteDialer, shardCfg)
+		coord, err := shard.NewDynamic(ft, remoteDialer, shardOpts...)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -334,7 +346,7 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		coord, err := shard.NewReplicated(backends, shardCfg)
+		coord, err := shard.NewReplicated(backends, shardOpts...)
 		if err != nil {
 			return nil, nil, nil, err
 		}

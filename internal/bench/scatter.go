@@ -16,7 +16,8 @@ import (
 // for a workload.
 type ScatterResult struct {
 	// Name identifies the workload: colocated_star, partial_agg,
-	// gather_join — one per scatter-gather plan class.
+	// bound_join, bound_join_wide, gather_closure — at least one per
+	// scatter-gather plan class.
 	Name string `json:"name"`
 	// Dataset is the datagen preset the workload ran on.
 	Dataset string `json:"dataset"`
@@ -54,13 +55,37 @@ type ScatterReport struct {
 // scatterWorkloads phrases one query per coordinator plan class
 // against a preset: a colocated observation star with ORDER BY/LIMIT,
 // a decomposable GROUP BY that takes the partial-aggregation pushdown,
-// and a cross-subject join that forces the gather fallback.
+// two cross-subject joins that run as bound joins (the accumulated
+// side's distinct bindings ship as VALUES constraints instead of the
+// whole label relation), and a transitive closure over the member
+// hierarchy that still needs the gather fallback. The two bound-join
+// variants bracket the plan class: bound_join joins through the
+// smallest dimension (few distinct bindings ship — the representative
+// semijoin win), bound_join_wide through the first dimension (the
+// exact query the pre-bound-join benchmark ran as gather_join, whose
+// member count makes it the worst-case binding ship).
 func scatterWorkloads(d *Dataset) []struct{ name, plan, query string } {
 	spec := d.Spec
 	obs := spec.ObservationClass()
 	dim := spec.NS + spec.Dimensions[0].Pred
 	dim2 := spec.NS + spec.Dimensions[1].Pred
 	meas := spec.NS + spec.Measures[0].Pred
+	// Smallest dimension by member count: the cheap side to ship.
+	narrow := spec.Dimensions[0]
+	for _, d := range spec.Dimensions[1:] {
+		if d.Members < narrow.Members {
+			narrow = d
+		}
+	}
+	// Rollup link of the first hierarchical dimension (presets differ
+	// in which dimensions carry a hierarchy).
+	var rollup string
+	for _, d := range spec.Dimensions {
+		if len(d.Children) > 0 {
+			rollup = spec.NS + d.Children[0].Pred
+			break
+		}
+	}
 	return []struct{ name, plan, query string }{
 		{"colocated_star", "colocated", fmt.Sprintf(
 			`SELECT ?o ?m ?g ?v WHERE { ?o a <%s> . ?o <%s> ?m . ?o <%s> ?g . ?o <%s> ?v . } ORDER BY ?o LIMIT 1000`,
@@ -68,9 +93,15 @@ func scatterWorkloads(d *Dataset) []struct{ name, plan, query string } {
 		{"partial_agg", "partial_agg", fmt.Sprintf(
 			`SELECT ?m (COUNT(?o) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?o <%s> ?m . ?o <%s> ?v . } GROUP BY ?m ORDER BY ?m`,
 			dim, meas)},
-		{"gather_join", "gather", fmt.Sprintf(
+		{"bound_join", "bound_join", fmt.Sprintf(
+			`SELECT ?o ?lbl WHERE { ?o <%s> ?m . ?m <%s> ?lbl } ORDER BY ?o ?lbl LIMIT 500`,
+			spec.NS+narrow.Pred, rdf.RDFSLabel)},
+		{"bound_join_wide", "bound_join", fmt.Sprintf(
 			`SELECT ?o ?lbl WHERE { ?o <%s> ?m . ?m <%s> ?lbl } ORDER BY ?o ?lbl LIMIT 500`,
 			dim, rdf.RDFSLabel)},
+		{"gather_closure", "gather", fmt.Sprintf(
+			`SELECT ?a ?lbl WHERE { ?a <%s>+ ?c . ?c <%s> ?lbl } ORDER BY ?a ?lbl LIMIT 500`,
+			rollup, rdf.RDFSLabel)},
 	}
 }
 
@@ -88,9 +119,9 @@ func shardCoordinator(st *store.Store, n, workers int) (*shard.Coordinator, erro
 		s.Compact()
 		backends[i] = endpoint.NewInProcess(s, endpoint.WithWorkers(workers))
 	}
-	// NoResilience: the retry/breaker wrapper is not what this
+	// WithoutResilience: the retry/breaker wrapper is not what this
 	// benchmark measures, and in-process shards cannot flake.
-	return shard.New(backends, shard.Config{Workers: workers, NoResilience: true})
+	return shard.New(backends, shard.WithWorkers(workers), shard.WithoutResilience())
 }
 
 // RunScatterBench measures the coordinator against the single-node
@@ -127,13 +158,18 @@ func RunScatterBench(d *Dataset, shardCounts []int, workers, runs int) ([]Scatte
 		for _, n := range shardCounts {
 			coord := coords[n]
 			var coordRes *sparql.Results
+			var gotPlan string
 			coordT, err := bestOf(runs, func() error {
-				res, err := coord.Query(ctx, w.query)
-				coordRes = res
+				res, meta, err := coord.QueryX(ctx, endpoint.Request{Query: w.query})
+				coordRes, gotPlan = res, meta.Plan
 				return err
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s over %d shards: %w", w.name, n, err)
+			}
+			if gotPlan != w.plan {
+				return nil, fmt.Errorf("bench: %s over %d shards: classified %s, want %s",
+					w.name, n, gotPlan, w.plan)
 			}
 			if coordRes.Len() != singleRes.Len() {
 				return nil, fmt.Errorf("bench: %s over %d shards: %d rows, single node has %d",
@@ -174,4 +210,29 @@ func RunScatterReport(scaleName string, scale Scale, shardCounts []int, workers,
 		rep.Results = append(rep.Results, rs...)
 	}
 	return rep, nil
+}
+
+// CheckOverhead verifies every result against an overhead ceiling
+// (scatter/single wall-time ratio) and returns an error naming the
+// first violation. Limits are keyed by workload name or, as a
+// fallback, by plan class — a name key overrides the plan key for
+// that workload (so bound_join_wide can carry a looser ceiling than
+// the bound_join plan default). Workloads matching no key are not
+// checked. This is the CI regression gate: a plan class sliding back
+// toward the gather cliff fails the build instead of landing quietly.
+func (r *ScatterReport) CheckOverhead(limits map[string]float64) error {
+	for _, res := range r.Results {
+		limit, ok := limits[res.Name]
+		if !ok {
+			limit, ok = limits[res.Plan]
+		}
+		if !ok {
+			continue
+		}
+		if res.Overhead > limit {
+			return fmt.Errorf("bench: %s (%s, %d shards, %s): overhead %.2fx exceeds %.2fx",
+				res.Name, res.Plan, res.Shards, res.Dataset, res.Overhead, limit)
+		}
+	}
+	return nil
 }

@@ -18,8 +18,8 @@ func TestRunScatterBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 6 {
-		t.Fatalf("want 3 workloads x 2 shard counts = 6 results, got %d", len(rs))
+	if len(rs) != 10 {
+		t.Fatalf("want 5 workloads x 2 shard counts = 10 results, got %d", len(rs))
 	}
 	plans := map[string]bool{}
 	for _, r := range rs {
@@ -31,9 +31,35 @@ func TestRunScatterBench(t *testing.T) {
 			t.Errorf("%s over %d shards: non-positive timing", r.Name, r.Shards)
 		}
 	}
-	for _, p := range []string{"colocated", "partial_agg", "gather"} {
+	for _, p := range []string{"colocated", "partial_agg", "bound_join", "gather"} {
 		if !plans[p] {
 			t.Errorf("plan class %q not exercised", p)
 		}
+	}
+}
+
+// TestCheckOverhead pins the gate's key precedence: a workload-name
+// ceiling overrides the plan-class ceiling, and unmatched workloads
+// are not checked.
+func TestCheckOverhead(t *testing.T) {
+	rep := &ScatterReport{Results: []ScatterResult{
+		{Name: "bound_join", Plan: "bound_join", Shards: 2, Dataset: "d", Overhead: 1.5},
+		{Name: "bound_join_wide", Plan: "bound_join", Shards: 2, Dataset: "d", Overhead: 6.0},
+		{Name: "gather_closure", Plan: "gather", Shards: 2, Dataset: "d", Overhead: 30.0},
+	}}
+	// Plan ceiling alone: the wide variant breaches it.
+	if err := rep.CheckOverhead(map[string]float64{"bound_join": 2}); err == nil {
+		t.Fatal("plan ceiling 2x should fail on the 6x wide workload")
+	}
+	// Name key loosens just the wide variant; gather stays unchecked.
+	if err := rep.CheckOverhead(map[string]float64{"bound_join": 2, "bound_join_wide": 8}); err != nil {
+		t.Fatalf("name override should pass: %v", err)
+	}
+	// Name key can also tighten past the plan default.
+	if err := rep.CheckOverhead(map[string]float64{"bound_join": 8, "bound_join_wide": 4}); err == nil {
+		t.Fatal("name ceiling 4x should fail on the 6x wide workload")
+	}
+	if err := rep.CheckOverhead(map[string]float64{"gather": 40}); err != nil {
+		t.Fatalf("gather under its ceiling should pass: %v", err)
 	}
 }

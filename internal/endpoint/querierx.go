@@ -64,8 +64,9 @@ type QueryMeta struct {
 	// served without, so callers see *which* partitions are missing,
 	// not just that one is. Empty when Incomplete is false.
 	SkippedShards []int
-	// Plan is the federation plan class (colocated/partial_agg/gather)
-	// when a shard coordinator executed the query; empty otherwise.
+	// Plan is the federation plan class (colocated, partial_agg,
+	// bound_join, or gather) when a shard coordinator executed the
+	// query; empty otherwise.
 	Plan string
 	// Shards is the per-shard accounting (rows, wall time,
 	// attempts/retries) a coordinator reports for federated queries.

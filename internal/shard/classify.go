@@ -15,10 +15,18 @@ const (
 	// planPartialAgg pushes partial aggregation down to the shards and
 	// finalizes groups at the coordinator (sparql.PlanPartialAggregation).
 	planPartialAgg
+	// planBoundJoin decomposes a cross-shard BGP into per-shard subject
+	// star groups and joins them at the coordinator bound-side-first:
+	// the most selective group is fetched unconstrained, and each later
+	// group's fetch ships the distinct bindings accumulated so far as a
+	// VALUES constraint (sparql.PlanBoundJoin). FILTERs a group covers
+	// push down with it; only the join columns cross the network instead
+	// of whole relations.
+	planBoundJoin
 	// planGather fetches the triples matching the query's patterns from
 	// every shard into a local store and executes there: the exact
-	// fallback for cross-shard joins, closures, subselects, and
-	// non-decomposable aggregates.
+	// fallback for closures, subselects, NOT EXISTS negation,
+	// disconnected (cartesian) joins, and non-decomposable aggregates.
 	planGather
 )
 
@@ -29,32 +37,47 @@ func (k planKind) String() string {
 		return "colocated"
 	case planPartialAgg:
 		return "partial_agg"
+	case planBoundJoin:
+		return "bound_join"
 	default:
 		return "gather"
 	}
 }
 
 // planKinds is the metrics label vocabulary.
-var planKinds = [...]planKind{planColocated, planPartialAgg, planGather}
+var planKinds = [...]planKind{planColocated, planPartialAgg, planBoundJoin, planGather}
 
-// plan classifies a parsed query. The classification depends only on
-// the query text, never on the topology — a prerequisite for
-// topology-independent results.
-func classify(q *sparql.Query) (planKind, *sparql.PartialAggPlan) {
-	if !colocated(q) {
-		return planGather, nil
-	}
-	if q.IsAggregate() {
-		if p, ok := sparql.PlanPartialAggregation(q); ok {
-			return planPartialAgg, p
+// queryPlan is one classified query: the plan kind plus whichever
+// rewrite the kind carries. It is a pure function of the query text —
+// never of the topology or the data — which is both the determinism
+// prerequisite (topology-independent answers) and what makes the
+// coordinator's plan cache sound.
+type queryPlan struct {
+	query *sparql.Query
+	kind  planKind
+	agg   *sparql.PartialAggPlan
+	bound *sparql.BoundJoinPlan
+}
+
+// classify plans a parsed query.
+func classify(q *sparql.Query) queryPlan {
+	if colocated(q) {
+		if q.IsAggregate() {
+			if p, ok := sparql.PlanPartialAggregation(q); ok {
+				return queryPlan{query: q, kind: planPartialAgg, agg: p}
+			}
+			// A colocated but non-decomposable aggregate (DISTINCT inside,
+			// GROUP_CONCAT, representative-row projection) still cannot be
+			// row-unioned: per-shard aggregation has already collapsed the
+			// groups. Gather is the exact path.
+			return queryPlan{query: q, kind: planGather}
 		}
-		// A colocated but non-decomposable aggregate (DISTINCT inside,
-		// GROUP_CONCAT, representative-row projection) still cannot be
-		// row-unioned: per-shard aggregation has already collapsed the
-		// groups. Gather is the exact path.
-		return planGather, nil
+		return queryPlan{query: q, kind: planColocated}
 	}
-	return planColocated, nil
+	if p, ok := sparql.PlanBoundJoin(q); ok {
+		return queryPlan{query: q, kind: planBoundJoin, bound: p}
+	}
+	return queryPlan{query: q, kind: planGather}
 }
 
 // colocated reports whether every solution of q is computed wholly on

@@ -1,0 +1,269 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/sparql"
+)
+
+// TestClassifyTaxonomy pins the full plan taxonomy: which query
+// shapes take which plan class. Classification is a pure function of
+// the query text — the plan cache depends on that.
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		want  planKind
+	}{
+		// Colocated: single-subject stars, modifiers included.
+		{"single-pattern", `SELECT ?s ?v WHERE { ?s <http://t/value> ?v }`, planColocated},
+		{"star", `SELECT ?s WHERE { ?s <http://t/a> ?x . ?s <http://t/b> ?y } ORDER BY ?s`, planColocated},
+		{"star-union", `SELECT ?s WHERE { { ?s <http://t/a> <http://t/x> } UNION { ?s <http://t/b> <http://t/y> } }`, planColocated},
+		{"star-optional", `SELECT ?s ?v WHERE { ?s <http://t/a> ?x . OPTIONAL { ?s <http://t/b> ?v } }`, planColocated},
+		{"star-exists-same-subject", `SELECT ?s WHERE { ?s <http://t/a> ?x . FILTER EXISTS { ?s <http://t/b> ?y } }`, planColocated},
+
+		// Partial aggregation: decomposable aggregates over one star.
+		{"count-group", `SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://t/r> ?r . ?s <http://t/v> ?v } GROUP BY ?r`, planPartialAgg},
+		{"global-sum", `SELECT (SUM(?v) AS ?t) WHERE { ?s <http://t/v> ?v }`, planPartialAgg},
+
+		// Bound join: multi-star BGPs connected by shared variables,
+		// optionally with filters, as SELECT or ASK.
+		{"two-star-join", `SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c }`, planBoundJoin},
+		{"three-star-chain", `SELECT ?a ?d WHERE { ?a <http://t/k> ?b . ?b <http://t/k> ?c . ?c <http://t/k> ?d }`, planBoundJoin},
+		{"join-with-filter", `SELECT ?s WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c . FILTER(?c != ?s) }`, planBoundJoin},
+		{"join-ask", `ASK { ?a <http://t/k> ?b . ?b <http://t/k> ?c }`, planBoundJoin},
+		{"join-const-subject", `SELECT ?c WHERE { <http://t/s1> <http://t/region> ?r . ?r <http://t/partOf> ?c }`, planBoundJoin},
+
+		// Gather: everything the bound join cannot prove decomposable.
+		{"closure", `SELECT ?b WHERE { <http://t/p0> <http://t/knows>+ ?b }`, planGather},
+		{"join-plus-closure", `SELECT ?s ?b WHERE { ?s <http://t/region> ?r . ?r <http://t/knows>+ ?b }`, planGather},
+		{"subselect", `SELECT ?s ?v WHERE { { SELECT ?s WHERE { ?s <http://t/a> <http://t/x> } } ?s <http://t/v> ?v }`, planGather},
+		{"not-exists-cross-subject", `SELECT ?s WHERE { ?s <http://t/a> ?r . FILTER NOT EXISTS { ?r <http://t/b> ?x } }`, planGather},
+		{"exists-in-join", `SELECT ?s WHERE { ?s <http://t/a> ?r . ?r <http://t/b> ?c . FILTER EXISTS { ?s <http://t/c> ?x } }`, planGather},
+		{"cross-subject-agg", `SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } GROUP BY ?c`, planGather},
+		{"cartesian", `SELECT ?a ?b WHERE { ?a <http://t/p> ?x . ?b <http://t/q> ?y }`, planGather},
+		{"join-union", `SELECT ?s WHERE { { ?s <http://t/a> ?r . ?r <http://t/b> ?c } UNION { ?s <http://t/d> ?e } }`, planGather},
+		{"join-optional", `SELECT ?s ?v WHERE { ?s <http://t/a> ?r . ?r <http://t/b> ?c . OPTIONAL { ?s <http://t/v> ?v } }`, planGather},
+		{"values-only", `SELECT ?x WHERE { VALUES ?x { <http://t/a> <http://t/b> } }`, planGather},
+		// CONSTRUCT never takes the bound join (graph merge, not rows):
+		// a star stays colocated, a cross-subject join falls to gather.
+		{"construct-star", `CONSTRUCT { ?s <http://t/p> ?o } WHERE { ?s <http://t/p> ?o }`, planColocated},
+		{"construct-join", `CONSTRUCT { ?s <http://t/p> ?c } WHERE { ?s <http://t/p> ?r . ?r <http://t/q> ?c }`, planGather},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, err := sparql.Parse(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := classify(q)
+			if p.kind != c.want {
+				t.Fatalf("classify(%s) = %s, want %s", c.query, p.kind, c.want)
+			}
+			switch p.kind {
+			case planBoundJoin:
+				if p.bound == nil {
+					t.Fatal("bound_join plan missing BoundJoinPlan")
+				}
+			case planPartialAgg:
+				if p.agg == nil {
+					t.Fatal("partial_agg plan missing PartialAggPlan")
+				}
+			}
+		})
+	}
+}
+
+// TestPlanCacheLRU pins the cache mechanics: hits, misses, and
+// least-recently-used eviction at capacity.
+func TestPlanCacheLRU(t *testing.T) {
+	pc := newPlanCache(2, nil)
+	mk := func(text string) queryPlan {
+		q, err := sparql.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return classify(q)
+	}
+	a := `SELECT ?s WHERE { ?s <http://t/a> ?x }`
+	b := `SELECT ?s WHERE { ?s <http://t/b> ?x }`
+	c := `SELECT ?s WHERE { ?s <http://t/c> ?x }`
+
+	if _, ok := pc.get(a); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	pc.put(a, mk(a))
+	pc.put(b, mk(b))
+	if _, ok := pc.get(a); !ok {
+		t.Fatal("miss on cached entry")
+	}
+	// a was just touched, so inserting c at capacity evicts b.
+	pc.put(c, mk(c))
+	if pc.len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", pc.len())
+	}
+	if _, ok := pc.get(b); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := pc.get(a); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := pc.get(c); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	// Re-putting an existing key must not grow the cache.
+	pc.put(a, mk(a))
+	if pc.len() != 2 {
+		t.Fatalf("cache grew to %d on re-put", pc.len())
+	}
+
+	// A nil cache (caching disabled) is a no-op, not a crash.
+	var off *planCache
+	if _, ok := off.get(a); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	off.put(a, mk(a))
+	if off.len() != 0 {
+		t.Fatal("nil cache reported entries")
+	}
+}
+
+// TestPlanCacheDisabled checks WithPlanCache(0) turns caching off at
+// the coordinator level and queries still answer.
+func TestPlanCacheDisabled(t *testing.T) {
+	ts := determinismTriples()
+	parts := Partitioner{N: 2}.Split(ts)
+	backends := make([]endpoint.Client, 2)
+	for i := range backends {
+		backends[i] = endpoint.NewInProcess(storeFromTriples(t, parts[i]))
+	}
+	c, err := New(backends, WithoutResilience(), WithPlanCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.cache != nil {
+		t.Fatal("WithPlanCache(0) left the cache on")
+	}
+	q := `SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`
+	for i := 0; i < 2; i++ { // same text twice: both must re-plan fine
+		if _, meta, err := c.QueryX(context.Background(), endpoint.Request{Query: q}); err != nil {
+			t.Fatal(err)
+		} else if meta.Plan != "bound_join" {
+			t.Fatalf("plan = %q, want bound_join", meta.Plan)
+		}
+	}
+
+	// Default (no option) keeps the cache on at the default size.
+	on, err := New(backends, WithoutResilience())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	if on.cache == nil {
+		t.Fatal("default coordinator has no plan cache")
+	}
+}
+
+// TestPlanCacheParseErrors checks malformed queries are not cached:
+// they would occupy capacity without ever hitting.
+func TestPlanCacheParseErrors(t *testing.T) {
+	ts := determinismTriples()
+	parts := Partitioner{N: 2}.Split(ts)
+	backends := make([]endpoint.Client, 2)
+	for i := range backends {
+		backends[i] = endpoint.NewInProcess(storeFromTriples(t, parts[i]))
+	}
+	c, err := New(backends, WithoutResilience())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.QueryX(context.Background(), endpoint.Request{Query: `SELECT WHERE {`}); err == nil {
+		t.Fatal("malformed query did not error")
+	}
+	if c.cache.len() != 0 {
+		t.Fatalf("parse failure was cached (%d entries)", c.cache.len())
+	}
+}
+
+// TestGatherFetchDedupe pins the fetch-spec subsumption fix: a
+// closure pattern fetches its predicate's full relation, so a plain
+// pattern on the same predicate must not trigger a second
+// (subset) fetch.
+func TestGatherFetchDedupe(t *testing.T) {
+	specsOf := func(text string) []fetchSpec {
+		q, err := sparql.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collectFetchSpecs(q)
+	}
+	countPred := func(specs []fetchSpec, pred string) int {
+		n := 0
+		for _, s := range specs {
+			if strings.Contains(s.query, pred) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Closure + narrower plain pattern on the same predicate: one fetch.
+	specs := specsOf(`SELECT ?a ?b WHERE { ?a <http://t/knows>+ ?b . <http://t/p0> <http://t/knows> ?x }`)
+	if got := countPred(specs, "http://t/knows"); got != 1 {
+		t.Fatalf("closure + constant-subject pattern produced %d knows fetches, want 1", got)
+	}
+	// Closure + full-relation plain pattern: structural dedup already
+	// collapses them (identical normalized query text).
+	specs = specsOf(`SELECT ?a ?b WHERE { ?a <http://t/knows>+ ?b . ?x <http://t/knows> ?y }`)
+	if got := countPred(specs, "http://t/knows"); got != 1 {
+		t.Fatalf("closure + full-relation pattern produced %d knows fetches, want 1", got)
+	}
+	// Repeated-variable pattern is a subset of the relation too.
+	specs = specsOf(`SELECT ?a ?b WHERE { ?a <http://t/knows>+ ?b . ?x <http://t/knows> ?x }`)
+	if got := countPred(specs, "http://t/knows"); got != 1 {
+		t.Fatalf("closure + self-loop pattern produced %d knows fetches, want 1", got)
+	}
+	// Different predicates keep their own fetches.
+	specs = specsOf(`SELECT ?a ?b WHERE { ?a <http://t/knows>+ ?b . ?a <http://t/label> ?l }`)
+	if len(specs) != 2 {
+		t.Fatalf("distinct predicates produced %d fetches, want 2", len(specs))
+	}
+	// An unrestricted ?s ?p ?o fetch subsumes everything else.
+	specs = specsOf(`SELECT ?s WHERE { ?s ?p ?o . ?s <http://t/label> ?l . FILTER NOT EXISTS { ?s <http://t/hidden> ?h } }`)
+	if len(specs) != 1 {
+		t.Fatalf("all-variable pattern left %d fetches, want 1", len(specs))
+	}
+
+	// Correctness backstop: dedup must not change answers. The closure
+	// and the constant-subject pattern share <knows>.
+	ts := determinismTriples()
+	q := `SELECT ?a ?b ?x WHERE { ?a <http://t/knows>+ ?b . <http://t/p1> <http://t/knows> ?x } ORDER BY ?a ?b ?x`
+	coord := newTopology(t, ts, 3, Config{})
+	defer coord.Close()
+	res, meta, err := coord.QueryX(context.Background(), endpoint.Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Plan != "gather" {
+		t.Fatalf("plan = %q, want gather", meta.Plan)
+	}
+	single := endpoint.NewInProcess(storeFromTriples(t, ts))
+	want, err := single.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := canonRowsOrdered(res), canonRowsOrdered(want); len(g) != len(w) {
+		t.Fatalf("deduped gather returned %d rows, single node %d", len(g), len(w))
+	} else {
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("row %d diverges: %q vs %q", i, g[i], w[i])
+			}
+		}
+	}
+}

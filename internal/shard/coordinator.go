@@ -17,7 +17,11 @@ import (
 // Config tunes a Coordinator. The zero value is usable: full
 // resilience with the default policy, strict (non-degraded) failure
 // handling, scatter width = shard count, no prober, no hedging, no
-// metrics.
+// metrics, plan cache on at DefaultPlanCacheSize.
+//
+// Deprecated: Config is kept one release as a migration adapter —
+// pass it through WithConfig. New code composes the With* Options
+// directly (see options.go).
 type Config struct {
 	// Workers bounds scatter concurrency and the local engine workers
 	// on the gather path; <= 0 means one goroutine per shard.
@@ -53,6 +57,13 @@ type Config struct {
 	// timings, hedge and topology-reload counters, degraded-mode
 	// counters.
 	Registry *obs.Registry
+	// PlanCacheSize caps the coordinator plan cache (parse + classify +
+	// rewrite memoized by query text, LRU eviction): 0 means
+	// DefaultPlanCacheSize, negative disables caching.
+	PlanCacheSize int
+	// BoundJoinChunk caps the VALUES rows shipped per bound-join fetch
+	// query; <= 0 means DefaultBoundJoinChunk.
+	BoundJoinChunk int
 }
 
 // view is one immutable resolved topology generation. Queries load
@@ -68,10 +79,11 @@ type view struct {
 // set — behind the endpoint.Client and endpoint.QuerierX interfaces.
 // It is safe for concurrent use.
 type Coordinator struct {
-	cfg  Config
-	m    *metrics
-	topo Topology
-	dial Dialer
+	cfg   Config
+	m     *metrics
+	cache *planCache // nil when caching is disabled
+	topo  Topology
+	dial  Dialer
 
 	view  atomic.Pointer[view]
 	epoch atomic.Int64
@@ -85,23 +97,23 @@ type Coordinator struct {
 // New builds a coordinator over single-replica shards (index = shard
 // number under the Partitioner that split the data) — the pre-replica
 // constructor, kept as the common case.
-func New(backends []endpoint.Client, cfg Config) (*Coordinator, error) {
+func New(backends []endpoint.Client, opts ...Option) (*Coordinator, error) {
 	groups := make([][]endpoint.Client, len(backends))
 	for i, b := range backends {
 		groups[i] = []endpoint.Client{b}
 	}
-	return NewReplicated(groups, cfg)
+	return NewReplicated(groups, opts...)
 }
 
 // NewReplicated builds a coordinator over explicit replica groups:
 // groups[i] lists shard i's replicas in preference order, every
 // replica holding the identical partition i. The topology is static;
 // use NewDynamic for live re-resolution.
-func NewReplicated(groups [][]endpoint.Client, cfg Config) (*Coordinator, error) {
+func NewReplicated(groups [][]endpoint.Client, opts ...Option) (*Coordinator, error) {
 	if len(groups) == 0 {
 		return nil, errors.New("shard: no backends")
 	}
-	c := newCoordinator(cfg)
+	c := newCoordinator(applyOptions(opts))
 	tv := TopologyView{Groups: make([][]string, len(groups))}
 	built := make([]*replicaSet, len(groups))
 	for i, g := range groups {
@@ -132,11 +144,11 @@ func NewReplicated(groups [][]endpoint.Client, cfg Config) (*Coordinator, error)
 // serving view without dropping in-flight queries. Replicas whose
 // spec persists across a reload keep their client, breaker, and
 // health state.
-func NewDynamic(topo Topology, dial Dialer, cfg Config) (*Coordinator, error) {
+func NewDynamic(topo Topology, dial Dialer, opts ...Option) (*Coordinator, error) {
 	if topo == nil || dial == nil {
 		return nil, errors.New("shard: NewDynamic needs a topology and a dialer")
 	}
-	c := newCoordinator(cfg)
+	c := newCoordinator(applyOptions(opts))
 	c.topo, c.dial = topo, dial
 	tv, err := topo.Resolve()
 	if err != nil {
@@ -151,8 +163,8 @@ func NewDynamic(topo Topology, dial Dialer, cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// newCoordinator sets up the shared shell: config and metrics whose
-// gauges read whatever view is current.
+// newCoordinator sets up the shared shell: config, metrics whose
+// gauges read whatever view is current, and the plan cache.
 func newCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{cfg: cfg}
 	c.m = newMetrics(cfg.Registry,
@@ -164,7 +176,32 @@ func newCoordinator(cfg Config) *Coordinator {
 			}
 			return float64(n)
 		})
+	size := cfg.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		c.cache = newPlanCache(size, c.m)
+	}
 	return c
+}
+
+// planFor resolves a query text to its plan, consulting the cache
+// first. Plans are pure functions of the text, so a hit skips parse,
+// classification, and rewrite entirely. Parse failures are not
+// cached: the caller turns them into permanent errors and malformed
+// text should not occupy capacity.
+func (c *Coordinator) planFor(text string) (queryPlan, error) {
+	if p, ok := c.cache.get(text); ok {
+		return p, nil
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return queryPlan{}, err
+	}
+	p := classify(q)
+	c.cache.put(text, p)
+	return p, nil
 }
 
 // currentView is the nil-tolerant view read (metrics gauge callbacks
@@ -338,14 +375,13 @@ func (c *Coordinator) Query(ctx context.Context, query string) (*sparql.Results,
 func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql.Results, endpoint.QueryMeta, error) {
 	meta := endpoint.QueryMeta{Source: "coordinator", Step: req.Opts.Step}
 	start := time.Now()
-	q, err := sparql.Parse(req.Query)
+	p, err := c.planFor(req.Query)
 	if err != nil {
 		meta.Wall = time.Since(start)
 		return nil, meta, endpoint.MarkPermanent(err)
 	}
-	kind, aggPlan := classify(q)
-	c.m.plan(kind)
-	meta.Plan = kind.String()
+	c.m.plan(p.kind)
+	meta.Plan = p.kind.String()
 
 	// One view per query: everything below runs against this topology
 	// generation even if a Reload lands mid-flight.
@@ -356,7 +392,7 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 		parent = obs.SpanFrom(ctx)
 	}
 	span := parent.Start("scatter-gather")
-	span.SetAttr("plan", kind.String())
+	span.SetAttr("plan", p.kind.String())
 	span.SetAttr("shards", fmt.Sprint(len(v.groups)))
 	if req.Opts.Step != "" {
 		span.SetAttr("step", req.Opts.Step)
@@ -369,13 +405,15 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 	var res *sparql.Results
 	var calls []obs.ShardCall
 	var skipped []int
-	switch kind {
+	switch p.kind {
 	case planColocated:
-		res, calls, skipped, err = c.runColocated(ctx, v, q, req.Opts.Step)
+		res, calls, skipped, err = c.runColocated(ctx, v, p.query, req.Opts.Step)
 	case planPartialAgg:
-		res, calls, skipped, err = c.runPartialAgg(ctx, v, q, aggPlan, req.Opts.Step)
+		res, calls, skipped, err = c.runPartialAgg(ctx, v, p.query, p.agg, req.Opts.Step)
+	case planBoundJoin:
+		res, calls, skipped, err = c.runBoundJoin(ctx, v, p.bound, req.Opts.Step)
 	default:
-		res, calls, skipped, err = c.runGather(ctx, v, q, req.Opts.Step)
+		res, calls, skipped, err = c.runGather(ctx, v, p.query, req.Opts.Step)
 	}
 	meta.Shards = calls
 	meta.Wall = time.Since(start)

@@ -141,8 +141,29 @@ func determinismCorpus() []corpusQuery {
 		{"closure-gather",
 			`SELECT ?b WHERE { <http://t/p0> <http://t/knows>+ ?b } ORDER BY ?b`,
 			"exact"},
-		{"join-gather",
+		{"join-bound",
 			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`,
+			"exact"},
+		{"join-bound-chain",
+			`SELECT ?a ?c ?d WHERE { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c . ?c <http://t/knows> ?d } ORDER BY ?a ?c ?d`,
+			"exact"},
+		{"join-bound-pushed-filter",
+			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c . FILTER(?c = <http://t/cA>) } ORDER BY ?s`,
+			"exact"},
+		{"join-bound-residual-filter",
+			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c . FILTER(?s != ?c) } ORDER BY ?s`,
+			"exact"},
+		{"join-bound-distinct",
+			`SELECT DISTINCT ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c }`,
+			"set"},
+		{"join-bound-expr-projection",
+			`SELECT ?s (STR(?c) AS ?cs) WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`,
+			"exact"},
+		{"join-bound-empty",
+			`SELECT ?s ?x WHERE { ?s <http://t/region> ?r . ?r <http://t/nosuch> ?x } ORDER BY ?s`,
+			"exact"},
+		{"join-bound-ask",
+			`ASK { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c }`,
 			"exact"},
 		{"values",
 			`SELECT ?s ?v WHERE { VALUES ?r { <http://t/r0> <http://t/r2> } ?s <http://t/region> ?r . ?s <http://t/value> ?v } ORDER BY ?s`,
@@ -175,7 +196,7 @@ func newTopology(t *testing.T, ts []rdf.Triple, n int, cfg Config) *Coordinator 
 		}
 		backends[i] = endpoint.NewInProcess(st)
 	}
-	c, err := New(backends, cfg)
+	c, err := New(backends, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +334,7 @@ func TestDeterminismMixedHTTPBackends(t *testing.T) {
 		endpoint.NewInProcess(stores[0]),
 		endpoint.NewHTTPClient(srv.URL),
 		endpoint.NewInProcess(stores[2]),
-	}, Config{})
+	}, WithConfig(Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,6 +352,31 @@ func TestDeterminismMixedHTTPBackends(t *testing.T) {
 		}
 		if !bytes.Equal(encode(t, res1), encode(t, res2)) {
 			t.Errorf("%s: mixed HTTP/in-process topology diverges from in-process", cq.name)
+		}
+	}
+}
+
+// TestBoundJoinChunkDeterminism re-runs the corpus with a tiny
+// bound-join chunk size: chunk boundaries are computed on the
+// canonically sorted binding set, so the VALUES-constrained fetch
+// queries — and therefore the answer bytes — must not depend on the
+// chunk size.
+func TestBoundJoinChunkDeterminism(t *testing.T) {
+	ts := determinismTriples()
+	base := newTopology(t, ts, 3, Config{})
+	small := newTopology(t, ts, 3, Config{BoundJoinChunk: 2})
+	ctx := context.Background()
+	for _, cq := range determinismCorpus() {
+		res1, _, err := base.QueryX(ctx, endpoint.Request{Query: cq.query})
+		if err != nil {
+			t.Fatalf("%s (default chunk): %v", cq.name, err)
+		}
+		res2, _, err := small.QueryX(ctx, endpoint.Request{Query: cq.query})
+		if err != nil {
+			t.Fatalf("%s (chunk=2): %v", cq.name, err)
+		}
+		if !bytes.Equal(encode(t, res1), encode(t, res2)) {
+			t.Errorf("%s: chunk=2 diverges from default chunk", cq.name)
 		}
 	}
 }

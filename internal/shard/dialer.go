@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"re2xolap/internal/endpoint"
+)
+
+// HTTPDialer returns a Dialer that treats every replica spec as a
+// SPARQL endpoint URL and dials it with endpoint.NewHTTPClient. The
+// endpoint options (timeout, registry, slow-query log) apply to every
+// replica client. It is the default dialer behind the root package's
+// NewCoordinatorClient.
+func HTTPDialer(opts ...endpoint.Option) Dialer {
+	return func(shard, replica int, spec string) (endpoint.Client, error) {
+		if !strings.HasPrefix(spec, "http://") && !strings.HasPrefix(spec, "https://") {
+			return nil, fmt.Errorf("shard: shard %d replica %d: spec %q is not an http(s) URL", shard, replica, spec)
+		}
+		return endpoint.NewHTTPClient(spec, opts...), nil
+	}
+}
+
+// A DialerProvider is a Topology that brings its own Dialer, so a
+// single coordinator constructor can serve both URL topologies (dial
+// over HTTP) and pre-built client topologies (hand the clients back).
+// NewCoordinatorClient in the root package checks for it.
+type DialerProvider interface {
+	Dialer() Dialer
+}
+
+// ClientTopology is a static Topology over pre-built clients:
+// groups[i] lists shard i's replica clients in preference order. Its
+// replica specs are synthetic ("client:i/j") and its Dialer resolves
+// them back to the supplied clients, which lets client-backed
+// coordinators flow through the same NewDynamic path as URL-backed
+// ones.
+type ClientTopology struct {
+	groups [][]endpoint.Client
+}
+
+// NewClientTopology wraps replica groups of pre-built clients as a
+// Topology + DialerProvider.
+func NewClientTopology(groups ...[]endpoint.Client) *ClientTopology {
+	return &ClientTopology{groups: groups}
+}
+
+// Resolve implements Topology with synthetic "client:i/j" specs.
+func (t *ClientTopology) Resolve() (TopologyView, error) {
+	v := TopologyView{Groups: make([][]string, len(t.groups))}
+	for i, g := range t.groups {
+		v.Groups[i] = make([]string, len(g))
+		for j := range g {
+			v.Groups[i][j] = fmt.Sprintf("client:%d/%d", i, j)
+		}
+	}
+	return v, v.Validate()
+}
+
+// Dialer implements DialerProvider: it maps each synthetic spec back
+// to the client it names.
+func (t *ClientTopology) Dialer() Dialer {
+	return func(shard, replica int, spec string) (endpoint.Client, error) {
+		i, j, ok := parseClientSpec(spec)
+		if !ok || i >= len(t.groups) || j >= len(t.groups[i]) {
+			return nil, fmt.Errorf("shard: spec %q names no client in this topology", spec)
+		}
+		c := t.groups[i][j]
+		if c == nil {
+			return nil, fmt.Errorf("shard: shard %d replica %d is nil", i, j)
+		}
+		return c, nil
+	}
+}
+
+// parseClientSpec decodes "client:i/j".
+func parseClientSpec(spec string) (i, j int, ok bool) {
+	rest, found := strings.CutPrefix(spec, "client:")
+	if !found {
+		return 0, 0, false
+	}
+	a, b, found := strings.Cut(rest, "/")
+	if !found {
+		return 0, 0, false
+	}
+	i, err1 := strconv.Atoi(a)
+	j, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || i < 0 || j < 0 {
+		return 0, 0, false
+	}
+	return i, j, true
+}

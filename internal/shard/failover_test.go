@@ -39,7 +39,7 @@ func newReplicatedFaults(t *testing.T, ts []rdf.Triple, n, replicas int, cfg Con
 			groups[i] = append(groups[i], f)
 		}
 	}
-	c, err := NewReplicated(groups, cfg)
+	c, err := NewReplicated(groups, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestNoFailoverOnPermanentError(t *testing.T) {
 	c, err := NewReplicated([][]endpoint.Client{{
 		permClient{calls: new(int)},
 		countingClient{inner: endpoint.NewInProcess(st), calls: &secondCalls},
-	}}, Config{NoResilience: true})
+	}}, WithoutResilience())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestSkippedShardIndices(t *testing.T) {
 	mk := func(i int) endpoint.Client {
 		return endpoint.NewInProcess(storeFromTriples(t, parts[i]))
 	}
-	c, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)}, Config{Degraded: true})
+	c, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)}, WithDegraded(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +544,7 @@ func benchScatter(b *testing.B, replicas int) {
 			groups[i] = append(groups[i], endpoint.NewInProcess(st))
 		}
 	}
-	c, err := NewReplicated(groups, Config{NoResilience: true})
+	c, err := NewReplicated(groups, WithoutResilience())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -110,7 +110,51 @@ func collectFetchSpecs(q *sparql.Query) []fetchSpec {
 		seen[spec.query] = struct{}{}
 		specs = append(specs, spec)
 	}
-	return specs
+	return dropSubsumedSpecs(specs)
+}
+
+// dropSubsumedSpecs removes fetch specs whose triples another spec
+// already loads in full. A full-relation fetch (?s <p> ?o, distinct
+// variables — what a closure pattern over <p> adds) pulls every
+// triple of that predicate, so a narrower fetch of the same predicate
+// (constant subject or object, or repeated variable) would only
+// re-transfer a subset; the unrestricted ?s ?p ?o fetch subsumes
+// everything. Dropping subsumed specs cannot change the gathered
+// store — their triples are a subset of what the covering spec loads
+// — so determinism is untouched and duplicate transfer goes away.
+func dropSubsumedSpecs(specs []fetchSpec) []fetchSpec {
+	isFullRel := func(s fetchSpec) bool {
+		return s.cols[1] < 0 && s.cols[0] >= 0 && s.cols[2] >= 0 && s.cols[0] != s.cols[2]
+	}
+	isAllVar := func(s fetchSpec) bool {
+		return s.cols[0] >= 0 && s.cols[1] >= 0 && s.cols[2] >= 0
+	}
+	all := false
+	full := map[string]bool{}
+	for _, s := range specs {
+		if isAllVar(s) {
+			all = true
+		} else if isFullRel(s) {
+			full[s.tp.P.Term.String()] = true
+		}
+	}
+	if !all && len(full) == 0 {
+		return specs
+	}
+	kept := specs[:0]
+	for _, s := range specs {
+		switch {
+		case isAllVar(s):
+			kept = append(kept, s)
+		case all:
+			// Subsumed by the unrestricted fetch.
+		case s.cols[1] < 0 && full[s.tp.P.Term.String()] && !isFullRel(s):
+			// Subsumed by the full-relation fetch of the same predicate.
+		default:
+			kept = append(kept, s)
+		}
+	}
+	return kept
 }
 
 // buildFetchSpec normalizes a pattern's variables positionally (a

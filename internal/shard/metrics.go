@@ -21,6 +21,12 @@ type metrics struct {
 	incomplete *obs.Counter
 	skipped    *obs.Counter
 
+	boundBindings *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cacheEvicts   *obs.Counter
+	cacheSize     *obs.Gauge
+
 	hedges    *obs.Counter
 	hedgeWins *obs.Counter
 	reloads   *obs.Counter
@@ -30,7 +36,9 @@ type metrics struct {
 }
 
 // mergePhases is the label vocabulary of the merge-phase histogram.
-var mergePhases = [...]string{"scatter", "merge", "finalize"}
+// "join" is the bound-join probe phase (streaming shard rows through
+// the coordinator's hash join).
+var mergePhases = [...]string{"scatter", "join", "merge", "finalize"}
 
 // newMetrics registers the coordinator-wide series. fanout and
 // replicas report the *current* view's shard and replica counts, so
@@ -49,6 +57,16 @@ func newMetrics(reg *obs.Registry, fanout, replicas func() float64) *metrics {
 			"Degraded-mode answers served without one or more failed shards."),
 		skipped: reg.Counter("re2xolap_shard_skipped_total",
 			"Shard responses dropped from an answer in degraded mode."),
+		boundBindings: reg.Counter("re2xolap_shard_bound_bindings_total",
+			"Distinct binding rows shipped as VALUES constraints by bound-join fetches."),
+		cacheHits: reg.Counter("re2xolap_shard_plan_cache_hits_total",
+			"Coordinator queries answered from the plan cache."),
+		cacheMisses: reg.Counter("re2xolap_shard_plan_cache_misses_total",
+			"Coordinator queries that had to parse and classify."),
+		cacheEvicts: reg.Counter("re2xolap_shard_plan_cache_evictions_total",
+			"Plan-cache entries evicted by LRU capacity pressure."),
+		cacheSize: reg.Gauge("re2xolap_shard_plan_cache_size",
+			"Plans currently held by the coordinator plan cache."),
 		hedges: reg.Counter("re2xolap_shard_hedges_total",
 			"Hedged second requests launched after the latency budget."),
 		hedgeWins: reg.Counter("re2xolap_shard_hedge_wins_total",
@@ -148,6 +166,42 @@ func (m *metrics) scatterEnd() {
 		return
 	}
 	m.inflight.Dec()
+}
+
+// boundShipped counts distinct bindings shipped by one bound-join step.
+func (m *metrics) boundShipped(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.boundBindings.Add(int64(n))
+}
+
+func (m *metrics) planCacheHit() {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Inc()
+}
+
+func (m *metrics) planCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.cacheMisses.Inc()
+}
+
+func (m *metrics) planCacheEvict() {
+	if m == nil {
+		return
+	}
+	m.cacheEvicts.Inc()
+}
+
+func (m *metrics) planCacheSize(n int) {
+	if m == nil {
+		return
+	}
+	m.cacheSize.Set(int64(n))
 }
 
 func (m *metrics) degraded(skipped int) {

@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultPlanCacheSize is the plan-cache capacity when none is
+// configured.
+const DefaultPlanCacheSize = 512
+
+// planCache memoizes parse + classify + rewrite by query text. Every
+// cached artifact — the parsed AST, the plan kind, the partial-agg
+// and bound-join rewrites — is a pure function of the text and is
+// read-only after construction, so entries are shared across
+// concurrent queries without copying. Eviction is plain LRU: plans
+// never go stale (there is nothing to invalidate them against), they
+// only fall out of a full cache.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ent map[string]*list.Element
+	lru list.List // front = most recent; values are *cacheEntry
+
+	m *metrics
+}
+
+type cacheEntry struct {
+	key  string
+	plan queryPlan
+}
+
+// newPlanCache builds a cache with the given capacity (> 0).
+func newPlanCache(capacity int, m *metrics) *planCache {
+	return &planCache{
+		cap: capacity,
+		ent: make(map[string]*list.Element, capacity),
+		m:   m,
+	}
+}
+
+// get returns the cached plan for a query text, if present.
+func (c *planCache) get(text string) (queryPlan, bool) {
+	if c == nil {
+		return queryPlan{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[text]
+	if !ok {
+		c.m.planCacheMiss()
+		return queryPlan{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.m.planCacheHit()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put stores a plan, evicting the least recently used entry when the
+// cache is full.
+func (c *planCache) put(text string, p queryPlan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[text]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).plan = p
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.ent, last.Value.(*cacheEntry).key)
+		c.m.planCacheEvict()
+	}
+	c.ent[text] = c.lru.PushFront(&cacheEntry{key: text, plan: p})
+	c.m.planCacheSize(c.lru.Len())
+}
+
+// len returns the current entry count.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

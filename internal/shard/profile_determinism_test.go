@@ -63,7 +63,8 @@ func TestCoordinatorShardMeta(t *testing.T) {
 	}{
 		{`SELECT ?s ?v WHERE { ?s <http://t/value> ?v } ORDER BY ASC(?v)`, "colocated"},
 		{`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r`, "partial_agg"},
-		{`SELECT ?a WHERE { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c }`, "gather"},
+		{`SELECT ?a WHERE { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c }`, "bound_join"},
+		{`SELECT ?b WHERE { <http://t/p0> <http://t/knows>+ ?b }`, "gather"},
 	} {
 		res, meta, err := coord.QueryX(ctx, endpoint.Request{Query: tc.query})
 		if err != nil {

@@ -65,8 +65,8 @@ func TestClassify(t *testing.T) {
 		{`SELECT ?s WHERE { ?s <http://t/p> ?o . FILTER NOT EXISTS { ?s <http://t/q> ?v } }`, planColocated},
 		{`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://t/r> ?r . ?s <http://t/v> ?v } GROUP BY ?r`, planPartialAgg},
 		{`SELECT (SUM(?v) AS ?t) WHERE { ?s <http://t/v> ?v }`, planPartialAgg},
-		// Cross-subject join.
-		{`SELECT ?s WHERE { ?s <http://t/p> ?r . ?r <http://t/q> ?c }`, planGather},
+		// Cross-subject join: two star groups connected on ?r.
+		{`SELECT ?s WHERE { ?s <http://t/p> ?r . ?r <http://t/q> ?c }`, planBoundJoin},
 		// Closure.
 		{`SELECT ?b WHERE { <http://t/a> <http://t/p>+ ?b }`, planGather},
 		// Subselect.
@@ -84,7 +84,7 @@ func TestClassify(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", c.query, err)
 		}
-		got, _ := classify(q)
+		got := classify(q).kind
 		if got != c.want {
 			t.Errorf("classify(%s) = %s, want %s", c.query, got, c.want)
 		}
@@ -109,7 +109,7 @@ func TestDegradedMode(t *testing.T) {
 	query := `SELECT ?s ?v WHERE { ?s <http://t/value> ?v } ORDER BY ?s`
 
 	// Strict mode: one dead shard fails the query.
-	strict, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)}, Config{})
+	strict, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestDegradedMode(t *testing.T) {
 
 	// Degraded mode: partial answer, incomplete flag.
 	reg := obs.NewRegistry()
-	degraded, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)}, Config{Degraded: true, Registry: reg})
+	degraded, err := New([]endpoint.Client{mk(0), downClient{}, mk(2)}, WithDegraded(true), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,16 +148,28 @@ func TestDegradedMode(t *testing.T) {
 		t.Fatalf("incomplete counter missing:\n%s", buf.String())
 	}
 
+	// Bound-join plan, degraded: same contract.
+	bq := `SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`
+	if _, meta, err := degraded.QueryX(context.Background(), endpoint.Request{Query: bq}); err != nil {
+		t.Fatalf("degraded bound join must answer: %v", err)
+	} else if meta.Plan != "bound_join" {
+		t.Fatalf("expected bound_join plan, got %s", meta.Plan)
+	} else if !meta.Incomplete {
+		t.Fatal("degraded bound-join answer must set Incomplete")
+	}
+
 	// Gather plan, degraded: same contract.
-	gq := `SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`
+	gq := `SELECT ?b WHERE { <http://t/r1> <http://t/partOf>+ ?b }`
 	if _, meta, err := degraded.QueryX(context.Background(), endpoint.Request{Query: gq}); err != nil {
 		t.Fatalf("degraded gather must answer: %v", err)
+	} else if meta.Plan != "gather" {
+		t.Fatalf("expected gather plan, got %s", meta.Plan)
 	} else if !meta.Incomplete {
 		t.Fatal("degraded gather answer must set Incomplete")
 	}
 
 	// All shards down: an error even in degraded mode.
-	allDown, err := New([]endpoint.Client{downClient{}, downClient{}}, Config{Degraded: true})
+	allDown, err := New([]endpoint.Client{downClient{}, downClient{}}, WithDegraded(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,14 +241,20 @@ func TestCoordinatorMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := newTopology(t, ts, 3, Config{Registry: reg})
 	ctx := context.Background()
-	for _, q := range []string{
+	queries := []string{
 		`SELECT ?s WHERE { ?s <http://t/region> ?r } LIMIT 2`,
 		`SELECT (COUNT(?v) AS ?n) WHERE { ?s <http://t/value> ?v }`,
 		`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c }`,
-	} {
+		`SELECT ?b WHERE { <http://t/r1> <http://t/partOf>+ ?b }`,
+	}
+	for _, q := range queries {
 		if _, _, err := c.QueryX(ctx, endpoint.Request{Query: q}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Re-running the first query hits the plan cache.
+	if _, _, err := c.QueryX(ctx, endpoint.Request{Query: queries[0]}); err != nil {
+		t.Fatal(err)
 	}
 	var buf bytes.Buffer
 	if err := reg.WriteProm(&buf); err != nil {
@@ -247,11 +265,17 @@ func TestCoordinatorMetrics(t *testing.T) {
 		`re2xolap_shard_queries_total{shard="0"}`,
 		`re2xolap_shard_queries_total{shard="2"}`,
 		`re2xolap_shard_query_seconds_count{shard="1"}`,
-		`re2xolap_shard_plans_total{plan="colocated"} 1`,
+		`re2xolap_shard_plans_total{plan="colocated"} 2`,
 		`re2xolap_shard_plans_total{plan="partial_agg"} 1`,
+		`re2xolap_shard_plans_total{plan="bound_join"} 1`,
 		`re2xolap_shard_plans_total{plan="gather"} 1`,
+		`re2xolap_shard_plan_cache_misses_total 4`,
+		`re2xolap_shard_plan_cache_hits_total 1`,
+		`re2xolap_shard_plan_cache_size 4`,
+		`re2xolap_shard_bound_bindings_total`,
 		`re2xolap_shard_fanout 3`,
 		`re2xolap_shard_merge_seconds_count{phase="scatter"}`,
+		`re2xolap_shard_merge_seconds_count{phase="join"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)

@@ -140,7 +140,7 @@ func TestLiveReloadAddReplicaAndFailover(t *testing.T) {
 	}
 	topo := &mutableTopology{v: TopologyView{Groups: [][]string{{"p0"}, {"p1"}, {"p2"}}}}
 	reg := obs.NewRegistry()
-	c, err := NewDynamic(topo, h.dial, Config{NoResilience: true, Registry: reg})
+	c, err := NewDynamic(topo, h.dial, WithoutResilience(), WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestReloadDrainsInFlight(t *testing.T) {
 		faults: map[string]*endpoint.FaultClient{},
 	}
 	topo := &mutableTopology{v: TopologyView{Groups: [][]string{{"a"}, {"b"}}}}
-	c, err := NewDynamic(topo, h.dial, Config{NoResilience: true})
+	c, err := NewDynamic(topo, h.dial, WithoutResilience())
 	if err != nil {
 		t.Fatal(err)
 	}
