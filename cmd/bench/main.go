@@ -4,6 +4,8 @@
 //	bench -report parallel -scale medium -workers 0 -runs 3 -out BENCH_PR2.json
 //	bench -report scatter  -scale medium -shards 2,4 -out BENCH_PR8.json
 //	bench -report scatter  -max-overhead 'bound_join=2,gather=2' -out -
+//	bench -report serve    -scale small -load-workers 4,16 -overlap 0.75 -out BENCH_PR9.json
+//	bench -report serve    -min-warm-speedup 2 -max-p99-ratio 10 -out -
 //
 // The parallel report measures the sequential-vs-parallel executor on
 // the three workloads the worker pool targets (BGP join, GROUP BY,
@@ -18,6 +20,13 @@
 // name or plan class (name wins), checked after the run. CI uses it
 // to fail the build when a plan class slides back toward the gather
 // cliff.
+//
+// The serve report load-tests the serving stack (internal/serve):
+// closed-loop clients replay recorded exploration sessions against
+// cached and uncached configurations across topologies, then an
+// open-loop phase offers twice the measured saturation throughput
+// with admission control on. -min-warm-speedup and -max-p99-ratio
+// turn it into a regression gate.
 package main
 
 import (
@@ -33,13 +42,20 @@ import (
 )
 
 func main() {
-	report := flag.String("report", "parallel", "benchmark to run: parallel or scatter")
+	report := flag.String("report", "parallel", "benchmark to run: parallel, scatter, or serve")
 	scaleName := flag.String("scale", "small", "dataset scale: small, medium, large")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	runs := flag.Int("runs", 3, "runs per measurement (best is reported)")
-	shards := flag.String("shards", "2,4", "comma-separated shard counts for -report scatter")
+	shards := flag.String("shards", "2,4", "comma-separated shard counts for -report scatter (serve default: 1,3)")
 	maxOverhead := flag.String("max-overhead", "", "overhead ceilings for -report scatter, keyed by workload name or plan, e.g. 'bound_join=2,bound_join_wide=8' (fail if exceeded)")
-	out := flag.String("out", "", "output file ('-' for stdout; default BENCH_PR2.json or BENCH_PR8.json by report)")
+	loadWorkers := flag.String("load-workers", "4,16", "comma-separated closed-loop client counts for -report serve")
+	queries := flag.Int("queries", 200, "closed-loop queries per client for -report serve")
+	sessions := flag.Int("sessions", 4, "distinct exploration sessions to replay for -report serve")
+	sessionSteps := flag.Int("session-steps", 4, "refinement steps per replayed session for -report serve")
+	overlap := flag.Float64("overlap", 0.75, "share of queries drawn from the session all clients share, for -report serve")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 0, "fail -report serve if cached throughput beats uncached by less than this factor (0 = no gate)")
+	maxP99Ratio := flag.Float64("max-p99-ratio", 0, "fail -report serve if the open-loop admitted p99 exceeds this multiple of the unloaded baseline (0 = no gate)")
+	out := flag.String("out", "", "output file ('-' for stdout; default BENCH_PR2.json, BENCH_PR8.json, or BENCH_PR9.json by report)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -95,8 +111,46 @@ func main() {
 		if len(limits) > 0 {
 			gate = func() error { return r.CheckOverhead(limits) }
 		}
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_PR9.json"
+		}
+		counts, err := parseCounts(*shards)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		if *shards == "2,4" { // the scatter-oriented default; serve wants 1-node + 3-shard
+			counts = []int{1, 3}
+		}
+		lw, err := parseCounts(*loadWorkers)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		r, err := bench.RunServeReport(*scaleName, scale, bench.ServeOptions{
+			Shards:           counts,
+			LoadWorkers:      lw,
+			QueriesPerWorker: *queries,
+			Sessions:         *sessions,
+			SessionSteps:     *sessionSteps,
+			Overlap:          *overlap,
+		})
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		rep = r
+		for _, x := range r.Results {
+			lines = append(lines, fmt.Sprintf("%-22s %9.0f qps  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  (hits %d, coalesced %d, executions %d)",
+				x.Config, x.QPS, x.P50MS, x.P95MS, x.P99MS, x.CacheHits, x.Coalesced, x.Executions))
+		}
+		for _, o := range r.OpenLoop {
+			lines = append(lines, fmt.Sprintf("open-loop %d shards: offered %.0f qps, admitted %.0f qps, p99 %.2fms (baseline %.2fms), shed %d, timeouts %d, errors %d",
+				o.Shards, o.OfferedQPS, o.AchievedQPS, o.P99MS, o.BaselineP99MS, o.Shed, o.Timeouts, o.Errors))
+		}
+		if *minWarmSpeedup > 0 || *maxP99Ratio > 0 {
+			gate = func() error { return r.CheckServe(*minWarmSpeedup, *maxP99Ratio) }
+		}
 	default:
-		log.Fatalf("bench: unknown report %q (want parallel or scatter)", *report)
+		log.Fatalf("bench: unknown report %q (want parallel, scatter, or serve)", *report)
 	}
 
 	w := os.Stdout

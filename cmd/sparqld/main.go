@@ -39,6 +39,13 @@
 // deadlines (-query-timeout), in-flight limiting with 503 shedding
 // (-max-inflight), panic recovery, Slowloris protection via
 // ReadHeaderTimeout, and graceful shutdown on SIGINT/SIGTERM.
+//
+// A serving stack (internal/serve) layers on in every role:
+// -result-cache enables a generation-invalidated result cache with
+// single-flight deduplication of concurrent identical queries, and
+// -max-concurrent/-queue-budget add per-tenant admission control
+// (tenants named by -tenant-header) that sheds overflow with
+// 429 + Retry-After instead of queueing it toward timeout.
 package main
 
 import (
@@ -59,6 +66,7 @@ import (
 	"re2xolap/internal/datagen"
 	"re2xolap/internal/endpoint"
 	"re2xolap/internal/obs"
+	"re2xolap/internal/serve"
 	"re2xolap/internal/shard"
 	"re2xolap/internal/store"
 )
@@ -86,6 +94,10 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "coordinator: plan cache capacity (0 = default, negative disables)")
 	traceExport := flag.String("trace-export", "", "append per-request OTLP/JSON trace lines to this file ('-' for stdout)")
 	debugQueries := flag.Int("debug-queries", 0, "keep the last N query profiles and serve them as JSON on /debug/queries (0 disables)")
+	resultCache := flag.Int("result-cache", 0, "serve-layer result cache capacity in answers; generation-invalidated, with single-flight dedup (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "serve-layer per-tenant concurrent query limit; excess queues, overflow is shed with 429 (0 disables admission)")
+	queueBudget := flag.Int("queue-budget", 0, "serve-layer per-tenant admission queue bound (0 = default 64; needs -max-concurrent)")
+	tenantHeader := flag.String("tenant-header", "", "HTTP header naming the tenant for per-tenant admission (empty = all requests share one tenant)")
 	flag.Parse()
 
 	if *configPath != "" {
@@ -123,6 +135,9 @@ func main() {
 	if *debugQueries > 0 {
 		opts = append(opts, endpoint.WithQueryLog(obs.NewQueryRing(*debugQueries)))
 	}
+	if *tenantHeader != "" {
+		opts = append(opts, endpoint.WithTenantHeader(*tenantHeader))
+	}
 
 	hcfg := handlerConfig{
 		Shards:         *shards,
@@ -138,6 +153,9 @@ func main() {
 		HealthTimeout:  *healthTimeout,
 		HedgeAfter:     *hedgeAfter,
 		PlanCache:      *planCache,
+		ResultCache:    *resultCache,
+		MaxConcurrent:  *maxConcurrent,
+		QueueBudget:    *queueBudget,
 	}
 
 	// The listener comes up immediately on a holding handler that
@@ -287,6 +305,37 @@ type handlerConfig struct {
 	HealthTimeout  time.Duration
 	HedgeAfter     time.Duration
 	PlanCache      int
+
+	ResultCache   int
+	MaxConcurrent int
+	QueueBudget   int
+}
+
+// serving reports whether any serve-layer feature is requested.
+func (cfg handlerConfig) serving() bool {
+	return cfg.ResultCache > 0 || cfg.MaxConcurrent > 0
+}
+
+// wrapServe builds the serving stack (result cache, single-flight
+// dedup, admission control) around the executing client when any of
+// its flags ask for it.
+func (cfg handlerConfig) wrapServe(c endpoint.Client, reg *obs.Registry) endpoint.Client {
+	if !cfg.serving() {
+		return c
+	}
+	sopts := []serve.Option{serve.WithRegistry(reg)}
+	if cfg.ResultCache > 0 {
+		sopts = append(sopts, serve.WithResultCache(cfg.ResultCache))
+	}
+	if cfg.MaxConcurrent > 0 {
+		sopts = append(sopts, serve.WithAdmission(serve.AdmissionConfig{
+			MaxConcurrent: cfg.MaxConcurrent,
+			QueueBudget:   cfg.QueueBudget,
+		}))
+	}
+	log.Printf("sparqld: serving stack on (result-cache=%d, max-concurrent=%d, queue-budget=%d)",
+		cfg.ResultCache, cfg.MaxConcurrent, cfg.QueueBudget)
+	return serve.New(c, sopts...)
 }
 
 // shardOptions translates the coordinator flags to shard options.
@@ -326,7 +375,7 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		st := parts[i]
 		log.Printf("sparqld: serving shard %d/%d (%d triples) on %s/sparql (metrics on /metrics)",
 			i, n, st.Len(), cfg.Addr)
-		return endpoint.NewServer(st, opts...), nil, nil, nil
+		return cfg.storeServer(st, reg, opts), nil, nil, nil
 	case cfg.Topology != "":
 		ft := shard.NewFileTopology(cfg.Topology)
 		coord, err := shard.NewDynamic(ft, remoteDialer, shardOpts...)
@@ -336,7 +385,7 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		log.Printf("sparqld: coordinating %d shards (replicas %v) from %s on %s/sparql (degraded=%v, metrics on /metrics)",
 			coord.Shards(), coord.Replicas(), cfg.Topology, cfg.Addr, cfg.Degraded)
 		opts = append(opts, endpoint.WithReadiness(coord.Ready))
-		return endpoint.NewClientServer(coord, opts...), coord, ft, nil
+		return endpoint.NewClientServer(cfg.wrapServe(coord, reg), opts...), coord, ft, nil
 	case cfg.Shards != "":
 		groups, err := parseShards(cfg.Shards)
 		if err != nil {
@@ -353,7 +402,7 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		log.Printf("sparqld: coordinating %d shards (replicas %v) on %s/sparql (degraded=%v, metrics on /metrics)",
 			coord.Shards(), coord.Replicas(), cfg.Addr, cfg.Degraded)
 		opts = append(opts, endpoint.WithReadiness(coord.Ready))
-		return endpoint.NewClientServer(coord, opts...), coord, nil, nil
+		return endpoint.NewClientServer(cfg.wrapServe(coord, reg), opts...), coord, nil, nil
 	default:
 		st, err := buildStore(cfg.Data, cfg.Gen, cfg.ObsCount)
 		if err != nil {
@@ -362,8 +411,21 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		stats := st.Stats()
 		log.Printf("sparqld: serving %d triples (%d terms, %d predicates) on %s/sparql (metrics on /metrics)",
 			stats.Triples, stats.Terms, stats.Predicates, cfg.Addr)
-		return endpoint.NewServer(st, opts...), nil, nil, nil
+		return cfg.storeServer(st, reg, opts), nil, nil, nil
 	}
+}
+
+// storeServer serves a local store: directly (the engine-embedded
+// server) without serve-layer flags, or as an in-process client behind
+// the serving stack with them. The wrapped form keeps the store gauge
+// NewServer would have registered.
+func (cfg handlerConfig) storeServer(st *store.Store, reg *obs.Registry, opts []endpoint.Option) *endpoint.Server {
+	if !cfg.serving() {
+		return endpoint.NewServer(st, opts...)
+	}
+	reg.GaugeFunc("re2xolap_store_triples", "Triples in the served store.",
+		func() float64 { return float64(st.Len()) })
+	return endpoint.NewClientServer(cfg.wrapServe(endpoint.NewInProcess(st, opts...), reg), opts...)
 }
 
 // openTraceSink opens the OTLP/JSON trace destination. Files are

@@ -1,0 +1,537 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"re2xolap/internal/core"
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
+	"re2xolap/internal/refine"
+	"re2xolap/internal/serve"
+	"re2xolap/internal/session"
+)
+
+// ServeOptions parameterizes the serving-stack load benchmark.
+type ServeOptions struct {
+	// Shards lists the topologies to measure (1 = single node).
+	Shards []int
+	// LoadWorkers lists the closed-loop client counts.
+	LoadWorkers []int
+	// QueriesPerWorker is the closed-loop replay length per client.
+	QueriesPerWorker int
+	// Sessions / SessionSteps shape the replayed workload: how many
+	// distinct exploration sessions are walked at prepare time and how
+	// many steps each contributes.
+	Sessions     int
+	SessionSteps int
+	// Overlap is the probability that a client's next query comes from
+	// the shared session rather than its own — the knob that controls
+	// how much the result cache and single-flight can help. 1 means
+	// every client replays the same exploration; 0 means all-distinct.
+	Overlap float64
+	// OpenLoopDuration bounds the 2x-saturation open-loop phase.
+	OpenLoopDuration time.Duration
+	// Seed drives session sampling and replay interleaving.
+	Seed int64
+}
+
+// withDefaults fills unset knobs.
+func (o ServeOptions) withDefaults() ServeOptions {
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 3}
+	}
+	if len(o.LoadWorkers) == 0 {
+		o.LoadWorkers = []int{4, 16}
+	}
+	if o.QueriesPerWorker <= 0 {
+		o.QueriesPerWorker = 200
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 4
+	}
+	if o.SessionSteps <= 0 {
+		o.SessionSteps = 4
+	}
+	if o.Overlap == 0 {
+		o.Overlap = 0.75
+	}
+	if o.OpenLoopDuration <= 0 {
+		o.OpenLoopDuration = 1500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// ServeMeasurement is one (topology, client count, cache mode) cell of
+// the closed-loop matrix.
+type ServeMeasurement struct {
+	// Config identifies the cell, e.g. "3shard/16w/cached".
+	Config string `json:"config"`
+	// Shards / Workers / Cached decompose it.
+	Shards  int  `json:"shards"`
+	Workers int  `json:"workers"`
+	Cached  bool `json:"cached"`
+	// QPS is total completed queries over wall time.
+	QPS float64 `json:"qps"`
+	// Latency quantiles over all completed queries, in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Queries is the completed-query count behind the quantiles.
+	Queries int `json:"queries"`
+	// CacheHits / Coalesced / Executions account for where answers came
+	// from (executions is what actually reached the engine).
+	CacheHits  int64 `json:"cache_hits"`
+	Coalesced  int64 `json:"coalesced"`
+	Executions int64 `json:"executions"`
+}
+
+// ServeRank is one row of the PAPyA-style configuration ranking: each
+// config is ranked per dimension (1 = best throughput, 1 = best tail
+// latency) and ordered by the mean of its single-dimension ranks, so
+// a config that trades a little throughput for a much better tail
+// still surfaces near the top.
+type ServeRank struct {
+	Config         string  `json:"config"`
+	ThroughputRank int     `json:"throughput_rank"`
+	P99Rank        int     `json:"p99_rank"`
+	Score          float64 `json:"score"` // mean rank; lower is better
+}
+
+// OpenLoopResult is the admission proof: requests offered at twice the
+// measured saturation throughput, with admission control on. The queue
+// bound keeps the admitted tail flat (P99MS stays within a small
+// multiple of the unloaded closed-loop tail) while the excess is shed
+// as fast 429s instead of queueing toward timeout.
+type OpenLoopResult struct {
+	Shards      int     `json:"shards"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Timeouts    int     `json:"timeouts"`
+	Errors      int     `json:"errors"`
+	// Quantiles of admitted (completed) requests, in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// BaselineP99MS is the same topology's unloaded closed-loop p99 —
+	// the yardstick for "bounded".
+	BaselineP99MS float64 `json:"baseline_p99_ms"`
+}
+
+// ServeReport is the machine-readable output of the serving-stack load
+// benchmark (BENCH_PR9.json).
+type ServeReport struct {
+	Scale            string  `json:"scale"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Dataset          string  `json:"dataset"`
+	Sessions         int     `json:"sessions"`
+	SessionSteps     int     `json:"session_steps"`
+	Overlap          float64 `json:"overlap"`
+	QueriesPerWorker int     `json:"queries_per_worker"`
+	Note             string  `json:"note"`
+
+	Results  []ServeMeasurement `json:"results"`
+	Ranking  []ServeRank        `json:"ranking"`
+	OpenLoop []OpenLoopResult   `json:"open_loop"`
+}
+
+// sessionTraces walks `n` exploration sessions (synthesize from a
+// sampled example, then refine: the Dis/TopK/Sim loop of the paper's
+// workflow) and returns each session's step queries as executable
+// SPARQL — the replay workload. Walking happens at prepare time
+// against the dataset's own engine; the benchmark only replays the
+// recorded texts.
+func sessionTraces(d *Dataset, seed int64, n, steps int) ([][]string, error) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []refine.Kind{refine.KindDisaggregate, refine.KindTopK, refine.KindSimilarity, refine.KindPercentile}
+	var traces [][]string
+	for tries := 0; len(traces) < n && tries < n*20; tries++ {
+		ex, ok := d.SampleExample(rng, 2)
+		if !ok {
+			continue
+		}
+		cands, err := d.Engine.Synthesize(ctx, core.Keywords(ex...))
+		if err != nil {
+			return nil, fmt.Errorf("bench: synthesize: %w", err)
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sess := session.New(d.Engine, d.Graph)
+		if _, err := sess.Start(ctx, cands[rng.Intn(len(cands))].Query); err != nil {
+			continue
+		}
+		for sess.Depth() < steps {
+			progressed := false
+			first := rng.Intn(len(kinds))
+			for j := 0; j < len(kinds) && !progressed; j++ {
+				opts, err := sess.Options(ctx, kinds[(first+j)%len(kinds)])
+				if err != nil || len(opts) == 0 {
+					continue
+				}
+				if _, err := sess.Apply(ctx, opts[rng.Intn(len(opts))]); err == nil {
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		var qs []string
+		for _, st := range sess.Export().Steps {
+			qs = append(qs, st.SPARQL)
+		}
+		if len(qs) > 0 {
+			traces = append(traces, qs)
+		}
+	}
+	if len(traces) < 2 {
+		return nil, fmt.Errorf("bench: only %d replayable sessions sampled, need >= 2", len(traces))
+	}
+	return traces, nil
+}
+
+// serveBackend builds the topology's raw client: the single store or a
+// coordinator over its subject-hash partitions.
+func serveBackend(d *Dataset, shards int) (endpoint.Client, error) {
+	if shards <= 1 {
+		return endpoint.NewInProcess(d.Store), nil
+	}
+	return shardCoordinator(d.Store, shards, 0)
+}
+
+// pickQuery draws a worker's next replay query: from the shared
+// session with probability overlap, from the worker's own otherwise.
+func pickQuery(rng *rand.Rand, traces [][]string, overlap float64, worker, i int) string {
+	tr := traces[1+worker%(len(traces)-1)]
+	if rng.Float64() < overlap {
+		tr = traces[0]
+	}
+	return tr[i%len(tr)]
+}
+
+// quantiles sorts durations in place and reads p50/p95/p99 in ms.
+func quantiles(ds []time.Duration) (p50, p95, p99 float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return millis(ds[i])
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// closedLoop runs `workers` clients, each replaying `perWorker`
+// session-step queries back to back, and measures throughput and
+// latency quantiles.
+func closedLoop(c endpoint.Client, traces [][]string, overlap float64, workers, perWorker int, seed int64) (ServeMeasurement, error) {
+	ctx := context.Background()
+	lat := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			lat[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				q := pickQuery(rng, traces, overlap, w, i)
+				t0 := time.Now()
+				if _, _, err := endpoint.QueryX(ctx, c, endpoint.Request{Query: q}); err != nil {
+					errs[w] = fmt.Errorf("bench: worker %d query %d: %w", w, i, err)
+					return
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeMeasurement{}, err
+		}
+	}
+	var all []time.Duration
+	for _, ds := range lat {
+		all = append(all, ds...)
+	}
+	m := ServeMeasurement{Workers: workers, Queries: len(all)}
+	m.QPS = float64(len(all)) / wall.Seconds()
+	m.P50MS, m.P95MS, m.P99MS = quantiles(all)
+	return m, nil
+}
+
+// openLoop offers requests at a fixed rate regardless of completions
+// (the arrival process of real clients), against a stack with
+// admission control on, and reports what was admitted, what was shed,
+// and the admitted tail.
+func openLoop(c endpoint.Client, traces [][]string, overlap float64, rate float64, dur, deadline time.Duration, seed int64) OpenLoopResult {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	// Batch the arrivals on a coarse tick: a per-request ticker cannot
+	// keep up beyond ~10k/s, a 5ms batch can.
+	const tick = 5 * time.Millisecond
+	perTick := int(rate * tick.Seconds())
+	if perTick < 1 {
+		perTick = 1
+	}
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	var sent, ok, shed, timeouts, errsN int
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for time.Since(start) < dur {
+		<-ticker.C
+		queries := make([]string, perTick)
+		for j := range queries {
+			queries[j] = pickQuery(rng, traces, overlap, rng.Intn(1<<16), sent+j)
+		}
+		sent += perTick
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				qctx, cancel := context.WithTimeout(ctx, deadline)
+				defer cancel()
+				t0 := time.Now()
+				_, _, err := endpoint.QueryX(qctx, c, endpoint.Request{Query: q})
+				d := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					ok++
+					lat = append(lat, d)
+				case errors.Is(err, endpoint.ErrOverloaded):
+					shed++
+				case errors.Is(err, context.DeadlineExceeded):
+					timeouts++
+				default:
+					errsN++
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	r := OpenLoopResult{
+		OfferedQPS:  rate,
+		AchievedQPS: float64(ok) / wall.Seconds(),
+		Sent:        sent, OK: ok, Shed: shed, Timeouts: timeouts, Errors: errsN,
+	}
+	r.P50MS, r.P95MS, r.P99MS = quantiles(lat)
+	return r
+}
+
+// rankConfigs produces the PAPyA-style ranking: rank each config per
+// dimension, order by mean rank.
+func rankConfigs(results []ServeMeasurement) []ServeRank {
+	idx := make([]int, len(results))
+	for i := range idx {
+		idx[i] = i
+	}
+	ranks := make([]ServeRank, len(results))
+	for i, r := range results {
+		ranks[i].Config = r.Config
+	}
+	// Throughput: higher is better.
+	sort.Slice(idx, func(a, b int) bool { return results[idx[a]].QPS > results[idx[b]].QPS })
+	for pos, i := range idx {
+		ranks[i].ThroughputRank = pos + 1
+	}
+	// Tail latency: lower is better.
+	sort.Slice(idx, func(a, b int) bool { return results[idx[a]].P99MS < results[idx[b]].P99MS })
+	for pos, i := range idx {
+		ranks[i].P99Rank = pos + 1
+	}
+	for i := range ranks {
+		ranks[i].Score = float64(ranks[i].ThroughputRank+ranks[i].P99Rank) / 2
+	}
+	sort.Slice(ranks, func(a, b int) bool {
+		if ranks[a].Score != ranks[b].Score {
+			return ranks[a].Score < ranks[b].Score
+		}
+		return ranks[a].Config < ranks[b].Config
+	})
+	return ranks
+}
+
+// RunServeReport measures the serving stack: a closed-loop
+// (workers × shards × cache-mode) matrix over replayed exploration
+// sessions, a PAPyA-style ranking of the configurations, and an
+// open-loop phase at twice each topology's measured saturation
+// throughput with admission control on.
+func RunServeReport(scaleName string, scale Scale, opt ServeOptions) (*ServeReport, error) {
+	opt = opt.withDefaults()
+	spec := scale.Specs()[0] // eurostat-like: the paper's primary dataset
+	d, err := Prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := sessionTraces(d, opt.Seed, opt.Sessions, opt.SessionSteps)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ServeReport{
+		Scale:            scaleName,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Dataset:          spec.Name,
+		Sessions:         len(traces),
+		SessionSteps:     opt.SessionSteps,
+		Overlap:          opt.Overlap,
+		QueriesPerWorker: opt.QueriesPerWorker,
+		Note: "closed loop replays recorded exploration sessions (overlap = share of queries " +
+			"drawn from the session all clients have in common). cached = result cache + " +
+			"single-flight; uncached = bare backend. open loop offers 2x the uncached saturation " +
+			"QPS with admission on: bounded p99 for admitted requests, excess shed as fast rejections.",
+	}
+
+	// uncachedQPS / baselineP99 feed the open-loop phase per topology.
+	uncachedQPS := map[int]float64{}
+	baselineP99 := map[int]float64{}
+
+	for _, shards := range opt.Shards {
+		raw, err := serveBackend(d, shards)
+		if err != nil {
+			return nil, err
+		}
+		for _, cached := range []bool{false, true} {
+			for _, workers := range opt.LoadWorkers {
+				// Each cell gets its own stack + registry so the cache
+				// starts cold and the counters cover exactly this run.
+				var c endpoint.Client = raw
+				var reg *obs.Registry
+				mode := "uncached"
+				if cached {
+					mode = "cached"
+					reg = obs.NewRegistry()
+					c = serve.New(raw, serve.WithResultCache(256), serve.WithRegistry(reg))
+				}
+				m, err := closedLoop(c, traces, opt.Overlap, workers, opt.QueriesPerWorker, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				m.Shards, m.Cached = shards, cached
+				m.Config = fmt.Sprintf("%dshard/%dw/%s", shards, workers, mode)
+				if reg != nil {
+					m.CacheHits, m.Coalesced, m.Executions = cacheCounters(reg)
+				} else {
+					m.Executions = int64(m.Queries)
+				}
+				rep.Results = append(rep.Results, m)
+				if !cached && m.QPS > uncachedQPS[shards] {
+					uncachedQPS[shards] = m.QPS
+					baselineP99[shards] = m.P99MS
+				}
+			}
+		}
+	}
+	rep.Ranking = rankConfigs(rep.Results)
+
+	for _, shards := range opt.Shards {
+		raw, err := serveBackend(d, shards)
+		if err != nil {
+			return nil, err
+		}
+		stack := serve.New(raw,
+			serve.WithResultCache(256),
+			serve.WithAdmission(serve.AdmissionConfig{
+				MaxConcurrent: runtime.GOMAXPROCS(0),
+				QueueBudget:   4 * runtime.GOMAXPROCS(0),
+			}))
+		offered := 2 * uncachedQPS[shards]
+		if offered > 20000 {
+			offered = 20000 // arrival batching gets coarse beyond this
+		}
+		// Per-request deadline: generous against the topology's own
+		// unloaded tail, so only queueing (the thing admission bounds)
+		// can miss it, not a normal execution.
+		deadline := time.Duration(4 * baselineP99[shards] * float64(time.Millisecond))
+		if deadline < 250*time.Millisecond {
+			deadline = 250 * time.Millisecond
+		}
+		r := openLoop(stack, traces, opt.Overlap, offered, opt.OpenLoopDuration, deadline, opt.Seed)
+		r.Shards = shards
+		r.BaselineP99MS = baselineP99[shards]
+		rep.OpenLoop = append(rep.OpenLoop, r)
+	}
+	return rep, nil
+}
+
+// cacheCounters reads the hit/coalesce/execution counters back out of
+// a measured stack's registry.
+func cacheCounters(reg *obs.Registry) (hits, coalesced, executions int64) {
+	return reg.Counter("re2xolap_result_cache_hits_total", "").Value(),
+		reg.Counter("re2xolap_serve_coalesced_total", "").Value(),
+		reg.Counter("re2xolap_serve_executions_total", "").Value()
+}
+
+// CheckServe is the CI regression gate: for every (shards, workers)
+// pair the cached configuration must beat the uncached one by at least
+// minWarmSpeedup on throughput, and every open-loop run must hold the
+// admitted p99 within maxP99Ratio of its topology's unloaded baseline
+// while shedding (not erroring) the excess. Non-positive limits skip
+// that check.
+func (r *ServeReport) CheckServe(minWarmSpeedup, maxP99Ratio float64) error {
+	if minWarmSpeedup > 0 {
+		uncached := map[string]ServeMeasurement{}
+		for _, m := range r.Results {
+			if !m.Cached {
+				uncached[fmt.Sprintf("%d/%d", m.Shards, m.Workers)] = m
+			}
+		}
+		for _, m := range r.Results {
+			if !m.Cached {
+				continue
+			}
+			base, ok := uncached[fmt.Sprintf("%d/%d", m.Shards, m.Workers)]
+			if !ok {
+				continue
+			}
+			if speedup := m.QPS / base.QPS; speedup < minWarmSpeedup {
+				return fmt.Errorf("bench: %s: warm speedup %.2fx below %.2fx (cached %.0f qps vs uncached %.0f qps)",
+					m.Config, speedup, minWarmSpeedup, m.QPS, base.QPS)
+			}
+		}
+	}
+	if maxP99Ratio > 0 {
+		for _, o := range r.OpenLoop {
+			if o.OK == 0 {
+				return fmt.Errorf("bench: open loop (%d shards): no request admitted", o.Shards)
+			}
+			if o.Errors > o.Sent/10 {
+				return fmt.Errorf("bench: open loop (%d shards): %d/%d requests errored (shedding should be 429s, not failures)",
+					o.Shards, o.Errors, o.Sent)
+			}
+			if o.BaselineP99MS > 0 && o.P99MS > maxP99Ratio*o.BaselineP99MS {
+				return fmt.Errorf("bench: open loop (%d shards): admitted p99 %.2fms exceeds %.1fx unloaded baseline %.2fms",
+					o.Shards, o.P99MS, maxP99Ratio, o.BaselineP99MS)
+			}
+		}
+	}
+	return nil
+}

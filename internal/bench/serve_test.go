@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeReportSmoke runs the full serve pipeline at a tiny scale:
+// session replay traces, the closed-loop matrix, ranking, and the
+// open-loop admission phase.
+func TestServeReportSmoke(t *testing.T) {
+	rep, err := RunServeReport("small", ScaleSmall, ServeOptions{
+		Shards:           []int{1},
+		LoadWorkers:      []int{4},
+		QueriesPerWorker: 30,
+		Sessions:         2,
+		SessionSteps:     2,
+		Overlap:          1.0,
+		OpenLoopDuration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2 (uncached + cached)", len(rep.Results))
+	}
+	var cached, uncached *ServeMeasurement
+	for i := range rep.Results {
+		if rep.Results[i].Cached {
+			cached = &rep.Results[i]
+		} else {
+			uncached = &rep.Results[i]
+		}
+	}
+	if cached == nil || uncached == nil {
+		t.Fatal("matrix missing a cache mode")
+	}
+	if cached.CacheHits == 0 {
+		t.Error("cached run recorded no cache hits")
+	}
+	if cached.Executions >= int64(cached.Queries) {
+		t.Errorf("cached run executed %d of %d queries — cache did nothing", cached.Executions, cached.Queries)
+	}
+	if cached.QPS <= uncached.QPS {
+		t.Errorf("cached QPS %.0f not above uncached %.0f", cached.QPS, uncached.QPS)
+	}
+	if len(rep.Ranking) != 2 {
+		t.Fatalf("got %d ranking rows, want 2", len(rep.Ranking))
+	}
+	if rep.Ranking[0].Score > rep.Ranking[1].Score {
+		t.Error("ranking not ordered by score")
+	}
+	if len(rep.OpenLoop) != 1 {
+		t.Fatalf("got %d open-loop rows, want 1", len(rep.OpenLoop))
+	}
+	if ol := rep.OpenLoop[0]; ol.OK == 0 {
+		t.Error("open loop admitted nothing")
+	}
+}
+
+// TestCheckServeGate exercises the regression gate on synthetic
+// reports.
+func TestCheckServeGate(t *testing.T) {
+	rep := &ServeReport{
+		Results: []ServeMeasurement{
+			{Config: "1shard/4w/uncached", Shards: 1, Workers: 4, QPS: 100, P99MS: 50},
+			{Config: "1shard/4w/cached", Shards: 1, Workers: 4, Cached: true, QPS: 900, P99MS: 5},
+		},
+		OpenLoop: []OpenLoopResult{
+			{Shards: 1, Sent: 100, OK: 60, Shed: 40, P99MS: 80, BaselineP99MS: 50},
+		},
+	}
+	if err := rep.CheckServe(5, 10); err != nil {
+		t.Errorf("healthy report failed the gate: %v", err)
+	}
+	if err := rep.CheckServe(20, 0); err == nil || !strings.Contains(err.Error(), "warm speedup") {
+		t.Errorf("9x speedup passed a 20x gate: %v", err)
+	}
+	rep.OpenLoop[0].P99MS = 5000
+	if err := rep.CheckServe(0, 10); err == nil || !strings.Contains(err.Error(), "admitted p99") {
+		t.Errorf("unbounded tail passed the p99 gate: %v", err)
+	}
+	rep.OpenLoop[0].P99MS = 80
+	rep.OpenLoop[0].OK = 0
+	if err := rep.CheckServe(0, 10); err == nil || !strings.Contains(err.Error(), "no request admitted") {
+		t.Errorf("zero admissions passed the gate: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -71,6 +72,7 @@ func (c *InProcess) QueryX(ctx context.Context, req Request) (*sparql.Results, Q
 	if err := ctx.Err(); err != nil {
 		return nil, meta, err
 	}
+	meta.Generation = c.Generation()
 	ctx, span := querySpan(ctx, req, "sparql")
 	start := time.Now()
 	var res *sparql.Results
@@ -113,6 +115,10 @@ func (c *InProcess) QueryX(ctx context.Context, req Request) (*sparql.Results, Q
 // delegates to the registry-backed counter (the experiment harness
 // still reports it).
 func (c *InProcess) QueryCount() int64 { return c.queries.Value() }
+
+// Generation implements GenerationSource: the backing store's mutation
+// counter.
+func (c *InProcess) Generation() uint64 { return c.Engine.Store().Generation() }
 
 // classifyLocal tags in-process engine errors with the package
 // taxonomy: a syntax error is permanent (retrying cannot help);
@@ -173,8 +179,9 @@ func (c *HTTPClient) QueryX(ctx context.Context, req Request) (*sparql.Results, 
 	ctx, span := querySpan(ctx, req, "http-query")
 	span.SetAttr("endpoint", c.Endpoint)
 	start := time.Now()
-	res, err := c.do(ctx, req.Query)
+	res, gen, err := c.do(ctx, req.Query)
 	meta.Wall = time.Since(start)
+	meta.Generation = gen
 	if res != nil {
 		meta.Rows = res.Len()
 	}
@@ -188,12 +195,14 @@ func (c *HTTPClient) QueryX(ctx context.Context, req Request) (*sparql.Results, 
 }
 
 // do POSTs an application/x-www-form-urlencoded query, per the SPARQL
-// 1.1 protocol.
-func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, error) {
+// 1.1 protocol. The second return is the serving store's generation
+// token parsed from the X-Re2xolap-Generation response header (zero
+// when the endpoint does not send one).
+func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, uint64, error) {
 	form := url.Values{"query": {query}}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(form.Encode()))
 	if err != nil {
-		return nil, fmt.Errorf("endpoint: build request: %w", err)
+		return nil, 0, fmt.Errorf("endpoint: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", ResultsContentType)
@@ -214,7 +223,7 @@ func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, err
 	if err != nil {
 		// Transport-level failures (refused, reset, DNS) are worth
 		// retrying — unless the caller's deadline is what killed them.
-		return nil, classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: query: %w", err)))
+		return nil, 0, classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: query: %w", err)))
 	}
 	// Drain before close so the keep-alive connection is returned to
 	// the pool instead of torn down; bounded in case of a huge error
@@ -225,13 +234,14 @@ func (c *HTTPClient) do(ctx context.Context, query string) (*sparql.Results, err
 	}()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(body))}
+		return nil, 0, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
+	gen, _ := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64)
 	res, err := DecodeResults(resp.Body)
 	if err != nil {
 		// A malformed or truncated body on a 200 is a delivery failure
 		// (connection cut mid-response, broken proxy), not a bad query.
-		return nil, classifyCtx(ctx, MarkRetryable(err))
+		return nil, 0, classifyCtx(ctx, MarkRetryable(err))
 	}
-	return res, nil
+	return res, gen, nil
 }

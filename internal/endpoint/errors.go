@@ -21,12 +21,28 @@ import (
 //   - ErrCircuitOpen: the circuit breaker is rejecting queries because
 //     the endpoint has failed repeatedly. Back off and try again after
 //     the cooldown; the breaker half-opens on its own.
+//   - ErrOverloaded: admission control shed the request — the tenant's
+//     queue is full or the predicted queue wait exceeds the request
+//     deadline. Retryable after backing off (the HTTP server maps it
+//     to 429 + Retry-After).
 var (
 	ErrTimeout     = errors.New("endpoint: query timeout")
 	ErrRetryable   = errors.New("endpoint: retryable failure")
 	ErrPermanent   = errors.New("endpoint: permanent failure")
 	ErrCircuitOpen = errors.New("endpoint: circuit open")
+	ErrOverloaded  = errors.New("endpoint: overloaded")
 )
+
+// MarkOverloaded tags err as an admission-control rejection:
+// errors.Is(err, ErrOverloaded) and errors.Is(err, ErrRetryable) both
+// become true (the caller may retry after Retry-After). A nil err
+// stays nil.
+func MarkOverloaded(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: &classified{err: err, class: ErrOverloaded}, class: ErrRetryable}
+}
 
 // classified wraps an error so that errors.Is(err, class) holds while
 // the original error remains reachable through Unwrap.

@@ -66,6 +66,9 @@ type FaultClient struct {
 	injected atomic.Int64
 	down     atomic.Bool
 	blackh   atomic.Bool
+	// latency overrides cfg.Latency when set (nanoseconds; negative
+	// means "use the config value"). SetLatency writes it at runtime.
+	latency atomic.Int64
 }
 
 // NewFault wraps inner with the given fault schedule.
@@ -73,6 +76,7 @@ func NewFault(inner Client, cfg FaultConfig) *FaultClient {
 	c := &FaultClient{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	c.down.Store(cfg.Down)
 	c.blackh.Store(cfg.Blackhole)
+	c.latency.Store(-1)
 	return c
 }
 
@@ -85,6 +89,21 @@ func (c *FaultClient) SetDown(down bool) { c.down.Store(down) }
 // subsequent call hang until its context expires (a partition), false
 // heals it.
 func (c *FaultClient) SetBlackhole(on bool) { c.blackh.Store(on) }
+
+// SetLatency changes the injected per-request delay at runtime,
+// overriding FaultConfig.Latency for subsequent calls. It makes a
+// backend slow without making it fail — the knob admission-control
+// and queue tests turn to simulate load without real work. A negative
+// d restores the config value.
+func (c *FaultClient) SetLatency(d time.Duration) { c.latency.Store(int64(d)) }
+
+// currentLatency resolves the effective injected delay.
+func (c *FaultClient) currentLatency() time.Duration {
+	if v := c.latency.Load(); v >= 0 {
+		return time.Duration(v)
+	}
+	return c.cfg.Latency
+}
 
 // Unwrap returns the decorated client.
 func (c *FaultClient) Unwrap() Client { return c.inner }
@@ -153,8 +172,8 @@ func (c *FaultClient) QueryX(ctx context.Context, req Request) (*sparql.Results,
 		meta.Wall = time.Since(start)
 		return nil, meta, classifyCtx(ctx, MarkRetryable(fmt.Errorf("endpoint: fault: blackholed (call %d): %w", call, ctx.Err())))
 	}
-	if c.cfg.Latency > 0 {
-		t := time.NewTimer(c.cfg.Latency)
+	if d := c.currentLatency(); d > 0 {
+		t := time.NewTimer(d)
 		select {
 		case <-t.C:
 		case <-ctx.Done():

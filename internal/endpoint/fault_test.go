@@ -108,6 +108,31 @@ func TestFaultLatencyHonoursContext(t *testing.T) {
 	}
 }
 
+func TestFaultSetLatency(t *testing.T) {
+	inner := NewInProcess(testStore(t))
+	fc := NewFault(inner, FaultConfig{})
+	ctx := context.Background()
+
+	fc.SetLatency(60 * time.Millisecond)
+	t0 := time.Now()
+	if _, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 60*time.Millisecond {
+		t.Errorf("query with SetLatency(60ms) returned in %v", d)
+	}
+
+	// Restoring the config value (zero here) removes the delay.
+	fc.SetLatency(-1)
+	t0 = time.Now()
+	if _, err := fc.Query(ctx, `ASK { ?s ?p ?o . }`); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 30*time.Millisecond {
+		t.Errorf("query after latency reset took %v", d)
+	}
+}
+
 func TestFaultBlackhole(t *testing.T) {
 	inner := NewInProcess(testStore(t))
 	fc := NewFault(inner, FaultConfig{Blackhole: true})

@@ -34,9 +34,10 @@ type options struct {
 	slow        *obs.SlowLog
 	maxQueryLen int
 	workers     *int
-	traceSink   *obs.OTLPSink
-	queryLog    *obs.QueryRing
-	ready       func() error
+	traceSink    *obs.OTLPSink
+	queryLog     *obs.QueryRing
+	ready        func() error
+	tenantHeader string
 }
 
 // applyOptions folds opts into a settings bag.
@@ -110,6 +111,16 @@ func WithTraceExport(s *obs.OTLPSink) Option {
 // which is 200 for as long as the process serves HTTP at all.
 func WithReadiness(fn func() error) Option {
 	return func(o *options) { o.ready = fn }
+}
+
+// WithTenantHeader names the request header whose value becomes the
+// admission-control tenant identity (NewClientServer): the server
+// copies it into the request context via ContextWithTenant before
+// delegating to the client, so a serve stack with per-tenant limits
+// partitions load by caller. Requests without the header fall into the
+// default tenant bucket.
+func WithTenantHeader(name string) Option {
+	return func(o *options) { o.tenantHeader = name }
 }
 
 // WithQueryLog records every served query's profile summary (wall

@@ -76,6 +76,23 @@ type QueryMeta struct {
 	// in-process. Profile.Deltas() gives estimated-vs-actual
 	// cardinality per operator.
 	Profile *sparql.Profile
+	// Generation is the data-version token of the store(s) that
+	// answered: the store's mutation counter for a single backend, a
+	// composed token for a shard coordinator. Zero when the executing
+	// client does not report one. The serve-layer result cache keys on
+	// it so mutations invalidate cached answers.
+	Generation uint64
+	// CacheHit reports that the serve layer answered from its result
+	// cache without executing the query.
+	CacheHit bool
+	// Coalesced reports that this request was deduplicated onto a
+	// concurrent identical in-flight execution (single-flight) and
+	// shares that execution's results.
+	Coalesced bool
+	// QueueWait is the time the request spent queued in admission
+	// control before executing, so a slow query that waited is
+	// distinguishable from one that was slow to join.
+	QueueWait time.Duration
 }
 
 // QuerierX is the extension interface of the protocol boundary: a
@@ -191,6 +208,9 @@ func recordSlow(l *obs.SlowLog, query string, meta QueryMeta, err error) {
 		Plan:          meta.Plan,
 		Shards:        meta.Shards,
 		SkippedShards: meta.SkippedShards,
+		CacheHit:      meta.CacheHit,
+		Coalesced:     meta.Coalesced,
+		QueueWaitMS:   float64(meta.QueueWait) / float64(time.Millisecond),
 		Query:         query,
 	}
 	if meta.HasPhases {

@@ -252,6 +252,8 @@ func (c *ResilientClient) QueryX(ctx context.Context, req Request) (*sparql.Resu
 		if err == nil {
 			c.recordSuccess()
 			meta.Phases, meta.HasPhases = im.Phases, im.HasPhases
+			meta.Generation = im.Generation
+			meta.CacheHit, meta.Coalesced, meta.QueueWait = im.CacheHit, im.Coalesced, im.QueueWait
 			return finish(res, nil)
 		}
 		err = classifyCtx(ctx, err)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +48,10 @@ type Server struct {
 	// store-backed constructors take a fully-loaded store, so that is
 	// correct for them by construction.
 	ready func() error
+	// tenantHeader, when set via WithTenantHeader, names the request
+	// header whose value becomes the admission-control tenant identity
+	// (ContextWithTenant) for the delegated client.
+	tenantHeader string
 }
 
 // serverMetrics caches the server's registry series.
@@ -57,7 +62,18 @@ type serverMetrics struct {
 }
 
 // requestOutcomes is the label vocabulary of the request counter.
-var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "canceled", "error"}
+var requestOutcomes = [...]string{"ok", "bad_request", "bad_query", "timeout", "canceled", "rejected", "error"}
+
+// GenerationHeader carries the serving store's mutation-generation
+// token on query responses. HTTPClient parses it into
+// QueryMeta.Generation so a shard coordinator can compose remote shard
+// generations into its own cache-invalidation token.
+const GenerationHeader = "X-Re2xolap-Generation"
+
+// CacheHeader reports how the serve layer answered: "hit" (result
+// cache) or "coalesced" (deduplicated onto a concurrent identical
+// execution). Absent on plain executions.
+const CacheHeader = "X-Re2xolap-Cache"
 
 // NewServer returns a SPARQL protocol handler over st. Supported
 // options: WithRegistry (request counters, latency histograms, engine
@@ -93,7 +109,7 @@ func NewServer(st *store.Store, opts ...Option) *Server {
 // via the X-Re2xolap-Incomplete response header.
 func NewClientServer(c Client, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready}
+	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready, tenantHeader: o.tenantHeader}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -137,6 +153,8 @@ func requestOutcome(err error) string {
 		return "ok"
 	case errors.As(err, &se):
 		return "bad_query"
+	case errors.Is(err, ErrOverloaded):
+		return "rejected"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	case errors.Is(err, context.Canceled):
@@ -223,9 +241,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	timed := s.m != nil || s.slow != nil || s.queries != nil
 	switch {
 	case s.client != nil:
+		if s.tenantHeader != "" {
+			ctx = ContextWithTenant(ctx, r.Header.Get(s.tenantHeader))
+		}
 		res, meta, err = QueryX(ctx, s.client, Request{Query: query})
 		if meta.HasPhases {
 			pt = meta.Phases
+		}
+		if err == nil {
+			if meta.Generation != 0 {
+				w.Header().Set(GenerationHeader, strconv.FormatUint(meta.Generation, 10))
+			}
+			switch {
+			case meta.CacheHit:
+				w.Header().Set(CacheHeader, "hit")
+			case meta.Coalesced:
+				w.Header().Set(CacheHeader, "coalesced")
+			}
 		}
 		if meta.Incomplete && err == nil {
 			// Header, not an error status: the answer is valid, just
@@ -245,6 +277,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		switch requestOutcome(err) {
 		case "bad_query":
 			http.Error(w, fmt.Sprintf("malformed query: %v", err), http.StatusBadRequest)
+		case "rejected":
+			// Admission control shed the request before executing it:
+			// 429 + Retry-After, the standard back-off contract (our
+			// StatusError taxonomy already treats 429 as retryable).
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("overloaded: %v", err), http.StatusTooManyRequests)
 		case "timeout":
 			// The per-request execution deadline expired: 503 tells
 			// well-behaved clients (and our ResilientClient) this is a
@@ -296,6 +334,9 @@ func (s *Server) recordRing(query string, wall time.Duration, pt sparql.PhaseTim
 		Shards:        meta.Shards,
 		Incomplete:    meta.Incomplete,
 		SkippedShards: meta.SkippedShards,
+		CacheHit:      meta.CacheHit,
+		Coalesced:     meta.Coalesced,
+		QueueWaitMS:   float64(meta.QueueWait) / float64(time.Millisecond),
 		Query:         query,
 	}
 	if err != nil {
@@ -320,6 +361,9 @@ func (s *Server) recordSlow(query string, wall time.Duration, pt sparql.PhaseTim
 		Plan:          meta.Plan,
 		Shards:        meta.Shards,
 		SkippedShards: meta.SkippedShards,
+		CacheHit:      meta.CacheHit,
+		Coalesced:     meta.Coalesced,
+		QueueWaitMS:   float64(meta.QueueWait) / float64(time.Millisecond),
 		Query:         query,
 	}
 	if err != nil {
@@ -348,6 +392,9 @@ func (s *Server) recordSlowWithSerialize(query string, wall time.Duration, pt sp
 		Plan:          meta.Plan,
 		Shards:        meta.Shards,
 		SkippedShards: meta.SkippedShards,
+		CacheHit:      meta.CacheHit,
+		Coalesced:     meta.Coalesced,
+		QueueWaitMS:   float64(meta.QueueWait) / float64(time.Millisecond),
 		Query:         query,
 	})
 }

@@ -1,0 +1,59 @@
+package endpoint
+
+import "context"
+
+// GenerationSource is implemented by clients that can report the
+// current data version of their backing store(s) *before* executing a
+// query: store.Store (the counter itself), InProcess, and the shard
+// Coordinator (a composed token). The serve-layer result cache reads
+// it on every lookup so a mutation invalidates cached answers.
+type GenerationSource interface {
+	Generation() uint64
+}
+
+// Unwrapper is implemented by decorating clients (ResilientClient,
+// FaultClient, the serve stack) so capability probes like
+// GenerationOf can reach the innermost client.
+type Unwrapper interface {
+	Unwrap() Client
+}
+
+// GenerationOf walks the Unwrap chain from c and returns the first
+// GenerationSource's current generation. ok is false when no client in
+// the chain reports one (e.g. a plain HTTP client to a foreign
+// endpoint).
+func GenerationOf(c Client) (uint64, bool) {
+	for c != nil {
+		if gs, ok := c.(GenerationSource); ok {
+			return gs.Generation(), true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return 0, false
+		}
+		c = u.Unwrap()
+	}
+	return 0, false
+}
+
+// tenantKey is the context key carrying the requesting tenant's
+// identity across the Client boundary.
+type tenantKey struct{}
+
+// ContextWithTenant returns ctx tagged with the tenant identity
+// admission control partitions by. The HTTP server derives it from the
+// configured tenant header; in-process callers may set it directly.
+func ContextWithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant identity from ctx, or "" when the
+// request is untagged (admission control buckets those under its
+// default tenant).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

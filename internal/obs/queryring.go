@@ -43,8 +43,13 @@ type QueryRecord struct {
 	// SkippedShards lists the shard indices a degraded-mode answer was
 	// served without (Incomplete is then true).
 	SkippedShards []int `json:"skipped_shards,omitempty"`
-	Error      string             `json:"error,omitempty"`
-	Query      string             `json:"query"`
+	// CacheHit and Coalesced report serve-layer handling; QueueWaitMS
+	// is admission-control queue time (see SlowQuery for semantics).
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Query       string  `json:"query"`
 }
 
 // QueryRing keeps the last N query records in a fixed ring. A nil

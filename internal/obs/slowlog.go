@@ -27,9 +27,17 @@ type SlowQuery struct {
 	Shards []ShardCall `json:"shards,omitempty"`
 	// SkippedShards lists the shard indices a degraded-mode answer was
 	// served without.
-	SkippedShards []int  `json:"skipped_shards,omitempty"`
-	Error         string `json:"error,omitempty"`
-	Query         string `json:"query"`
+	SkippedShards []int `json:"skipped_shards,omitempty"`
+	// CacheHit and Coalesced report serve-layer handling: answered
+	// from the result cache, or deduplicated onto a concurrent
+	// identical execution. QueueWaitMS is admission-control queue time
+	// — a "slow" query that spent its wall time queued is then
+	// distinguishable from one that was slow to join.
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Query       string  `json:"query"`
 }
 
 // maxSlowQueryLen bounds the logged query text so one enormous VALUES

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+// shedReasons is the label vocabulary of the shed counter.
+var shedReasons = [...]string{"queue_full", "deadline"}
+
+// metrics is the serve stack's registry series, created once at
+// construction. A nil *metrics (registry absent) disables everything
+// through the obs nil fast path — every method is nil-safe.
+type metrics struct {
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	coalesced      *obs.Counter
+	executions     *obs.Counter
+	queueWait      *obs.Histogram
+	sheds          map[string]*obs.Counter // by reason
+}
+
+// newMetrics registers the serve series. The occupancy and queue-depth
+// gauges sample the stack directly at exposition time, so they are
+// registered by the Stack after construction (it owns the sampled
+// state).
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &metrics{
+		cacheHits: reg.Counter("re2xolap_result_cache_hits_total",
+			"Queries answered from the result cache without executing."),
+		cacheMisses: reg.Counter("re2xolap_result_cache_misses_total",
+			"Cache-eligible queries that were not in the result cache."),
+		cacheEvictions: reg.Counter("re2xolap_result_cache_evictions_total",
+			"Result-cache entries evicted to stay within the size bound."),
+		coalesced: reg.Counter("re2xolap_serve_coalesced_total",
+			"Requests deduplicated onto a concurrent identical execution."),
+		executions: reg.Counter("re2xolap_serve_executions_total",
+			"Queries the serve stack actually forwarded to the inner client."),
+		queueWait: reg.Histogram("re2xolap_serve_queue_wait_seconds",
+			"Time admitted requests spent queued for an execution slot.", nil),
+		sheds: make(map[string]*obs.Counter, len(shedReasons)),
+	}
+	for _, reason := range shedReasons {
+		m.sheds[reason] = reg.Counter("re2xolap_serve_shed_total",
+			"Requests rejected by admission control, by reason.", obs.L("reason", reason))
+	}
+	return m
+}
+
+func (m *metrics) hit() {
+	if m != nil {
+		m.cacheHits.Inc()
+	}
+}
+
+func (m *metrics) miss() {
+	if m != nil {
+		m.cacheMisses.Inc()
+	}
+}
+
+func (m *metrics) evicted(n int) {
+	if m != nil && n > 0 {
+		m.cacheEvictions.Add(int64(n))
+	}
+}
+
+func (m *metrics) coalesce() {
+	if m != nil {
+		m.coalesced.Inc()
+	}
+}
+
+func (m *metrics) execute() {
+	if m != nil {
+		m.executions.Inc()
+	}
+}
+
+func (m *metrics) observeQueueWait(d time.Duration) {
+	if m != nil {
+		m.queueWait.ObserveDuration(d)
+	}
+}
+
+func (m *metrics) shed(reason string) {
+	if m != nil {
+		m.sheds[reason].Inc()
+	}
+}

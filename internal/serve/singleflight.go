@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/sparql"
+)
+
+// flightCall is one in-flight execution duplicates attach to.
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes
+	res  *sparql.Results
+	meta endpoint.QueryMeta
+	err  error
+}
+
+// flightGroup coalesces concurrent identical work: the first caller
+// for a key becomes the leader and executes; callers arriving while
+// the leader is in flight wait for its answer instead of executing
+// again. There is no cross-call memory — once the leader finishes and
+// the call is forgotten, the next caller leads a fresh execution (the
+// result cache, not the flight group, carries answers across time).
+// Hand-rolled because the module has no dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, coalescing concurrent duplicates. The second
+// return reports whether this caller led the execution (false = it
+// received the leader's shared answer). A duplicate whose own context
+// ends first abandons the wait and returns the context error; the
+// leader is unaffected.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*sparql.Results, endpoint.QueryMeta, error)) (*sparql.Results, endpoint.QueryMeta, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.meta, false, c.err
+		case <-ctx.Done():
+			return nil, endpoint.QueryMeta{}, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.meta, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.meta, true, c.err
+}

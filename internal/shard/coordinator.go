@@ -339,6 +339,45 @@ func (c *Coordinator) Close() {
 	}
 }
 
+// Generation implements endpoint.GenerationSource with a composed
+// token over the current topology: an FNV-1a hash folding every
+// shard's index, replica spec, and replica generation (a live store
+// read for in-process backends, the last query-reported value for
+// remote ones). It is a hash, not a counter — per-replica counters are
+// not comparable across failover — so the contract is "equal tokens ⇒
+// same data version for cache purposes": any shard mutation, topology
+// change, or replica switch changes the token and invalidates cached
+// answers. A spurious change only costs a cache miss.
+func (c *Coordinator) Generation() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	v := c.currentView()
+	for i, g := range v.groups {
+		mix(uint64(i))
+		for _, r := range g.replicas {
+			for j := 0; j < len(r.spec); j++ {
+				h ^= uint64(r.spec[j])
+				h *= prime64
+			}
+			mix(r.generation())
+		}
+	}
+	if h == 0 {
+		h = offset64 // zero means "no generation" at the endpoint layer
+	}
+	return h
+}
+
 // Shards returns the current shard count.
 func (c *Coordinator) Shards() int { return len(c.currentView().groups) }
 
@@ -382,6 +421,12 @@ func (c *Coordinator) QueryX(ctx context.Context, req endpoint.Request) (*sparql
 	}
 	c.m.plan(p.kind)
 	meta.Plan = p.kind.String()
+
+	// Read the composed generation BEFORE executing: a mutation landing
+	// mid-query then caches the answer under the pre-mutation token,
+	// which the next lookup's newer token invalidates — never the
+	// reverse (a fresh token on stale data).
+	meta.Generation = c.Generation()
 
 	// One view per query: everything below runs against this topology
 	// generation even if a Reload lands mid-flight.

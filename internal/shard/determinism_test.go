@@ -8,179 +8,34 @@ import (
 	"sort"
 	"testing"
 
-	"re2xolap/internal/datagen"
+	"re2xolap/internal/corpus"
 	"re2xolap/internal/endpoint"
 	"re2xolap/internal/rdf"
 	"re2xolap/internal/sparql"
 	"re2xolap/internal/store"
 )
 
-// determinismTriples is the determinism-suite dataset: a handcrafted
-// graph exercising every query shape (star BGPs, cross-subject joins,
-// a transitive chain, text filters) plus a datagen corpus so the
-// aggregate queries run over realistically skewed data. Fully
-// deterministic: the handcrafted part is literal and datagen is
-// seeded.
-func determinismTriples() []rdf.Triple {
-	iri := func(s string) rdf.Term { return rdf.NewIRI("http://t/" + s) }
-	var ts []rdf.Triple
-	add := func(s, p string, o rdf.Term) {
-		ts = append(ts, rdf.Triple{S: iri(s), P: iri(p), O: o})
-	}
-	// Regions in a two-level hierarchy (cross-subject join target).
-	for i := 0; i < 4; i++ {
-		r := fmt.Sprintf("r%d", i)
-		c := "cA"
-		if i >= 2 {
-			c = "cB"
-		}
-		add(r, "partOf", iri(c))
-		add(r, "label", rdf.NewString(fmt.Sprintf("region %d", i)))
-	}
-	// Observations: distinct values so ORDER BY is a total order.
-	for i := 0; i < 12; i++ {
-		s := fmt.Sprintf("obs%d", i)
-		add(s, "region", iri(fmt.Sprintf("r%d", i%4)))
-		if i != 7 { // one observation misses its value
-			add(s, "value", rdf.NewInteger(int64(100+i*7)))
-		}
-		label := fmt.Sprintf("obs %d", i)
-		if i%5 == 0 {
-			label += " special"
-		}
-		add(s, "label", rdf.NewString(label))
-	}
-	// A knows-chain for the transitive-closure query.
-	add("p0", "knows", iri("p1"))
-	add("p1", "knows", iri("p2"))
-	add("p2", "knows", iri("p3"))
-	add("p1", "knows", iri("p3"))
-	// Seeded synthetic corpus for scale and skew.
-	datagen.EurostatLike(150).Generate(func(t rdf.Triple) { ts = append(ts, t) })
-	return ts
-}
+// determinismTriples delegates to the shared determinism dataset
+// (internal/corpus), which the serve-layer cache tests also run.
+func determinismTriples() []rdf.Triple { return corpus.Triples() }
 
-// corpusQuery is one determinism-suite entry. engineCompare selects
-// how the N-shard answer is checked against the single-node engine:
-// "exact" (same rows, same order), "set" (same rows, any order — for
-// queries whose order the language leaves unspecified), "skip" (the
-// coordinator legitimately picks a different representative: SAMPLE,
-// GROUP_CONCAT, bare LIMIT without a total order).
+// corpusQuery is one determinism-suite entry; see corpus.Query for the
+// engineCompare vocabulary ("exact", "set", "skip").
 type corpusQuery struct {
 	name          string
 	query         string
 	engineCompare string
 }
 
-// determinismCorpus is the full query test corpus from the issue:
-// ORDER BY+LIMIT, DISTINCT, HAVING, each aggregate, plus every
-// fallback-triggering shape.
+// determinismCorpus adapts the shared 33-query corpus to the local
+// field names the shard tests predate the extraction with.
 func determinismCorpus() []corpusQuery {
-	return []corpusQuery{
-		{"star-order-limit-offset",
-			`SELECT ?s ?v WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } ORDER BY DESC(?v) LIMIT 5 OFFSET 2`,
-			"exact"},
-		{"star-order-asc",
-			`SELECT ?s ?v WHERE { ?s <http://t/value> ?v } ORDER BY ASC(?v)`,
-			"exact"},
-		{"distinct",
-			`SELECT DISTINCT ?r WHERE { ?s <http://t/region> ?r }`,
-			"set"},
-		{"bare-limit",
-			`SELECT ?s WHERE { ?s <http://t/region> ?r } LIMIT 3`,
-			"skip"}, // no total order: any 3 rows are a correct answer
-		{"count-group",
-			`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r`,
-			"set"},
-		{"count-star-group",
-			`SELECT ?r (COUNT(*) AS ?n) WHERE { ?s <http://t/region> ?r } GROUP BY ?r ORDER BY ?r`,
-			"exact"},
-		{"sum-avg",
-			`SELECT ?r (SUM(?v) AS ?t) (AVG(?v) AS ?a) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			"exact"},
-		{"min-max",
-			`SELECT ?r (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			"exact"},
-		{"global-agg",
-			`SELECT (COUNT(?v) AS ?n) (SUM(?v) AS ?t) WHERE { ?s <http://t/value> ?v }`,
-			"exact"},
-		{"global-agg-empty",
-			`SELECT (COUNT(?v) AS ?n) WHERE { ?s <http://t/nosuch> ?v }`,
-			"exact"},
-		{"having",
-			`SELECT ?r (COUNT(?v) AS ?n) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r HAVING (COUNT(?v) >= 3) ORDER BY ?r`,
-			"exact"},
-		{"agg-expr-projection",
-			`SELECT ?r ((SUM(?v) + COUNT(?v)) AS ?mix) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			"exact"},
-		{"sample",
-			`SELECT ?r (SAMPLE(?v) AS ?any) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			"skip"}, // coordinator's canonical sample may differ from the engine's
-		{"group-concat-gather",
-			`SELECT ?r (GROUP_CONCAT(?v) AS ?all) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			// Concatenation order is implementation-defined (row order),
-			// and the gather store's canonical load order differs from
-			// the original store's insert order — topologies agree with
-			// each other, not with the engine's element order.
-			"skip"},
-		{"count-distinct-gather",
-			`SELECT ?r (COUNT(DISTINCT ?v) AS ?n) WHERE { ?s <http://t/region> ?r . ?s <http://t/value> ?v } GROUP BY ?r ORDER BY ?r`,
-			"exact"},
-		{"union",
-			`SELECT ?s WHERE { { ?s <http://t/region> <http://t/r0> } UNION { ?s <http://t/region> <http://t/r1> } } ORDER BY ?s`,
-			"exact"},
-		{"optional",
-			`SELECT ?s ?v WHERE { ?s <http://t/region> ?r . OPTIONAL { ?s <http://t/value> ?v } } ORDER BY ?s`,
-			"exact"},
-		{"filter-contains",
-			`SELECT ?s WHERE { ?s <http://t/label> ?l . FILTER (CONTAINS(LCASE(STR(?l)), "special")) } ORDER BY ?s`,
-			"exact"},
-		{"filter-not-exists",
-			`SELECT ?s WHERE { ?s <http://t/region> ?r . FILTER NOT EXISTS { ?s <http://t/value> ?v } } ORDER BY ?s`,
-			"exact"},
-		{"closure-gather",
-			`SELECT ?b WHERE { <http://t/p0> <http://t/knows>+ ?b } ORDER BY ?b`,
-			"exact"},
-		{"join-bound",
-			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`,
-			"exact"},
-		{"join-bound-chain",
-			`SELECT ?a ?c ?d WHERE { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c . ?c <http://t/knows> ?d } ORDER BY ?a ?c ?d`,
-			"exact"},
-		{"join-bound-pushed-filter",
-			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c . FILTER(?c = <http://t/cA>) } ORDER BY ?s`,
-			"exact"},
-		{"join-bound-residual-filter",
-			`SELECT ?s ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c . FILTER(?s != ?c) } ORDER BY ?s`,
-			"exact"},
-		{"join-bound-distinct",
-			`SELECT DISTINCT ?c WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c }`,
-			"set"},
-		{"join-bound-expr-projection",
-			`SELECT ?s (STR(?c) AS ?cs) WHERE { ?s <http://t/region> ?r . ?r <http://t/partOf> ?c } ORDER BY ?s`,
-			"exact"},
-		{"join-bound-empty",
-			`SELECT ?s ?x WHERE { ?s <http://t/region> ?r . ?r <http://t/nosuch> ?x } ORDER BY ?s`,
-			"exact"},
-		{"join-bound-ask",
-			`ASK { ?a <http://t/knows> ?b . ?b <http://t/knows> ?c }`,
-			"exact"},
-		{"values",
-			`SELECT ?s ?v WHERE { VALUES ?r { <http://t/r0> <http://t/r2> } ?s <http://t/region> ?r . ?s <http://t/value> ?v } ORDER BY ?s`,
-			"exact"},
-		{"subselect-gather",
-			`SELECT ?s ?v WHERE { { SELECT ?s WHERE { ?s <http://t/region> <http://t/r1> } } ?s <http://t/value> ?v } ORDER BY ?s`,
-			"exact"},
-		{"ask-true",
-			`ASK { ?s <http://t/region> <http://t/r2> }`,
-			"exact"},
-		{"ask-false",
-			`ASK { ?s <http://t/region> <http://t/r9> }`,
-			"exact"},
-		{"mixed-dataset-agg",
-			`SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?p`,
-			"exact"},
+	qs := corpus.Queries()
+	out := make([]corpusQuery, len(qs))
+	for i, q := range qs {
+		out[i] = corpusQuery{name: q.Name, query: q.Query, engineCompare: q.EngineCompare}
 	}
+	return out
 }
 
 // newTopology splits the dataset over n in-process shard stores and

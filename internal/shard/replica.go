@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"re2xolap/internal/endpoint"
@@ -22,8 +23,25 @@ type replica struct {
 	raw          endpoint.Client // probe path (as dialed)
 	health       *healthState
 
+	// lastGen is the store generation this replica last reported on a
+	// successful answer (from QueryMeta.Generation / the
+	// X-Re2xolap-Generation header). Remote replicas cannot be asked
+	// for a live generation cheaply, so the coordinator folds this
+	// last-seen value into its composed cache-invalidation token.
+	lastGen atomic.Uint64
+
 	mUp    *obs.Gauge
 	mProbe *obs.Histogram
+}
+
+// generation resolves this replica's data-version contribution: a live
+// read when the backend chain exposes one (in-process stores), the
+// last query-reported value otherwise.
+func (r *replica) generation() uint64 {
+	if g, ok := endpoint.GenerationOf(r.raw); ok {
+		return g
+	}
+	return r.lastGen.Load()
 }
 
 // replicaSet is one logical shard's ordered replicas plus its
@@ -122,15 +140,15 @@ func (g *replicaSet) query(ctx context.Context, req endpoint.Request, hedge time
 		var res *sparql.Results
 		var qmeta endpoint.QueryMeta
 		var err error
+		winRep := cands[k]
 		if hedge > 0 && k+1 < len(cands) {
 			var winner int
 			res, qmeta, winner, err = g.hedgedCall(ctx, cands[k], cands[k+1], req, hedge)
 			if winner == 1 {
-				out.replica = cands[k+1].index
+				winRep = cands[k+1]
 				hedged = true
-			} else {
-				out.replica = cands[k].index
 			}
+			out.replica = winRep.index
 		} else {
 			res, qmeta, err = endpoint.QueryX(ctx, cands[k].client, req)
 			out.replica = cands[k].index
@@ -138,6 +156,9 @@ func (g *replicaSet) query(ctx context.Context, req endpoint.Request, hedge time
 		out.attempts += qmeta.Attempts
 		out.retries += qmeta.Retries
 		if err == nil {
+			if qmeta.Generation != 0 {
+				winRep.lastGen.Store(qmeta.Generation)
+			}
 			out.res, out.err = res, nil
 			return out
 		}

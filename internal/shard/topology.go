@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -85,13 +86,16 @@ func (s Static) Resolve() (TopologyView, error) {
 // so operators can edit one file and reload the coordinator (SIGHUP,
 // or the mtime poller) instead of restarting it. Changed is the cheap
 // mtime/size check the poll loop uses to skip re-parsing an untouched
-// file. Safe for concurrent use.
+// file, with a content-hash fallback for rewrites that land within the
+// filesystem's mtime granularity at the same size. Safe for concurrent
+// use.
 type FileTopology struct {
 	Path string
 
 	mu    sync.Mutex
 	mtime time.Time
 	size  int64
+	hash  [sha256.Size]byte
 }
 
 // NewFileTopology returns a file-backed topology source for path.
@@ -113,24 +117,37 @@ func (f *FileTopology) Resolve() (TopologyView, error) {
 	}
 	if st, err := os.Stat(f.Path); err == nil {
 		f.mu.Lock()
-		f.mtime, f.size = st.ModTime(), st.Size()
+		f.mtime, f.size, f.hash = st.ModTime(), st.Size(), sha256.Sum256(raw)
 		f.mu.Unlock()
 	}
 	return v, nil
 }
 
-// Changed reports whether the file's mtime or size differs from the
-// last successful Resolve — the signal the poll loop acts on. A stat
-// error is returned so a vanished file is visible rather than
-// silently "unchanged".
+// Changed reports whether the file differs from the last successful
+// Resolve — the signal the poll loop acts on. The fast path compares
+// mtime and size from one stat; when both match, the content hash
+// breaks the tie, because a rewrite landing within the filesystem's
+// mtime granularity at the same byte count (two same-length endpoint
+// URLs swapped by a deploy script) is otherwise invisible and the
+// coordinator would serve the stale topology until an unrelated edit.
+// A stat or read error is returned so a vanished file is visible
+// rather than silently "unchanged".
 func (f *FileTopology) Changed() (bool, error) {
 	st, err := os.Stat(f.Path)
 	if err != nil {
 		return false, err
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return !st.ModTime().Equal(f.mtime) || st.Size() != f.size, nil
+	mtime, size, hash := f.mtime, f.size, f.hash
+	f.mu.Unlock()
+	if !st.ModTime().Equal(mtime) || st.Size() != size {
+		return true, nil
+	}
+	raw, err := os.ReadFile(f.Path)
+	if err != nil {
+		return false, err
+	}
+	return sha256.Sum256(raw) != hash, nil
 }
 
 // Dialer turns one replica spec into a client. shard and replica are

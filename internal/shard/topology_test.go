@@ -81,6 +81,54 @@ func TestFileTopology(t *testing.T) {
 	}
 }
 
+// A rewrite that keeps the byte count and lands within the
+// filesystem's mtime granularity is invisible to the stat-only check;
+// the content-hash fallback must still report it. os.Chtimes pins the
+// mtime to make the collision deterministic rather than relying on a
+// fast filesystem.
+func TestFileTopologyChangedSameMtimeSameSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	before := `{"shards": [["http://aaaa/sparql"], ["http://cccc/sparql"]]}`
+	after := `{"shards": [["http://cccc/sparql"], ["http://aaaa/sparql"]]}`
+	if len(before) != len(after) {
+		t.Fatalf("test payloads differ in size: %d vs %d", len(before), len(after))
+	}
+	if err := os.WriteFile(path, []byte(before), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft := NewFileTopology(path)
+	if _, err := ft.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtime := st.ModTime()
+	if err := os.WriteFile(path, []byte(after), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the rewrite to the original mtime: stat now sees identical
+	// mtime AND size.
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ft.Changed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("same-mtime same-size rewrite not detected: content hash fallback broken")
+	}
+	// After re-resolving the new content, the poller settles again.
+	if _, err := ft.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if changed, err := ft.Changed(); err != nil || changed {
+		t.Fatalf("settled file reported changed (%v, %v)", changed, err)
+	}
+}
+
 // dynamicHarness wires a NewDynamic coordinator whose dialer serves
 // in-process partition replicas keyed by spec, tracking every dialed
 // client so tests can kill replicas and count dials.

@@ -41,6 +41,11 @@ type Engine struct {
 // NewEngine returns an engine over st.
 func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
 
+// Store returns the engine's backing store, letting serving layers
+// reach store-level facts (e.g. the mutation generation counter)
+// without holding a second reference.
+func (e *Engine) Store() *store.Store { return e.st }
+
 // QueryString parses and executes src. An EXPLAIN or EXPLAIN ANALYZE
 // prefix returns the static plan or the runtime profile as a one-column
 // result set instead of executing normally.

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"testing"
+
+	"re2xolap/internal/rdf"
+)
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	s := New()
+	g0 := s.Generation()
+
+	if err := s.Add(tr("s1", "p1", "o1")); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation()
+	if g1 <= g0 {
+		t.Fatalf("Generation after Add = %d, want > %d", g1, g0)
+	}
+
+	// Duplicate insert leaves the answer set unchanged and must not
+	// invalidate caches.
+	if err := s.Add(tr("s1", "p1", "o1")); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != g1 {
+		t.Fatalf("Generation after duplicate Add = %d, want %d", g, g1)
+	}
+
+	s.Compact()
+	g2 := s.Generation()
+	if g2 <= g1 {
+		t.Fatalf("Generation after non-empty Compact = %d, want > %d", g2, g1)
+	}
+
+	// Compacting an empty delta is a no-op.
+	s.Compact()
+	if g := s.Generation(); g != g2 {
+		t.Fatalf("Generation after empty Compact = %d, want %d", g, g2)
+	}
+}
+
+func TestGenerationAdvancesOnBulkLoad(t *testing.T) {
+	s := New()
+	if err := s.AddAll([]rdf.Triple{tr("a", "p", "b"), tr("b", "p", "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() == 0 {
+		t.Fatal("Generation after AddAll = 0, want > 0")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"re2xolap/internal/rdf"
 )
@@ -36,6 +37,12 @@ type Store struct {
 	// autoCompact is the delta size that triggers an automatic Compact
 	// during Add. Zero disables automatic compaction.
 	autoCompact int
+
+	// gen counts content-changing events: every actual triple insert
+	// and every non-empty compaction bumps it. Result caches key on it
+	// so a mutation invalidates cached answers without coordination.
+	// Duplicate inserts do not bump it — the answer set is unchanged.
+	gen atomic.Uint64
 }
 
 // DefaultAutoCompact is the delta size at which Add compacts
@@ -97,6 +104,7 @@ func (s *Store) addLocked(enc spoTriple, obj rdf.Term) {
 	}
 	s.deltaSet[enc] = struct{}{}
 	s.delta = append(s.delta, enc)
+	s.gen.Add(1)
 	if obj.IsLiteral() {
 		s.text.add(enc[2], obj.Value)
 	}
@@ -153,7 +161,14 @@ func (s *Store) compactLocked() {
 	}
 	s.delta = s.delta[:0]
 	s.deltaSet = map[spoTriple]struct{}{}
+	s.gen.Add(1)
 }
+
+// Generation returns a monotonic counter that advances whenever the
+// stored triple set changes (Add of a new triple, Load, AddAll) and on
+// every non-empty Compact. Equal generations imply identical query
+// answers, which is the invariant the serve-layer result cache keys on.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // Len returns the number of distinct triples.
 func (s *Store) Len() int {
