@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"re2xolap/internal/obs"
+	"re2xolap/internal/serve"
+	"re2xolap/internal/shard"
+	"re2xolap/internal/webui"
+)
+
+// fleetRefreshSeconds is the /fleet page auto-refresh cadence.
+const fleetRefreshSeconds = 5
+
+// fleetProvider assembles the /fleet dashboard snapshot from
+// whichever pieces this deployment has: the coordinator (topology
+// health, scrape staleness, per-shard latency), the serve stack
+// (cache/admission stats), and the SLO tracker (tenant burn table).
+// coord and stack may each be nil.
+func fleetProvider(mode string, coord *shard.Coordinator, stack *serve.Stack, reg *obs.Registry) func() webui.FleetData {
+	return func() webui.FleetData {
+		d := webui.FleetData{Mode: mode, RefreshSeconds: fleetRefreshSeconds}
+		if coord != nil {
+			fillTopology(&d, coord, reg)
+		}
+		if stack != nil {
+			fillServe(&d, stack)
+		}
+		return d
+	}
+}
+
+// fillTopology renders the coordinator sections: replica health joined
+// with fleet scrape state, and per-shard latency quantiles read from
+// the coordinator's own registry series.
+func fillTopology(d *webui.FleetData, coord *shard.Coordinator, reg *obs.Registry) {
+	d.Shards = coord.Shards()
+	for _, n := range coord.Replicas() {
+		d.ReplicaCount += n
+	}
+	d.Epoch = reg.Gauge("re2xolap_topology_epoch", "").Value()
+
+	// FleetStatus (scrape state) is nil when fleet collection is off;
+	// Status (routing health) always reports. Join them by position —
+	// both walk the same view in the same order.
+	scrapes := map[[2]int]shard.FleetInstance{}
+	for _, fi := range coord.FleetStatus() {
+		scrapes[[2]int{fi.Shard, fi.Replica}] = fi
+	}
+	for _, rs := range coord.Status() {
+		row := webui.FleetReplicaRow{
+			Shard: rs.Shard, Replica: rs.Replica, Spec: rs.Spec,
+			Up: rs.Up, Probed: rs.Probed,
+		}
+		if fi, ok := scrapes[[2]int{rs.Shard, rs.Replica}]; ok {
+			row.Scrapable, row.Scraped, row.Stale, row.Err = fi.Scrapable, fi.Scraped, fi.Stale, fi.Err
+			if fi.Scraped {
+				row.Age = fi.Age.Round(time.Millisecond).String()
+			}
+		}
+		d.Replicas = append(d.Replicas, row)
+	}
+
+	for i := 0; i < d.Shards; i++ {
+		l := obs.L("shard", fmt.Sprint(i))
+		h := reg.Histogram("re2xolap_shard_query_seconds", "", nil, l)
+		d.Latency = append(d.Latency, webui.ShardLatencyRow{
+			Shard:   fmt.Sprint(i),
+			Queries: reg.Counter("re2xolap_shard_queries_total", "", l).Value(),
+			Errors:  reg.Counter("re2xolap_shard_errors_total", "", l).Value(),
+			P50:     fmtSeconds(h.Quantile(0.5)),
+			P95:     fmtSeconds(h.Quantile(0.95)),
+			P99:     fmtSeconds(h.Quantile(0.99)),
+		})
+	}
+}
+
+// fillServe renders the serving-stack and tenant-SLO sections.
+func fillServe(d *webui.FleetData, stack *serve.Stack) {
+	st := stack.Stats()
+	s := &webui.ServeStats{
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		Coalesced: st.Coalesced, Executions: st.Executions,
+		QueueDepth: st.QueueDepth, Sheds: st.Sheds,
+		CacheHitRatio: "n/a",
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		s.CacheHitRatio = fmt.Sprintf("%.1f%%", 100*float64(st.CacheHits)/float64(lookups))
+	}
+	d.Serve = s
+
+	slo := stack.SLO()
+	if slo == nil {
+		return
+	}
+	rep := slo.Report()
+	for _, obj := range rep.Objectives {
+		d.SLOObjectives = append(d.SLOObjectives, obj.Name)
+	}
+	for _, tenant := range slo.Tenants() {
+		tr := rep.Tenants[tenant]
+		if tr == nil {
+			continue
+		}
+		for _, obj := range rep.Objectives {
+			row := webui.TenantSLORow{
+				Tenant: tenant, Objective: obj.Name,
+				Queries: tr.Queries, Sheds: tr.Sheds,
+				CacheHitRatio: fmt.Sprintf("%.1f%%", 100*tr.CacheHitRatio),
+			}
+			burns := []struct {
+				window string
+				out    *string
+			}{
+				{"5m", &row.Burn5m}, {"1h", &row.Burn1h}, {"6h", &row.Burn6h},
+			}
+			for _, b := range burns {
+				w := tr.Windows[b.window]
+				if w == nil || w.Objectives[obj.Name] == nil {
+					*b.out = "-"
+					continue
+				}
+				burn := w.Objectives[obj.Name].BurnRate
+				*b.out = fmt.Sprintf("%.2f", burn)
+				if burn > 1 {
+					row.Hot = true
+				}
+			}
+			d.Tenants = append(d.Tenants, row)
+		}
+	}
+}
+
+// fmtSeconds renders a latency quantile human-first.
+func fmtSeconds(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Microsecond).String()
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"re2xolap/internal/endpoint"
+	"re2xolap/internal/obs"
+)
+
+// promGet scrapes one exposition endpoint.
+func promGet(t *testing.T, u string) *obs.PromSnapshot {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", u, resp.StatusCode)
+	}
+	snap, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", u, err)
+	}
+	return snap
+}
+
+// TestFleetEndToEnd stands up a 3-shard × 2-replica fleet of real
+// shard servers plus a coordinator with SLO tracking over them, then
+// exercises the whole observability surface: /metrics/fleet must be
+// exactly the merge of the replicas' individual scrapes, must degrade
+// to a stale-marked (still 200) view when a replica dies, /debug/slo
+// must attribute the traffic, and the /fleet dashboard must render.
+func TestFleetEndToEnd(t *testing.T) {
+	const genName, obsN = "eurostat", 120
+	const shardsN, replicasN = 3, 2
+
+	var backends []*httptest.Server
+	groups := make([]string, shardsN)
+	for i := 0; i < shardsN; i++ {
+		var reps []string
+		for j := 0; j < replicasN; j++ {
+			reg := obs.NewRegistry()
+			h, _, _, err := buildHandler(handlerConfig{
+				ShardSlot: fmt.Sprintf("%d/%d", i, shardsN),
+				Gen:       genName, ObsCount: obsN, Addr: ":0",
+			}, reg, []endpoint.Option{endpoint.WithRegistry(reg)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(h.Routes(endpoint.RoutesConfig{}))
+			backends = append(backends, srv)
+			reps = append(reps, srv.URL+"/sparql")
+		}
+		groups[i] = strings.Join(reps, "|")
+	}
+	t.Cleanup(func() {
+		for _, s := range backends {
+			s.Close()
+		}
+	})
+
+	coordReg := obs.NewRegistry()
+	coord, coordinator, _, err := buildHandler(handlerConfig{
+		Shards: strings.Join(groups, ","),
+		Addr:   ":0", SLO: "p99<250ms,err<1%",
+	}, coordReg, []endpoint.Option{endpoint.WithRegistry(coordReg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordinator.Close()
+	csrv := httptest.NewServer(coord.Routes(endpoint.RoutesConfig{}))
+	defer csrv.Close()
+
+	query := `SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?p`
+	for k := 0; k < 3; k++ {
+		resp, err := http.PostForm(csrv.URL+"/sparql", url.Values{"query": {query}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", k, resp.StatusCode)
+		}
+	}
+
+	// The federated view is the merge of the individual scrapes: the
+	// fleet's ok-request total must equal the sum over every replica's
+	// own /metrics. (No traffic flows between the two readings; the
+	// fleet scrape itself is not a SPARQL protocol request.)
+	const reqTotal = "re2xolap_server_requests_total"
+	fleet := promGet(t, csrv.URL+"/metrics/fleet")
+	var sum float64
+	for _, b := range backends {
+		v, _ := promGet(t, b.URL+"/metrics").Value(reqTotal, obs.L("outcome", "ok"))
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("no traffic reached the shard servers")
+	}
+	if got, ok := fleet.Value(reqTotal, obs.L("outcome", "ok")); !ok || got != sum {
+		t.Fatalf("fleet ok-requests = %v (present=%v), individual scrapes sum to %v", got, ok, sum)
+	}
+	for i := 0; i < shardsN; i++ {
+		for j := 0; j < replicasN; j++ {
+			inst := obs.L("instance", fmt.Sprintf("shard%d/replica%d", i, j))
+			if up, ok := fleet.Value("re2xolap_fleet_instance_up", inst); !ok || up != 1 {
+				t.Errorf("shard%d/replica%d: up = %v (present=%v), want 1", i, j, up, ok)
+			}
+		}
+	}
+
+	// Kill shard 0's preferred replica: the fleet view must stay 200,
+	// mark the dead instance stale, and keep its last-good counters in
+	// the totals rather than letting them vanish.
+	backends[0].Close()
+	degraded := promGet(t, csrv.URL+"/metrics/fleet")
+	if up, _ := degraded.Value("re2xolap_fleet_instance_up", obs.L("instance", "shard0/replica0")); up != 0 {
+		t.Fatalf("dead replica still reported up = %v", up)
+	}
+	if got, _ := degraded.Value(reqTotal, obs.L("outcome", "ok")); got != sum {
+		t.Fatalf("degraded fleet ok-requests = %v, want last-good-retaining %v", got, sum)
+	}
+
+	// /debug/slo attributes the coordinator traffic to the default
+	// tenant under both configured objectives.
+	resp, err := http.Get(csrv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/slo: status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Objectives []struct {
+			Name string `json:"name"`
+		} `json:"objectives"`
+		Tenants map[string]struct {
+			Queries int64 `json:"queries"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("objectives = %+v, want p99 and err", rep.Objectives)
+	}
+	if got := rep.Tenants["default"].Queries; got != 3 {
+		t.Fatalf("default tenant queries = %d, want 3", got)
+	}
+
+	// The dashboard renders every section for a coordinator with SLOs.
+	dresp, err := http.Get(csrv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	body, err := io.ReadAll(dresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet: status %d", dresp.StatusCode)
+	}
+	for _, want := range []string{
+		"Fleet — coordinator", "Topology health", "Per-shard latency",
+		"Serving stack", "Tenant SLO burn rates",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/fleet missing %q", want)
+		}
+	}
+}

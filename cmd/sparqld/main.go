@@ -69,6 +69,7 @@ import (
 	"re2xolap/internal/serve"
 	"re2xolap/internal/shard"
 	"re2xolap/internal/store"
+	"re2xolap/internal/webui"
 )
 
 func main() {
@@ -98,6 +99,10 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "serve-layer per-tenant concurrent query limit; excess queues, overflow is shed with 429 (0 disables admission)")
 	queueBudget := flag.Int("queue-budget", 0, "serve-layer per-tenant admission queue bound (0 = default 64; needs -max-concurrent)")
 	tenantHeader := flag.String("tenant-header", "", "HTTP header naming the tenant for per-tenant admission (empty = all requests share one tenant)")
+	sloFlag := flag.String("slo", "", "per-tenant SLO objectives, e.g. 'p99<250ms,err<1%': tracks multi-window burn rates per tenant, serves /debug/slo and the /fleet tenant table")
+	fleetScrape := flag.Duration("fleet-scrape", 0, "coordinator: background fleet metrics collection interval; 0 scrapes on each /metrics/fleet request")
+	slowQueryFile := flag.String("slow-query-file", "", "write the -slow-query log to this file with size-capped rotation (one .1 generation) instead of stderr")
+	slowQueryMax := flag.Int64("slow-query-max-bytes", 0, "rotate -slow-query-file past this size (0 = 64 MiB)")
 	flag.Parse()
 
 	if *configPath != "" {
@@ -114,7 +119,10 @@ func main() {
 
 	// Metrics are always on — the registry costs a few atomic adds per
 	// request and /metrics is how operators see inside the server.
+	// Process self-metrics ride along so the fleet view can show each
+	// replica's runtime health (goroutines, heap, GC, uptime).
 	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
 	opts := []endpoint.Option{
 		endpoint.WithRegistry(reg),
 		// Each query fans its joins and aggregations over this many
@@ -123,7 +131,17 @@ func main() {
 		endpoint.WithWorkers(*workers),
 	}
 	if *slowQuery > 0 {
-		opts = append(opts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, *slowQuery)))
+		if *slowQueryFile != "" {
+			sl, _, err := obs.NewRotatingSlowLog(*slowQueryFile, *slowQuery, *slowQueryMax)
+			if err != nil {
+				log.Fatalf("sparqld: slow-query-file: %v", err)
+			}
+			opts = append(opts, endpoint.WithSlowQueryLog(sl))
+		} else {
+			opts = append(opts, endpoint.WithSlowQueryLog(obs.NewSlowLog(os.Stderr, *slowQuery)))
+		}
+	} else if *slowQueryFile != "" {
+		log.Fatalf("sparqld: -slow-query-file needs -slow-query to set the threshold")
 	}
 	if *traceExport != "" {
 		sink, err := openTraceSink(*traceExport)
@@ -156,6 +174,11 @@ func main() {
 		ResultCache:    *resultCache,
 		MaxConcurrent:  *maxConcurrent,
 		QueueBudget:    *queueBudget,
+		SLO:            *sloFlag,
+		FleetScrape:    *fleetScrape,
+	}
+	if _, err := hcfg.sloObjectives(); err != nil {
+		log.Fatalf("sparqld: %v", err) // fail fast, before the dataset loads
 	}
 
 	// The listener comes up immediately on a holding handler that
@@ -309,19 +332,36 @@ type handlerConfig struct {
 	ResultCache   int
 	MaxConcurrent int
 	QueueBudget   int
+
+	SLO         string
+	FleetScrape time.Duration
 }
 
 // serving reports whether any serve-layer feature is requested.
 func (cfg handlerConfig) serving() bool {
-	return cfg.ResultCache > 0 || cfg.MaxConcurrent > 0
+	return cfg.ResultCache > 0 || cfg.MaxConcurrent > 0 || cfg.SLO != ""
+}
+
+// sloObjectives parses the -slo flag (empty means no SLO tracking).
+func (cfg handlerConfig) sloObjectives() ([]serve.Objective, error) {
+	if cfg.SLO == "" {
+		return nil, nil
+	}
+	objs, err := serve.ParseSLO(cfg.SLO)
+	if err != nil {
+		return nil, fmt.Errorf("-slo: %w", err)
+	}
+	return objs, nil
 }
 
 // wrapServe builds the serving stack (result cache, single-flight
-// dedup, admission control) around the executing client when any of
-// its flags ask for it.
-func (cfg handlerConfig) wrapServe(c endpoint.Client, reg *obs.Registry) endpoint.Client {
+// dedup, admission control, SLO tracking) around the executing client
+// when any of its flags ask for it. The second return is the stack
+// itself (nil when no serve-layer feature is on) so callers can mount
+// its introspection endpoints.
+func (cfg handlerConfig) wrapServe(c endpoint.Client, reg *obs.Registry) (endpoint.Client, *serve.Stack) {
 	if !cfg.serving() {
-		return c
+		return c, nil
 	}
 	sopts := []serve.Option{serve.WithRegistry(reg)}
 	if cfg.ResultCache > 0 {
@@ -333,9 +373,32 @@ func (cfg handlerConfig) wrapServe(c endpoint.Client, reg *obs.Registry) endpoin
 			QueueBudget:   cfg.QueueBudget,
 		}))
 	}
-	log.Printf("sparqld: serving stack on (result-cache=%d, max-concurrent=%d, queue-budget=%d)",
-		cfg.ResultCache, cfg.MaxConcurrent, cfg.QueueBudget)
-	return serve.New(c, sopts...)
+	// Flag syntax was validated at startup; a parse error here is
+	// impossible short of a mutated config.
+	if objs, err := cfg.sloObjectives(); err == nil && len(objs) > 0 {
+		sopts = append(sopts, serve.WithSLO(serve.SLOConfig{Objectives: objs}))
+	}
+	log.Printf("sparqld: serving stack on (result-cache=%d, max-concurrent=%d, queue-budget=%d, slo=%q)",
+		cfg.ResultCache, cfg.MaxConcurrent, cfg.QueueBudget, cfg.SLO)
+	stack := serve.New(c, sopts...)
+	return stack, stack
+}
+
+// fleetRoutes mounts the observability endpoints this deployment has:
+// /metrics/fleet on coordinators, /debug/slo wherever an SLO tracker
+// runs, and the /fleet dashboard whenever there is anything to show.
+func (cfg handlerConfig) fleetRoutes(mode string, coord *shard.Coordinator, stack *serve.Stack, reg *obs.Registry) []endpoint.Option {
+	var routes []endpoint.Option
+	if coord != nil {
+		routes = append(routes, endpoint.WithRoute("/metrics/fleet", coord.FleetHandler()))
+	}
+	if stack != nil && stack.SLO() != nil {
+		routes = append(routes, endpoint.WithRoute("/debug/slo", stack.SLO().Handler()))
+	}
+	if coord != nil || stack != nil {
+		routes = append(routes, endpoint.WithRoute("/fleet", webui.NewFleet(fleetProvider(mode, coord, stack, reg))))
+	}
+	return routes
 }
 
 // shardOptions translates the coordinator flags to shard options.
@@ -349,6 +412,9 @@ func (cfg handlerConfig) shardOptions(reg *obs.Registry) []shard.Option {
 			Timeout:  cfg.HealthTimeout,
 		}),
 		shard.WithHedge(cfg.HedgeAfter),
+		// Fleet metrics collection is always on for coordinators — with
+		// no interval it scrapes on demand per /metrics/fleet request.
+		shard.WithFleet(shard.FleetConfig{Interval: cfg.FleetScrape}),
 	}
 	if cfg.PlanCache != 0 {
 		opts = append(opts, shard.WithPlanCache(cfg.PlanCache))
@@ -384,25 +450,33 @@ func buildHandler(cfg handlerConfig, reg *obs.Registry, opts []endpoint.Option) 
 		}
 		log.Printf("sparqld: coordinating %d shards (replicas %v) from %s on %s/sparql (degraded=%v, metrics on /metrics)",
 			coord.Shards(), coord.Replicas(), cfg.Topology, cfg.Addr, cfg.Degraded)
+		client, stack := cfg.wrapServe(coord, reg)
 		opts = append(opts, endpoint.WithReadiness(coord.Ready))
-		return endpoint.NewClientServer(cfg.wrapServe(coord, reg), opts...), coord, ft, nil
+		opts = append(opts, cfg.fleetRoutes("coordinator", coord, stack, reg)...)
+		return endpoint.NewClientServer(client, opts...), coord, ft, nil
 	case cfg.Shards != "":
 		groups, err := parseShards(cfg.Shards)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		backends, err := buildBackends(groups, cfg.Data, cfg.Gen, cfg.ObsCount, cfg.Workers)
+		dial, err := localDialer(groups, cfg.Data, cfg.Gen, cfg.ObsCount, cfg.Workers)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		coord, err := shard.NewReplicated(backends, shardOpts...)
+		// A static view through NewDynamic (rather than NewReplicated
+		// over pre-built clients) keeps the replica URL specs on the
+		// coordinator's view so fleet scraping can reach remote
+		// replicas' /metrics.
+		coord, err := shard.NewDynamic(shard.Static{View: shard.TopologyView{Groups: groups}}, dial, shardOpts...)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		log.Printf("sparqld: coordinating %d shards (replicas %v) on %s/sparql (degraded=%v, metrics on /metrics)",
 			coord.Shards(), coord.Replicas(), cfg.Addr, cfg.Degraded)
+		client, stack := cfg.wrapServe(coord, reg)
 		opts = append(opts, endpoint.WithReadiness(coord.Ready))
-		return endpoint.NewClientServer(cfg.wrapServe(coord, reg), opts...), coord, nil, nil
+		opts = append(opts, cfg.fleetRoutes("coordinator", coord, stack, reg)...)
+		return endpoint.NewClientServer(client, opts...), coord, nil, nil
 	default:
 		st, err := buildStore(cfg.Data, cfg.Gen, cfg.ObsCount)
 		if err != nil {
@@ -425,7 +499,9 @@ func (cfg handlerConfig) storeServer(st *store.Store, reg *obs.Registry, opts []
 	}
 	reg.GaugeFunc("re2xolap_store_triples", "Triples in the served store.",
 		func() float64 { return float64(st.Len()) })
-	return endpoint.NewClientServer(cfg.wrapServe(endpoint.NewInProcess(st, opts...), reg), opts...)
+	client, stack := cfg.wrapServe(endpoint.NewInProcess(st, opts...), reg)
+	opts = append(opts, cfg.fleetRoutes("single", nil, stack, reg)...)
+	return endpoint.NewClientServer(client, opts...)
 }
 
 // openTraceSink opens the OTLP/JSON trace destination. Files are

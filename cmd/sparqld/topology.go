@@ -125,13 +125,16 @@ func buildPartitions(data, gen string, obsCount, n int) ([]*store.Store, error) 
 	return stores, nil
 }
 
-// buildBackends turns the -shards replica groups into one client per
-// replica. Local partitions are only built when at least one spec asks
-// for one, so an all-remote coordinator needs no -data/-gen. All
-// "local" replicas of shard i share partition store i (the store is
-// read-only under query), which is exactly the identical-copy contract
-// replica failover relies on.
-func buildBackends(groups [][]string, data, gen string, obsCount, workers int) ([][]endpoint.Client, error) {
+// localDialer turns the -shards replica groups into a shard.Dialer.
+// Local partitions are only built when at least one spec asks for one,
+// so an all-remote coordinator needs no -data/-gen. All "local"
+// replicas of shard i share partition store i (the store is read-only
+// under query), which is exactly the identical-copy contract replica
+// failover relies on. Going through a Dialer (rather than pre-built
+// clients) keeps the replica URL specs attached to the coordinator's
+// view, which is what lets fleet metrics collection find each
+// replica's /metrics.
+func localDialer(groups [][]string, data, gen string, obsCount, workers int) (shard.Dialer, error) {
 	needLocal := false
 	for _, g := range groups {
 		for _, spec := range g {
@@ -148,20 +151,17 @@ func buildBackends(groups [][]string, data, gen string, obsCount, workers int) (
 			return nil, err
 		}
 	}
-	backends := make([][]endpoint.Client, len(groups))
-	for i, g := range groups {
-		backends[i] = make([]endpoint.Client, len(g))
-		for j, spec := range g {
-			if spec == "local" {
-				backends[i][j] = endpoint.NewInProcess(parts[i], endpoint.WithWorkers(workers))
-				log.Printf("sparqld: shard %d replica %d: in-process, %d triples", i, j, parts[i].Len())
-			} else {
-				backends[i][j] = endpoint.NewHTTPClient(spec)
-				log.Printf("sparqld: shard %d replica %d: remote %s", i, j, spec)
-			}
+	return func(shardIdx, replica int, spec string) (endpoint.Client, error) {
+		if spec == "local" {
+			log.Printf("sparqld: shard %d replica %d: in-process, %d triples", shardIdx, replica, parts[shardIdx].Len())
+			return endpoint.NewInProcess(parts[shardIdx], endpoint.WithWorkers(workers)), nil
 		}
-	}
-	return backends, nil
+		if err := validateReplicaSpec(spec); err != nil {
+			return nil, err
+		}
+		log.Printf("sparqld: shard %d replica %d: remote %s", shardIdx, replica, spec)
+		return endpoint.NewHTTPClient(spec), nil
+	}, nil
 }
 
 // remoteDialer is the shard.Dialer behind -topology: file topologies

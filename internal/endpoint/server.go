@@ -52,6 +52,9 @@ type Server struct {
 	// header whose value becomes the admission-control tenant identity
 	// (ContextWithTenant) for the delegated client.
 	tenantHeader string
+	// routes are caller-supplied handlers (WithRoute) mounted by Routes
+	// alongside the built-in operational endpoints.
+	routes []extraRoute
 }
 
 // serverMetrics caches the server's registry series.
@@ -81,7 +84,7 @@ const CacheHeader = "X-Re2xolap-Cache"
 // WithMaxQueryLen, WithWorkers.
 func NewServer(st *store.Store, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready}
+	s := &Server{engine: sparql.NewEngine(st), st: st, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready, routes: o.routes}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -109,7 +112,7 @@ func NewServer(st *store.Store, opts ...Option) *Server {
 // via the X-Re2xolap-Incomplete response header.
 func NewClientServer(c Client, opts ...Option) *Server {
 	o := applyOptions(opts)
-	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready, tenantHeader: o.tenantHeader}
+	s := &Server{client: c, MaxQueryLen: 1 << 20, slow: o.slow, traces: o.traceSink, queries: o.queryLog, ready: o.ready, tenantHeader: o.tenantHeader, routes: o.routes}
 	if o.maxQueryLen > 0 {
 		s.MaxQueryLen = o.maxQueryLen
 	}
@@ -448,8 +451,8 @@ type RoutesConfig struct {
 // Routes assembles the operational mux: /sparql (hardened), /metrics
 // (Prometheus text format; 404 unless the server was built
 // WithRegistry), /livez (liveness), /healthz and /readyz (readiness),
-// /debug/queries (when built WithQueryLog), and — when cfg.Pprof —
-// /debug/pprof/.
+// /debug/queries (when built WithQueryLog), caller-supplied routes
+// (WithRoute), and — when cfg.Pprof — /debug/pprof/.
 //
 // Liveness and readiness are distinct probes: /livez answers 200 for
 // as long as the process serves HTTP, while /healthz answers 503 with
@@ -476,6 +479,9 @@ func (s *Server) Routes(cfg RoutesConfig) http.Handler {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for _, rt := range s.routes {
+		mux.Handle(rt.pattern, rt.handler)
 	}
 	return mux
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterProcessMetrics registers runtime self-metrics on the
+// registry, sampled lazily at exposition time via GaugeFunc:
+//
+//	go_goroutines             current goroutine count
+//	go_heap_alloc_bytes       live heap bytes (runtime.MemStats.HeapAlloc)
+//	go_gc_pause_seconds_total cumulative stop-the-world GC pause time
+//	process_uptime_seconds    seconds since this call
+//
+// runtime.ReadMemStats stops the world briefly, so one sample is
+// shared by all memory gauges and memoized for a second — scraping
+// /metrics at any sane interval costs one ReadMemStats per scrape at
+// most. Safe to call on a nil registry (no-op).
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	var (
+		mu      sync.Mutex
+		ms      runtime.MemStats
+		sampled time.Time
+	)
+	sample := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if sampled.IsZero() || time.Since(sampled) >= time.Second {
+			runtime.ReadMemStats(&ms)
+			sampled = time.Now()
+		}
+		return ms
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(sample().HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.", func() float64 {
+		return float64(sample().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since process metrics were registered.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("go_goroutines"); !ok || v < 1 {
+		t.Errorf("go_goroutines = %v ok=%v, want >= 1", v, ok)
+	}
+	if v, ok := snap.Value("go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v ok=%v, want > 0", v, ok)
+	}
+	if v, ok := snap.Value("go_gc_pause_seconds_total"); !ok || v < 0 {
+		t.Errorf("go_gc_pause_seconds_total = %v ok=%v, want >= 0", v, ok)
+	}
+	if v, ok := snap.Value("process_uptime_seconds"); !ok || v < 0 {
+		t.Errorf("process_uptime_seconds = %v ok=%v, want >= 0", v, ok)
+	}
+	if !strings.Contains(buf.String(), "# TYPE go_goroutines gauge") {
+		t.Errorf("missing TYPE line:\n%s", buf.String())
+	}
+
+	// Nil registry: registration is a no-op, not a panic.
+	RegisterProcessMetrics(nil)
+}

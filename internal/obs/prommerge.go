@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// PromInstance is one scrape target's contribution to a fleet merge:
+// its last good snapshot (nil if it was never scraped successfully)
+// plus staleness bookkeeping.
+type PromInstance struct {
+	Instance   string        // label value, e.g. "shard0/replica1"
+	Snapshot   *PromSnapshot // last good scrape; merged even when stale
+	Stale      bool          // last scrape attempt failed
+	AgeSeconds float64       // seconds since the last good scrape; <0 when never scraped
+}
+
+// MergeOptions tunes MergeProm.
+type MergeOptions struct {
+	// Passthrough names families that are NOT merged: each instance's
+	// series are emitted verbatim with an `instance` label appended
+	// (per-replica gauges like replica_up or process uptime, where a
+	// fleet-wide max would be meaningless).
+	Passthrough []string
+	// SumGauges names gauge families merged by sum instead of the
+	// default max (e.g. active-worker counts, where the fleet total is
+	// the meaningful reading).
+	SumGauges []string
+	// MetaPrefix prefixes the synthesized staleness families
+	// (<prefix>_instance_up, <prefix>_scrape_age_seconds). Defaults to
+	// "re2xolap_fleet".
+	MetaPrefix string
+}
+
+// MergeProm merges per-instance expositions into one fleet view:
+//
+//   - counters sum across instances;
+//   - histograms sum bucket-wise (union of bounds, cumulative counts
+//     converted to per-bucket deltas and re-cumulated), and their
+//     synthetic <name>_quantile gauge families are dropped and
+//     recomputed from the merged buckets, so a fleet quantile reads
+//     as if one process had seen every observation;
+//   - gauges (and untyped series) take the max, or the sum for
+//     families named in SumGauges;
+//   - Passthrough families keep one series per instance with an
+//     `instance` label appended;
+//   - two gauge families mark staleness: <prefix>_instance_up (1 when
+//     the last scrape succeeded) and <prefix>_scrape_age_seconds
+//     (seconds since the last good scrape, -1 when never scraped).
+//     A stale instance's last good snapshot still contributes, so a
+//     dead replica's counters do not vanish from fleet totals.
+//
+// The merge is deterministic and commutative: instances are sorted by
+// name before merging and the output is name-sorted with label-sorted
+// series, so merge(A,B) and merge(B,A) serialize byte-identically.
+func MergeProm(instances []PromInstance, opt MergeOptions) *PromSnapshot {
+	insts := make([]PromInstance, len(instances))
+	copy(insts, instances)
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Instance < insts[j].Instance })
+
+	prefix := opt.MetaPrefix
+	if prefix == "" {
+		prefix = "re2xolap_fleet"
+	}
+	passthrough := map[string]bool{}
+	for _, n := range opt.Passthrough {
+		passthrough[n] = true
+	}
+	sumGauges := map[string]bool{}
+	for _, n := range opt.SumGauges {
+		sumGauges[n] = true
+	}
+
+	// Quantile families derived from non-passthrough histograms are
+	// dropped and recomputed from the merged buckets.
+	drop := map[string]bool{}
+	for _, in := range insts {
+		if in.Snapshot == nil {
+			continue
+		}
+		for _, f := range in.Snapshot.Families {
+			if f.Kind == "histogram" && len(f.Hists) > 0 && !passthrough[f.Name] {
+				drop[f.Name+"_quantile"] = true
+			}
+		}
+	}
+
+	type scalarAcc struct {
+		labels []Label
+		value  float64
+		seen   bool
+	}
+	type histAcc struct {
+		labels []Label
+		delta  map[float64]float64 // finite bound -> summed per-bucket delta
+		inf    float64             // summed overflow beyond the last bound
+		sum    float64
+	}
+	type famAcc struct {
+		name, help, kind string
+		scalars          map[string]*scalarAcc
+		scalarOrder      []string
+		hists            map[string]*histAcc
+		histOrder        []string
+		pass             *PromFamily // passthrough families assemble directly
+	}
+	fams := map[string]*famAcc{}
+	famOf := func(f *PromFamily) *famAcc {
+		a := fams[f.Name]
+		if a == nil {
+			a = &famAcc{name: f.Name, help: f.Help, kind: f.Kind}
+			if passthrough[f.Name] {
+				a.pass = &PromFamily{Name: f.Name, Help: f.Help, Kind: f.Kind}
+			}
+			fams[f.Name] = a
+		}
+		if a.help == "" {
+			a.help = f.Help
+		}
+		if a.kind == "untyped" && f.Kind != "untyped" {
+			a.kind = f.Kind
+		}
+		return a
+	}
+
+	for _, in := range insts {
+		if in.Snapshot == nil {
+			continue
+		}
+		instLabel := L("instance", in.Instance)
+		for _, f := range in.Snapshot.Families {
+			if drop[f.Name] {
+				continue
+			}
+			a := famOf(f)
+			if a.pass != nil {
+				for _, sm := range f.Samples {
+					labels := append(append([]Label{}, sm.Labels...), instLabel)
+					a.pass.Samples = append(a.pass.Samples, PromSample{Labels: labels, Value: sm.Value})
+				}
+				for _, h := range f.Hists {
+					hc := h
+					hc.Labels = append(append([]Label{}, h.Labels...), instLabel)
+					a.pass.Hists = append(a.pass.Hists, hc)
+				}
+				continue
+			}
+			for _, sm := range f.Samples {
+				key := labelKey(sm.Labels)
+				sa := a.scalars[key]
+				if sa == nil {
+					if a.scalars == nil {
+						a.scalars = map[string]*scalarAcc{}
+					}
+					sa = &scalarAcc{labels: sortedLabels(sm.Labels)}
+					a.scalars[key] = sa
+					a.scalarOrder = append(a.scalarOrder, key)
+				}
+				switch {
+				case !sa.seen:
+					sa.value, sa.seen = sm.Value, true
+				case f.Kind == "counter" || sumGauges[f.Name]:
+					sa.value += sm.Value
+				default: // gauge / untyped: max
+					if sm.Value > sa.value {
+						sa.value = sm.Value
+					}
+				}
+			}
+			for _, h := range f.Hists {
+				key := labelKey(h.Labels)
+				ha := a.hists[key]
+				if ha == nil {
+					if a.hists == nil {
+						a.hists = map[string]*histAcc{}
+					}
+					ha = &histAcc{labels: sortedLabels(h.Labels), delta: map[float64]float64{}}
+					a.hists[key] = ha
+					a.histOrder = append(a.histOrder, key)
+				}
+				var prev float64
+				for i, b := range h.Bounds {
+					ha.delta[b] += h.Cum[i] - prev
+					prev = h.Cum[i]
+				}
+				ha.inf += h.Count - prev
+				ha.sum += h.Sum
+			}
+		}
+	}
+
+	out := &PromSnapshot{}
+	for _, a := range fams {
+		if a.pass != nil {
+			out.Families = append(out.Families, a.pass)
+			continue
+		}
+		f := &PromFamily{Name: a.name, Help: a.help, Kind: a.kind}
+		sort.Strings(a.scalarOrder)
+		for _, key := range a.scalarOrder {
+			sa := a.scalars[key]
+			f.Samples = append(f.Samples, PromSample{Labels: sa.labels, Value: sa.value})
+		}
+		sort.Strings(a.histOrder)
+		for _, key := range a.histOrder {
+			ha := a.hists[key]
+			h := PromHist{Labels: ha.labels, Sum: ha.sum}
+			for b := range ha.delta {
+				h.Bounds = append(h.Bounds, b)
+			}
+			sort.Float64s(h.Bounds)
+			var run float64
+			h.Cum = make([]float64, len(h.Bounds))
+			for i, b := range h.Bounds {
+				run += ha.delta[b]
+				h.Cum[i] = run
+			}
+			h.Count = run + ha.inf
+			f.Hists = append(f.Hists, h)
+		}
+		out.Families = append(out.Families, f)
+		// Recompute the synthetic quantile family from merged buckets.
+		if a.kind == "histogram" && len(f.Hists) > 0 {
+			q := &PromFamily{
+				Name: a.name + "_quantile",
+				Help: "Estimated quantiles of " + a.name + ".",
+				Kind: "gauge",
+			}
+			for i := range f.Hists {
+				h := &f.Hists[i]
+				for _, p := range promQuantiles {
+					labels := append(append([]Label{}, h.Labels...), L("quantile", formatFloat(p)))
+					q.Samples = append(q.Samples, PromSample{
+						Labels: labels,
+						Value:  bucketQuantile(h.Bounds, h.Cum, h.Count, p),
+					})
+				}
+			}
+			out.Families = append(out.Families, q)
+		}
+	}
+
+	// Staleness markers.
+	up := &PromFamily{
+		Name: prefix + "_instance_up",
+		Help: "Whether the last /metrics scrape of this instance succeeded.",
+		Kind: "gauge",
+	}
+	age := &PromFamily{
+		Name: prefix + "_scrape_age_seconds",
+		Help: "Seconds since the last successful scrape of this instance (-1 when never scraped).",
+		Kind: "gauge",
+	}
+	for _, in := range insts {
+		labels := []Label{L("instance", in.Instance)}
+		v := 0.0
+		if !in.Stale && in.Snapshot != nil {
+			v = 1
+		}
+		up.Samples = append(up.Samples, PromSample{Labels: labels, Value: v})
+		age.Samples = append(age.Samples, PromSample{Labels: labels, Value: in.AgeSeconds})
+	}
+	out.Families = append(out.Families, up, age)
+
+	sort.Slice(out.Families, func(i, j int) bool { return out.Families[i].Name < out.Families[j].Name })
+	return out
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// FleetMetaFamily reports whether name is one of the staleness
+// families MergeProm synthesizes (used by tests and the dashboard to
+// separate fleet bookkeeping from merged process metrics).
+func FleetMetaFamily(name string) bool {
+	return strings.HasSuffix(name, "_instance_up") || strings.HasSuffix(name, "_scrape_age_seconds")
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func parseT(t *testing.T, s string) *PromSnapshot {
+	t.Helper()
+	snap, err := ParseProm(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	return snap
+}
+
+func writeT(t *testing.T, s *PromSnapshot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+const instA = `# TYPE queries_total counter
+queries_total{outcome="ok"} 10
+queries_total{outcome="error"} 1
+# TYPE inflight gauge
+inflight 3
+# TYPE workers gauge
+workers 4
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 5
+lat_seconds_bucket{le="1"} 8
+lat_seconds_bucket{le="+Inf"} 9
+lat_seconds_sum 4.5
+lat_seconds_count 9
+# TYPE replica_up gauge
+replica_up 1
+`
+
+const instB = `# TYPE queries_total counter
+queries_total{outcome="ok"} 7
+# TYPE inflight gauge
+inflight 5
+# TYPE workers gauge
+workers 2
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 10.25
+lat_seconds_count 4
+# TYPE replica_up gauge
+replica_up 0
+`
+
+func fleetInstances(t *testing.T) []PromInstance {
+	return []PromInstance{
+		{Instance: "s0/r0", Snapshot: parseT(t, instA), AgeSeconds: 1},
+		{Instance: "s0/r1", Snapshot: parseT(t, instB), AgeSeconds: 2},
+	}
+}
+
+func TestMergePromRules(t *testing.T) {
+	merged := MergeProm(fleetInstances(t), MergeOptions{
+		Passthrough: []string{"replica_up"},
+		SumGauges:   []string{"workers"},
+	})
+
+	// Counters sum; a series present in only one instance passes
+	// through at its value.
+	if v, ok := merged.Value("queries_total", L("outcome", "ok")); !ok || v != 17 {
+		t.Errorf("ok counter = %v ok=%v, want 17", v, ok)
+	}
+	if v, ok := merged.Value("queries_total", L("outcome", "error")); !ok || v != 1 {
+		t.Errorf("error counter = %v ok=%v, want 1", v, ok)
+	}
+	// Gauges max by default; SumGauges sum.
+	if v, _ := merged.Value("inflight"); v != 5 {
+		t.Errorf("inflight = %v, want max 5", v)
+	}
+	if v, _ := merged.Value("workers"); v != 6 {
+		t.Errorf("workers = %v, want sum 6", v)
+	}
+	// Histogram buckets sum exactly, cumulatively.
+	h := merged.Family("lat_seconds").Hists[0]
+	if len(h.Bounds) != 2 || h.Cum[0] != 6 || h.Cum[1] != 10 || h.Count != 13 || h.Sum != 14.75 {
+		t.Errorf("merged hist = %+v", h)
+	}
+	// Quantiles recomputed from merged buckets.
+	wantQ := bucketQuantile(h.Bounds, h.Cum, h.Count, 0.5)
+	if v, ok := merged.Value("lat_seconds_quantile", L("quantile", "0.5")); !ok || v != wantQ {
+		t.Errorf("merged p50 = %v ok=%v, want %v", v, ok, wantQ)
+	}
+	// Passthrough keeps one series per instance.
+	if v, ok := merged.Value("replica_up", L("instance", "s0/r0")); !ok || v != 1 {
+		t.Errorf("replica_up s0/r0 = %v ok=%v", v, ok)
+	}
+	if v, ok := merged.Value("replica_up", L("instance", "s0/r1")); !ok || v != 0 {
+		t.Errorf("replica_up s0/r1 = %v ok=%v", v, ok)
+	}
+	// Staleness markers: both fresh.
+	for _, inst := range []string{"s0/r0", "s0/r1"} {
+		if v, ok := merged.Value("re2xolap_fleet_instance_up", L("instance", inst)); !ok || v != 1 {
+			t.Errorf("instance_up{%s} = %v ok=%v, want 1", inst, v, ok)
+		}
+	}
+	if v, _ := merged.Value("re2xolap_fleet_scrape_age_seconds", L("instance", "s0/r1")); v != 2 {
+		t.Errorf("scrape_age s0/r1 = %v, want 2", v)
+	}
+}
+
+// TestMergePromDeterminism: merge(A,B) and merge(B,A) serialize
+// byte-identically, and merging is idempotent on a single instance
+// modulo the synthesized meta families.
+func TestMergePromDeterminism(t *testing.T) {
+	opt := MergeOptions{Passthrough: []string{"replica_up"}, SumGauges: []string{"workers"}}
+	ab := fleetInstances(t)
+	ba := []PromInstance{ab[1], ab[0]}
+	outAB := writeT(t, MergeProm(ab, opt))
+	outBA := writeT(t, MergeProm(ba, opt))
+	if outAB != outBA {
+		t.Errorf("merge not commutative.\n--- A,B ---\n%s--- B,A ---\n%s", outAB, outBA)
+	}
+	// The merged exposition must itself parse (serving /metrics/fleet
+	// re-uses the scrape content type).
+	reparsed, err := ParseProm(strings.NewReader(outAB))
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v\n%s", err, outAB)
+	}
+	if writeT(t, reparsed) != outAB {
+		t.Error("merged exposition not stable under parse→write")
+	}
+}
+
+func TestMergePromStaleness(t *testing.T) {
+	insts := fleetInstances(t)
+	insts[1].Stale = true // last good snapshot still contributes
+	insts = append(insts, PromInstance{Instance: "s1/r0", Stale: true, AgeSeconds: -1})
+	merged := MergeProm(insts, MergeOptions{})
+
+	if v, _ := merged.Value("queries_total", L("outcome", "ok")); v != 17 {
+		t.Errorf("stale instance's last-good counters dropped: ok = %v, want 17", v)
+	}
+	if v, ok := merged.Value("re2xolap_fleet_instance_up", L("instance", "s0/r1")); !ok || v != 0 {
+		t.Errorf("stale instance_up = %v ok=%v, want 0", v, ok)
+	}
+	if v, ok := merged.Value("re2xolap_fleet_instance_up", L("instance", "s1/r0")); !ok || v != 0 {
+		t.Errorf("never-scraped instance_up = %v ok=%v, want 0", v, ok)
+	}
+	if v, ok := merged.Value("re2xolap_fleet_scrape_age_seconds", L("instance", "s1/r0")); !ok || v != -1 {
+		t.Errorf("never-scraped age = %v ok=%v, want -1", v, ok)
+	}
+	if !FleetMetaFamily("re2xolap_fleet_instance_up") || FleetMetaFamily("queries_total") {
+		t.Error("FleetMetaFamily misclassifies")
+	}
+}
+
+// Different bucket layouts across instances merge over the union of
+// bounds (cumulative counts stay consistent).
+func TestMergePromBucketUnion(t *testing.T) {
+	a := parseT(t, "# TYPE h histogram\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n")
+	b := parseT(t, "# TYPE h histogram\nh_bucket{le=\"0.5\"} 4\nh_bucket{le=\"+Inf\"} 5\nh_sum 2\nh_count 5\n")
+	merged := MergeProm([]PromInstance{
+		{Instance: "a", Snapshot: a},
+		{Instance: "b", Snapshot: b},
+	}, MergeOptions{})
+	h := merged.Family("h").Hists[0]
+	if len(h.Bounds) != 2 || h.Bounds[0] != 0.1 || h.Bounds[1] != 0.5 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+	// a contributes 2@0.1 + 1 overflow; b contributes 4@0.5 + 1 overflow.
+	if h.Cum[0] != 2 || h.Cum[1] != 6 || h.Count != 8 || h.Sum != 3 {
+		t.Errorf("merged = %+v", h)
+	}
+}
+
+func TestMergePromMetricsFederationGolden(t *testing.T) {
+	// End-to-end over real registries: the merged exposition equals
+	// what one registry having seen all observations would expose, for
+	// the merged families.
+	mk := func(obsv []float64, n int64) *PromSnapshot {
+		r := NewRegistry()
+		r.Counter("q_total", "Queries.").Add(n)
+		h := r.Histogram("q_seconds", "Latency.", []float64{0.1, 1, 10})
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ParseProm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	combined := NewRegistry()
+	combined.Counter("q_total", "Queries.").Add(12)
+	ch := combined.Histogram("q_seconds", "Latency.", []float64{0.1, 1, 10})
+	// Power-of-two observations keep float sums exact regardless of
+	// accumulation order, so byte-identity is well-defined.
+	for _, v := range []float64{0.0625, 0.5, 2, 20, 0.0078125, 5} {
+		ch.Observe(v)
+	}
+	merged := MergeProm([]PromInstance{
+		{Instance: "a", Snapshot: mk([]float64{0.0625, 0.5, 2, 20}, 5)},
+		{Instance: "b", Snapshot: mk([]float64{0.0078125, 5}, 7)},
+	}, MergeOptions{})
+
+	var wantBuf bytes.Buffer
+	if err := combined.WriteProm(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := ParseProm(bytes.NewReader(wantBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"q_total", "q_seconds", "q_seconds_quantile"} {
+		got, want := merged.Family(fam), wantSnap.Family(fam)
+		var gb, wb bytes.Buffer
+		if err := (&PromSnapshot{Families: []*PromFamily{got}}).WriteProm(&gb); err != nil {
+			t.Fatal(err)
+		}
+		if err := (&PromSnapshot{Families: []*PromFamily{want}}).WriteProm(&wb); err != nil {
+			t.Fatal(err)
+		}
+		if gb.String() != wb.String() {
+			t.Errorf("family %s differs from combined registry.\n--- merged ---\n%s--- combined ---\n%s", fam, gb.String(), wb.String())
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the inverse of expose.go: a parser for the Prometheus
+// text exposition format (version 0.0.4) producing a PromSnapshot that
+// can be inspected, merged (prommerge.go), and re-serialized. The
+// round-trip guarantee is scoped to expositions produced by
+// Registry.WriteProm (or PromSnapshot.WriteProm): for those,
+// parse-then-write is byte-identical. Foreign expositions parse too,
+// but may normalize (missing _count synthesized from the +Inf bucket,
+// buckets re-sorted by bound).
+
+// PromSample is one scalar series: a label set (in exposition order)
+// and its value.
+type PromSample struct {
+	Labels []Label
+	Value  float64
+}
+
+// PromHist is one histogram series: cumulative counts per finite
+// upper bound, the +Inf total, and the running sum. Labels exclude le.
+type PromHist struct {
+	Labels []Label
+	Bounds []float64 // finite upper bounds, ascending
+	Cum    []float64 // cumulative counts aligned with Bounds
+	Count  float64   // +Inf cumulative count (== _count)
+	Sum    float64
+}
+
+// PromFamily is every series sharing one metric name. Kind is the
+// TYPE keyword: "counter", "gauge", "histogram", or "untyped" (no TYPE
+// line seen). Scalar kinds fill Samples; histograms fill Hists.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Kind    string
+	Samples []PromSample
+	Hists   []PromHist
+}
+
+// PromSnapshot is one parsed exposition: families in exposition order
+// (name-sorted when produced by WriteProm or MergeProm).
+type PromSnapshot struct {
+	Families []*PromFamily
+}
+
+// Family returns the named family, or nil.
+func (s *PromSnapshot) Family(name string) *PromFamily {
+	if s == nil {
+		return nil
+	}
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Value returns the scalar sample of the named family whose label set
+// matches exactly (order-insensitive), and whether it was found.
+func (s *PromSnapshot) Value(name string, labels ...Label) (float64, bool) {
+	f := s.Family(name)
+	if f == nil {
+		return 0, false
+	}
+	want := labelKey(labels)
+	for _, sm := range f.Samples {
+		if labelKey(sm.Labels) == want {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumWhere sums every scalar sample of the named family whose labels
+// include all the given pairs (subset match; no pairs sums the whole
+// family). Missing families sum to 0.
+func (s *PromSnapshot) SumWhere(name string, labels ...Label) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	var sum float64
+	for _, sm := range f.Samples {
+		if labelsSuperset(sm.Labels, labels) {
+			sum += sm.Value
+		}
+	}
+	return sum
+}
+
+// HistQuantile estimates the q-quantile of the histogram series in the
+// named family matching the label set exactly (order-insensitive).
+func (s *PromSnapshot) HistQuantile(name string, q float64, labels ...Label) (float64, bool) {
+	f := s.Family(name)
+	if f == nil {
+		return 0, false
+	}
+	want := labelKey(labels)
+	for i := range f.Hists {
+		h := &f.Hists[i]
+		if labelKey(h.Labels) == want {
+			return bucketQuantile(h.Bounds, h.Cum, h.Count, q), true
+		}
+	}
+	return 0, false
+}
+
+func labelsSuperset(have, want []Label) bool {
+outer:
+	for _, w := range want {
+		for _, h := range have {
+			if h.Key == w.Key && h.Value == w.Value {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// ParseProm parses a text exposition. It is two-pass (metadata then
+// samples) so HELP/TYPE lines are honored regardless of position, and
+// it never panics on malformed input — errors carry the offending line
+// number.
+func ParseProm(r io.Reader) (*PromSnapshot, error) {
+	var lines []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: parse exposition: %w", err)
+	}
+
+	type meta struct{ help, kind string }
+	metas := map[string]*meta{}
+	metaOf := func(name string) *meta {
+		m := metas[name]
+		if m == nil {
+			m = &meta{}
+			metas[name] = m
+		}
+		return m
+	}
+	// Pass 1: metadata.
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "#")
+		rest = strings.TrimPrefix(rest, " ")
+		switch {
+		case strings.HasPrefix(rest, "HELP "):
+			body := strings.TrimPrefix(rest, "HELP ")
+			name, help, _ := strings.Cut(body, " ")
+			if name == "" {
+				return nil, fmt.Errorf("obs: line %d: HELP without metric name", i+1)
+			}
+			metaOf(name).help = unescapeHelp(help)
+		case strings.HasPrefix(rest, "TYPE "):
+			body := strings.TrimPrefix(rest, "TYPE ")
+			name, kind, ok := strings.Cut(body, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line", i+1)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				metaOf(name).kind = kind
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", i+1, kind)
+			}
+		}
+		// Other comments are ignored.
+	}
+
+	snap := &PromSnapshot{}
+	fams := map[string]*PromFamily{}
+	famOf := func(name string) *PromFamily {
+		f := fams[name]
+		if f == nil {
+			f = &PromFamily{Name: name, Kind: "untyped"}
+			if m := metas[name]; m != nil {
+				f.Help = m.help
+				if m.kind != "" {
+					f.Kind = m.kind
+				}
+			}
+			fams[name] = f
+			snap.Families = append(snap.Families, f)
+		}
+		return f
+	}
+	// Histogram series under assembly, keyed by family then label set.
+	type histAcc struct {
+		labels []Label
+		bucket map[float64]float64 // le bound -> cumulative count (+Inf under math.Inf)
+		sum    float64
+		count  float64
+		hasCnt bool
+		hasInf bool
+		inf    float64
+	}
+	hists := map[string]map[string]*histAcc{} // family -> labelKey -> acc
+	var histOrder []struct {
+		fam, key string
+	}
+
+	// histFamily resolves which histogram family a sample name belongs
+	// to, if any: name must be <fam>_bucket/_sum/_count with <fam>
+	// declared as a histogram.
+	histFamily := func(name string) (fam, suffix string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if m := metas[base]; m != nil && m.kind == "histogram" {
+					return base, suf
+				}
+			}
+		}
+		return "", ""
+	}
+
+	// Pass 2: samples.
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", i+1, err)
+		}
+		if fam, suffix := histFamily(name); fam != "" {
+			famOf(fam) // register in exposition order
+			byKey := hists[fam]
+			if byKey == nil {
+				byKey = map[string]*histAcc{}
+				hists[fam] = byKey
+			}
+			var le string
+			bare := labels[:0:0]
+			for _, l := range labels {
+				if suffix == "_bucket" && l.Key == "le" {
+					le = l.Value
+					continue
+				}
+				bare = append(bare, l)
+			}
+			key := labelKey(bare)
+			acc := byKey[key]
+			if acc == nil {
+				acc = &histAcc{labels: bare, bucket: map[float64]float64{}}
+				byKey[key] = acc
+				histOrder = append(histOrder, struct{ fam, key string }{fam, key})
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return nil, fmt.Errorf("obs: line %d: histogram bucket without le label", i+1)
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: bad le value %q", i+1, le)
+				}
+				if isInfPos(bound) {
+					acc.hasInf, acc.inf = true, value
+				} else {
+					acc.bucket[bound] = value
+				}
+			case "_sum":
+				acc.sum = value
+			case "_count":
+				acc.hasCnt, acc.count = true, value
+			}
+			continue
+		}
+		if m := metas[name]; m != nil && m.kind == "histogram" {
+			return nil, fmt.Errorf("obs: line %d: sample %q in histogram family without _bucket/_sum/_count suffix", i+1, name)
+		}
+		f := famOf(name)
+		f.Samples = append(f.Samples, PromSample{Labels: labels, Value: value})
+	}
+
+	// Assemble histogram families in first-seen series order.
+	for _, ord := range histOrder {
+		acc := hists[ord.fam][ord.key]
+		f := famOf(ord.fam)
+		h := PromHist{Labels: acc.labels, Sum: acc.sum}
+		bounds := make([]float64, 0, len(acc.bucket))
+		for b := range acc.bucket {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		h.Bounds = bounds
+		h.Cum = make([]float64, len(bounds))
+		for i, b := range bounds {
+			h.Cum[i] = acc.bucket[b]
+		}
+		switch {
+		case acc.hasCnt:
+			h.Count = acc.count
+		case acc.hasInf:
+			h.Count = acc.inf
+		case len(h.Cum) > 0:
+			h.Count = h.Cum[len(h.Cum)-1]
+		}
+		f.Hists = append(f.Hists, h)
+	}
+	return snap, nil
+}
+
+func isInfPos(v float64) bool { return v > 1.7976931348623157e308 }
+
+// parseSampleLine parses `name{k="v",...} value [timestamp]`; the
+// optional timestamp is discarded.
+func parseSampleLine(line string) (string, []Label, float64, error) {
+	s := line
+	// Metric name: up to '{' or whitespace.
+	end := strings.IndexAny(s, "{ \t")
+	if end <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := s[:end]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	s = s[end:]
+	var labels []Label
+	if s[0] == '{' {
+		var err error
+		labels, s, err = parseLabels(s[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `k="v",...}` (the opening brace already
+// stripped) and returns the labels plus the remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		value, rest, err := parseQuoted(s[1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, Label{Key: key, Value: value})
+		s = rest
+		s = strings.TrimLeft(s, " \t")
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to the closing quote
+// (reverse of escapeLabel: \\, \n, \" unescape; unknown escapes keep
+// the backslash, matching Prometheus' lenient readers).
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// WriteProm re-serializes the snapshot in the same style as
+// Registry.WriteProm: HELP (when non-empty) then TYPE per family,
+// histograms as cumulative _bucket/_sum/_count with integral counts
+// rendered as integers. Families and series are written in snapshot
+// order; parsed snapshots preserve exposition order, so parse→write of
+// a Registry exposition is byte-identical.
+func (s *PromSnapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, sm := range f.Samples {
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, labelString(sm.Labels, ""), formatFloat(sm.Value))
+		}
+		for i := range f.Hists {
+			h := &f.Hists[i]
+			for j, bound := range h.Bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %s\n", f.Name,
+					labelString(h.Labels, formatFloat(bound)), formatCount(h.Cum[j]))
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %s\n", f.Name, labelString(h.Labels, "+Inf"), formatCount(h.Count))
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, labelString(h.Labels, ""), formatFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count%s %s\n", f.Name, labelString(h.Labels, ""), formatCount(h.Count))
+		}
+	}
+	return bw.Flush()
+}
+
+// formatCount renders histogram bucket/count values: integral values
+// as plain integers (matching the %d the Registry writer uses), the
+// rest like any sample value.
+func formatCount(v float64) string {
+	if v == float64(int64(v)) && v >= -9.007199254740992e15 && v <= 9.007199254740992e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatFloat(v)
+}

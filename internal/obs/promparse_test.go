@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParsePromRoundTrip: parse(WriteProm(registry)) re-serializes
+// byte-identically — the core guarantee the fleet federation relies
+// on (merging parsed snapshots must not distort what a process
+// exposed).
+func TestParsePromRoundTrip(t *testing.T) {
+	var orig bytes.Buffer
+	if err := goldenRegistry().WriteProm(&orig); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseProm(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, orig.String())
+	}
+	var rt bytes.Buffer
+	if err := snap.WriteProm(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rt.Bytes()) {
+		t.Errorf("round trip not byte-identical.\n--- original ---\n%s--- reserialized ---\n%s", orig.String(), rt.String())
+	}
+}
+
+// Multi-instance histograms exercise the shard-style labeling the
+// coordinator exposes (where quantile sample order is histogram-major,
+// not sorted by full label set).
+func TestParsePromRoundTripMultiInstance(t *testing.T) {
+	r := NewRegistry()
+	for _, shard := range []string{"0", "1", "2"} {
+		h := r.Histogram("shard_query_seconds", "Per-shard latency.", []float64{0.01, 0.1, 1}, L("shard", shard))
+		h.Observe(0.005)
+		h.Observe(0.5)
+	}
+	r.Counter("requests_total", "Requests.", L("outcome", "ok")).Add(1000000)
+	var orig bytes.Buffer
+	if err := r.WriteProm(&orig); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseProm(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt bytes.Buffer
+	if err := snap.WriteProm(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rt.Bytes()) {
+		t.Errorf("round trip not byte-identical.\n--- original ---\n%s--- reserialized ---\n%s", orig.String(), rt.String())
+	}
+	// Large integral counters must not re-render in exponent form.
+	if !strings.Contains(rt.String(), `requests_total{outcome="ok"} 1e+06`) {
+		// formatFloat('g') renders 1000000 as 1e+06 for scalars — and
+		// the round trip must preserve exactly that.
+		t.Errorf("counter formatting drifted:\n%s", rt.String())
+	}
+}
+
+func TestParsePromValues(t *testing.T) {
+	input := `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{op="q",le="0.1"} 2
+lat_seconds_bucket{op="q",le="1"} 5
+lat_seconds_bucket{op="q",le="+Inf"} 7
+lat_seconds_sum{op="q"} 12.5
+lat_seconds_count{op="q"} 7
+# TYPE odd gauge
+odd{v="esc\"q\\b\nnl"} NaN
+odd{v="inf"} +Inf
+odd{v="ninf"} -Inf
+# TYPE hits counter
+hits 31 1712345678901
+`
+	snap, err := ParseProm(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snap.Family("lat_seconds")
+	if f == nil || f.Kind != "histogram" || len(f.Hists) != 1 {
+		t.Fatalf("histogram family = %+v", f)
+	}
+	h := f.Hists[0]
+	if len(h.Bounds) != 2 || h.Bounds[0] != 0.1 || h.Bounds[1] != 1 {
+		t.Fatalf("bounds = %v", h.Bounds)
+	}
+	if h.Cum[0] != 2 || h.Cum[1] != 5 || h.Count != 7 || h.Sum != 12.5 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if len(h.Labels) != 1 || h.Labels[0] != L("op", "q") {
+		t.Fatalf("labels = %v", h.Labels)
+	}
+	if v, ok := snap.Value("odd", L("v", "esc\"q\\b\nnl")); !ok || !math.IsNaN(v) {
+		t.Fatalf("escaped NaN sample: v=%v ok=%v", v, ok)
+	}
+	if v, ok := snap.Value("odd", L("v", "inf")); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("+Inf sample: v=%v ok=%v", v, ok)
+	}
+	if v, ok := snap.Value("odd", L("v", "ninf")); !ok || !math.IsInf(v, -1) {
+		t.Fatalf("-Inf sample: v=%v ok=%v", v, ok)
+	}
+	// Timestamp discarded, value kept.
+	if v, ok := snap.Value("hits"); !ok || v != 31 {
+		t.Fatalf("hits = %v ok=%v", v, ok)
+	}
+	// Quantile through parsed buckets matches direct computation.
+	q, ok := snap.HistQuantile("lat_seconds", 0.5, L("op", "q"))
+	if !ok {
+		t.Fatal("HistQuantile miss")
+	}
+	want := bucketQuantile([]float64{0.1, 1}, []float64{2, 5}, 7, 0.5)
+	if q != want {
+		t.Fatalf("quantile = %v want %v", q, want)
+	}
+}
+
+func TestParsePromPartialHistogram(t *testing.T) {
+	// _count missing: synthesized from the +Inf bucket.
+	input := "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\n"
+	snap, err := ParseProm(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := snap.Family("h").Hists[0]; h.Count != 4 {
+		t.Fatalf("Count = %v, want 4", h.Count)
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, bad := range []string{
+		"metric_no_value\n",
+		"1leading_digit 3\n",
+		"m{a=\"unterminated} 1\n",
+		"m{a=} 1\n",
+		"m{a=\"x\"} notafloat\n",
+		"# TYPE m sometype\nm 1\n",
+		"# TYPE m histogram\nm_bucket{x=\"1\"} 2\n", // bucket without le
+		"# TYPE m histogram\nm 3\n",                 // bare sample in histogram family
+		"m{a=\"dangling\\\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseProm(%q) = nil error, want failure", bad)
+		}
+	}
+	// Lenient cases that must NOT fail.
+	for _, ok := range []string{
+		"",
+		"\n\n# just a comment\n",
+		"m{a=\"x\",} 1\n",          // trailing comma
+		"m{a=\"x\"} 1 123456789\n", // timestamp
+		"# TYPE m summary\nm 1\n",  // summaries parse as scalars
+	} {
+		if _, err := ParseProm(strings.NewReader(ok)); err != nil {
+			t.Errorf("ParseProm(%q) = %v, want nil", ok, err)
+		}
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	input := "# TYPE shed counter\nshed{reason=\"queue_full\",tenant=\"a\"} 3\nshed{reason=\"deadline\",tenant=\"a\"} 2\nshed{reason=\"queue_full\",tenant=\"b\"} 5\n"
+	snap, err := ParseProm(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.SumWhere("shed"); got != 10 {
+		t.Errorf("SumWhere() = %v, want 10", got)
+	}
+	if got := snap.SumWhere("shed", L("tenant", "a")); got != 5 {
+		t.Errorf("SumWhere(tenant=a) = %v, want 5", got)
+	}
+	if got := snap.SumWhere("shed", L("reason", "queue_full")); got != 8 {
+		t.Errorf("SumWhere(reason=queue_full) = %v, want 8", got)
+	}
+	if got := snap.SumWhere("absent"); got != 0 {
+		t.Errorf("SumWhere(absent) = %v, want 0", got)
+	}
+	if _, ok := snap.Value("shed", L("tenant", "a")); ok {
+		t.Error("Value with partial labels should miss (exact match)")
+	}
+	// Order-insensitive exact match.
+	if v, ok := snap.Value("shed", L("tenant", "b"), L("reason", "queue_full")); !ok || v != 5 {
+		t.Errorf("Value = %v ok=%v", v, ok)
+	}
+}
+
+// FuzzParseProm: the parser must never panic, and anything it accepts
+// must re-serialize into something it accepts again (write→parse
+// closure), which is what the fleet endpoint relies on when re-serving
+// merged foreign input.
+func FuzzParseProm(f *testing.F) {
+	var golden bytes.Buffer
+	_ = goldenRegistry().WriteProm(&golden)
+	f.Add(golden.String())
+	f.Add("# HELP m help \\\\ with \\n escapes\n# TYPE m counter\nm{a=\"\\\"x\\\\y\\n\"} 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n")
+	f.Add("m NaN\nm2 +Inf\nm3 -Inf\n")
+	f.Add("# TYPE g gauge\ng{} 5\n")
+	f.Add("m 1 2 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		snap, err := ParseProm(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := snap.WriteProm(&buf); err != nil {
+			t.Fatalf("WriteProm after successful parse: %v", err)
+		}
+		if _, err := ParseProm(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("reparse of own output failed: %v\n--- output ---\n%s", err, buf.String())
+		}
+	})
+}

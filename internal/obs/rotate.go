@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// RotatingWriter is a size-capped append-only file writer with exactly
+// one rotated generation: when a write would push the file past
+// MaxBytes, the current file is renamed to <path>.1 (replacing any
+// previous .1) and a fresh file is started. Worst-case disk use is
+// therefore ~2×MaxBytes, so a long-lived shard's slow-query log cannot
+// fill the disk. Writes are line-granular: a single Write is never
+// split across the rotation boundary. Safe for concurrent use.
+type RotatingWriter struct {
+	mu   sync.Mutex
+	path string
+	max  int64
+	f    *os.File
+	size int64
+}
+
+// DefaultSlowLogMaxBytes caps the slow-query log at 64 MiB per
+// generation when no explicit cap is configured.
+const DefaultSlowLogMaxBytes = 64 << 20
+
+// NewRotatingWriter opens (appending) or creates path with the given
+// per-generation byte cap (<=0 means DefaultSlowLogMaxBytes).
+func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSlowLogMaxBytes
+	}
+	w := &RotatingWriter{path: path, max: maxBytes}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RotatingWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, st.Size()
+	return nil
+}
+
+// Write appends p, rotating first if the file would exceed the cap.
+// An entry larger than the cap itself is still written whole (after a
+// rotation), never truncated or split.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		if err := w.open(); err != nil {
+			return 0, err
+		}
+	}
+	if w.size > 0 && w.size+int64(len(p)) > w.max {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate is called with the lock held.
+func (w *RotatingWriter) rotate() error {
+	w.f.Close()
+	w.f = nil
+	if err := os.Rename(w.path, w.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return w.open()
+}
+
+// Close closes the current file; later writes reopen it.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// NewRotatingSlowLog is the common wiring: a slow-query log appending
+// JSON lines to path, size-capped with one .1 generation.
+func NewRotatingSlowLog(path string, threshold time.Duration, maxBytes int64) (*SlowLog, *RotatingWriter, error) {
+	w, err := NewRotatingWriter(path, maxBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewSlowLog(w, threshold), w, nil
+}

@@ -55,6 +55,11 @@ type admission struct {
 	mu      sync.Mutex
 	tenants map[string]*tenantState
 
+	// sheds counts rejections across tenants and reasons (the
+	// dashboard's aggregate; per-reason/tenant breakdown lives in the
+	// registry counters).
+	sheds atomic.Int64
+
 	m *metrics
 }
 
@@ -139,7 +144,8 @@ func (a *admission) acquire(ctx context.Context) (release func(), queueWait time
 	queued := ts.queued.Add(1)
 	defer ts.queued.Add(-1)
 	if queued > int64(a.cfg.QueueBudget) {
-		a.m.shed("queue_full")
+		a.sheds.Add(1)
+		a.m.shed("queue_full", tenant)
 		return nil, 0, endpoint.MarkOverloaded(fmt.Errorf(
 			"serve: tenant %q queue full (%d waiting, budget %d)", tenant, queued-1, a.cfg.QueueBudget))
 	}
@@ -152,7 +158,8 @@ func (a *admission) acquire(ctx context.Context) (release func(), queueWait time
 			rounds := (queued + int64(a.cfg.MaxConcurrent) - 1) / int64(a.cfg.MaxConcurrent)
 			predicted := time.Duration(ewma * rounds)
 			if remaining := time.Until(deadline); predicted > remaining {
-				a.m.shed("deadline")
+				a.sheds.Add(1)
+				a.m.shed("deadline", tenant)
 				return nil, 0, endpoint.MarkOverloaded(fmt.Errorf(
 					"serve: tenant %q predicted queue wait %s exceeds deadline budget %s",
 					tenant, predicted.Round(time.Millisecond), remaining.Round(time.Millisecond)))
@@ -164,7 +171,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), queueWait time
 	select {
 	case ts.sem <- struct{}{}:
 		queueWait = time.Since(wait)
-		a.m.observeQueueWait(queueWait)
+		a.m.observeQueueWait(queueWait, tenant)
 		return done(), queueWait, nil
 	case <-ctx.Done():
 		return nil, time.Since(wait), ctx.Err()

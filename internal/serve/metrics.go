@@ -6,31 +6,38 @@ import (
 	"re2xolap/internal/obs"
 )
 
-// shedReasons is the label vocabulary of the shed counter.
+// shedReasons is the label vocabulary of the shed counter's reason
+// dimension.
 var shedReasons = [...]string{"queue_full", "deadline"}
 
 // metrics is the serve stack's registry series, created once at
 // construction. A nil *metrics (registry absent) disables everything
-// through the obs nil fast path — every method is nil-safe.
+// through the obs nil fast path — every method is nil-safe. The
+// tenant-labeled series (sheds, queue wait) are created lazily per
+// tenant through the registry (which dedupes by name+labels); the
+// shared interner bounds their cardinality.
 type metrics struct {
+	reg   *obs.Registry
+	names *tenantNames
+
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	coalesced      *obs.Counter
 	executions     *obs.Counter
-	queueWait      *obs.Histogram
-	sheds          map[string]*obs.Counter // by reason
 }
 
 // newMetrics registers the serve series. The occupancy and queue-depth
 // gauges sample the stack directly at exposition time, so they are
 // registered by the Stack after construction (it owns the sampled
-// state).
-func newMetrics(reg *obs.Registry) *metrics {
+// state). names is the tenant interner shared with the SLO tracker.
+func newMetrics(reg *obs.Registry, names *tenantNames) *metrics {
 	if reg == nil {
 		return nil
 	}
 	m := &metrics{
+		reg:   reg,
+		names: names,
 		cacheHits: reg.Counter("re2xolap_result_cache_hits_total",
 			"Queries answered from the result cache without executing."),
 		cacheMisses: reg.Counter("re2xolap_result_cache_misses_total",
@@ -41,13 +48,6 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Requests deduplicated onto a concurrent identical execution."),
 		executions: reg.Counter("re2xolap_serve_executions_total",
 			"Queries the serve stack actually forwarded to the inner client."),
-		queueWait: reg.Histogram("re2xolap_serve_queue_wait_seconds",
-			"Time admitted requests spent queued for an execution slot.", nil),
-		sheds: make(map[string]*obs.Counter, len(shedReasons)),
-	}
-	for _, reason := range shedReasons {
-		m.sheds[reason] = reg.Counter("re2xolap_serve_shed_total",
-			"Requests rejected by admission control, by reason.", obs.L("reason", reason))
 	}
 	return m
 }
@@ -82,14 +82,25 @@ func (m *metrics) execute() {
 	}
 }
 
-func (m *metrics) observeQueueWait(d time.Duration) {
+// observeQueueWait records one admitted request's queue time on the
+// tenant's wait histogram. This runs only on the slow (queued) path,
+// so the registry lookup (a map read after the first call per tenant)
+// is off the fast path.
+func (m *metrics) observeQueueWait(d time.Duration, tenant string) {
 	if m != nil {
-		m.queueWait.ObserveDuration(d)
+		m.reg.Histogram("re2xolap_serve_queue_wait_seconds",
+			"Time admitted requests spent queued for an execution slot, by tenant.", nil,
+			obs.L("tenant", m.names.intern(tenant))).ObserveDuration(d)
 	}
 }
 
-func (m *metrics) shed(reason string) {
+// shed counts one admission rejection, attributed to reason and
+// tenant (reason ∈ shedReasons; tenant is interned to the bounded
+// label set).
+func (m *metrics) shed(reason, tenant string) {
 	if m != nil {
-		m.sheds[reason].Inc()
+		m.reg.Counter("re2xolap_serve_shed_total",
+			"Requests rejected by admission control, by reason and tenant.",
+			obs.L("reason", reason), obs.L("tenant", m.names.intern(tenant))).Inc()
 	}
 }

@@ -470,7 +470,7 @@ func TestAdmissionQueueFullShed(t *testing.T) {
 	if shed == 0 {
 		t.Error("no request was shed")
 	}
-	if v := reg.Counter("re2xolap_serve_shed_total", "", obs.L("reason", "queue_full")).Value(); v != int64(shed) {
+	if v := reg.Counter("re2xolap_serve_shed_total", "", obs.L("reason", "queue_full"), obs.L("tenant", "default")).Value(); v != int64(shed) {
 		t.Errorf("shed counter = %d, want %d", v, shed)
 	}
 }

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"re2xolap/internal/obs"
+)
+
+// SLO defaults.
+const (
+	// DefaultMaxTenants bounds the tenant label cardinality shared by
+	// the SLO tracker and the tenant-labeled admission metrics; tenants
+	// past the bound are folded into OverflowTenant.
+	DefaultMaxTenants = 64
+	// OverflowTenant absorbs tenants beyond the cardinality bound.
+	OverflowTenant = "other"
+)
+
+// maxBurnBudgetFloor keeps burn rates finite (and JSON-encodable) for
+// degenerate objectives with a zero error budget (target = 100%).
+const maxBurnBudgetFloor = 1e-9
+
+// Objective is one service-level objective: either a latency
+// objective ("p99<250ms": 99% of requests complete within 250ms) or
+// an error-rate objective ("err<1%": at most 1% of requests fail).
+type Objective struct {
+	// Name is the canonical spelling, e.g. "p99<250ms" or "err<1%";
+	// it is the `objective` label on the burn-rate gauges.
+	Name string
+	// Latency is the per-request threshold for latency objectives;
+	// zero marks an error-rate objective.
+	Latency time.Duration
+	// Target is the good-event fraction the objective demands, in
+	// (0, 1): 0.99 for "p99<250ms", 0.99 for "err<1%".
+	Target float64
+}
+
+// Kind reports "latency" or "error_rate".
+func (o Objective) Kind() string {
+	if o.Latency > 0 {
+		return "latency"
+	}
+	return "error_rate"
+}
+
+// bad classifies one request outcome against the objective. Errors
+// (including sheds) are bad events for every objective; latency
+// objectives additionally count slow successes.
+func (o Objective) bad(out Outcome) bool {
+	if out.Err != nil {
+		return true
+	}
+	return o.Latency > 0 && out.Wall > o.Latency
+}
+
+// ParseSLO parses a comma-separated objective list in the -slo flag
+// syntax: latency terms "p<quantile><<duration>" (e.g. "p99<250ms",
+// "p95<1s") and error-rate terms "err<<percent>%" (e.g. "err<1%",
+// "err<0.5%").
+func ParseSLO(s string) ([]Objective, error) {
+	var out []Objective
+	seen := make(map[string]bool)
+	for _, term := range strings.Split(s, ",") {
+		term = strings.ToLower(strings.TrimSpace(term))
+		if term == "" {
+			continue
+		}
+		left, right, ok := strings.Cut(term, "<")
+		if !ok {
+			return nil, fmt.Errorf("slo: term %q: want <objective><<threshold>", term)
+		}
+		obj := Objective{Name: left + "<" + right}
+		switch {
+		case left == "err":
+			if !strings.HasSuffix(right, "%") {
+				return nil, fmt.Errorf("slo: term %q: error-rate threshold must end in %%", term)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(right, "%"), 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("slo: term %q: error rate must be a percent in (0, 100)", term)
+			}
+			obj.Target = 1 - pct/100
+		case strings.HasPrefix(left, "p"):
+			q, err := strconv.ParseFloat(left[1:], 64)
+			if err != nil || q <= 0 || q >= 100 {
+				return nil, fmt.Errorf("slo: term %q: quantile must be in (0, 100)", term)
+			}
+			d, err := time.ParseDuration(right)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo: term %q: bad latency threshold %q", term, right)
+			}
+			obj.Latency = d
+			obj.Target = q / 100
+		default:
+			return nil, fmt.Errorf("slo: term %q: want pNN<duration or err<percent%%", term)
+		}
+		if seen[obj.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective %q", obj.Name)
+		}
+		seen[obj.Name] = true
+		out = append(out, obj)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("slo: no objectives in %q", s)
+	}
+	return out, nil
+}
+
+// SLOConfig configures per-tenant SLO tracking.
+type SLOConfig struct {
+	// Objectives to track; required (use ParseSLO for flag syntax).
+	Objectives []Objective
+	// MaxTenants bounds tenant cardinality across the burn-rate gauges
+	// and the tenant-labeled admission metrics; <= 0 means
+	// DefaultMaxTenants. The bound counts distinct tenants ever seen;
+	// later tenants fold into OverflowTenant.
+	MaxTenants int
+}
+
+// sloWindowSpec is one sliding window: n ring slots of bucket width.
+// Multi-window burn rates follow the standard SRE practice: the short
+// window answers "are we burning budget right now", the long windows
+// answer "have we burned too much to ignore".
+type sloWindowSpec struct {
+	name   string
+	bucket time.Duration
+	n      int
+}
+
+// sloWindows are the tracked windows: 5m (30×10s), 1h (60×1m),
+// 6h (72×5m).
+var sloWindows = [...]sloWindowSpec{
+	{"5m", 10 * time.Second, 30},
+	{"1h", time.Minute, 60},
+	{"6h", 5 * time.Minute, 72},
+}
+
+// sloSlot is one ring bucket: totals for one bucket-width time span.
+// epoch is the absolute bucket index the slot currently holds (-1 =
+// never written); a slot whose epoch has fallen out of the window is
+// dead weight ignored by reads and recycled by the next write.
+type sloSlot struct {
+	epoch int64
+	total int64
+	bad   []int64 // by objective index
+}
+
+// sloWindow is one tenant × window ring.
+type sloWindow struct {
+	slots []sloSlot
+}
+
+// tenantSLO is one tenant's tracking state: the window rings plus
+// cumulative attribution counters. One mutex per tenant keeps Record
+// contention per-tenant, not global.
+type tenantSLO struct {
+	mu        sync.Mutex
+	wins      [len(sloWindows)]sloWindow
+	queries   int64
+	errors    int64
+	cacheHits int64
+	coalesced int64
+	sheds     int64
+}
+
+// Outcome is one request's result as seen at the top of the serving
+// stack, the unit the SLO tracker records.
+type Outcome struct {
+	Wall      time.Duration
+	Err       error
+	CacheHit  bool
+	Coalesced bool
+	Shed      bool
+}
+
+// tenantNames is the bounded tenant interner shared by the SLO
+// tracker and the tenant-labeled admission metrics, so both fold the
+// same overflow tenants the same way and total label cardinality
+// stays bounded no matter what tenant strings clients send.
+type tenantNames struct {
+	mu    sync.RWMutex
+	max   int
+	known map[string]struct{}
+}
+
+func newTenantNames(max int) *tenantNames {
+	if max <= 0 {
+		max = DefaultMaxTenants
+	}
+	return &tenantNames{max: max, known: make(map[string]struct{}, 8)}
+}
+
+// intern returns name if it is within the cardinality bound (claiming
+// a slot on first sight), else OverflowTenant. The steady state (name
+// already known) takes only the read lock.
+func (n *tenantNames) intern(name string) string {
+	if name == "" || name == OverflowTenant {
+		return OverflowTenant
+	}
+	n.mu.RLock()
+	_, ok := n.known[name]
+	n.mu.RUnlock()
+	if ok {
+		return name
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.known[name]; ok {
+		return name
+	}
+	if len(n.known) >= n.max {
+		return OverflowTenant
+	}
+	n.known[name] = struct{}{}
+	return name
+}
+
+// Tracker maintains per-tenant sliding-window SLIs and exposes
+// multi-window burn rates as gauges
+// (re2xolap_slo_burn_rate{tenant,objective,window}) plus a JSON
+// report for /debug/slo. A burn rate of 1.0 means the tenant is
+// consuming error budget exactly at the objective's sustainable rate;
+// above 1 the budget is burning faster than the objective allows.
+type Tracker struct {
+	objectives []Objective
+	reg        *obs.Registry
+	names      *tenantNames
+	now        func() time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*tenantSLO
+}
+
+// newTracker builds the tracker; names is the interner shared with
+// the serve metrics (never nil here — the Stack builds it first).
+func newTracker(cfg SLOConfig, reg *obs.Registry, names *tenantNames) *Tracker {
+	return &Tracker{
+		objectives: cfg.Objectives,
+		reg:        reg,
+		names:      names,
+		now:        time.Now,
+		tenants:    make(map[string]*tenantSLO),
+	}
+}
+
+// Objectives returns the tracked objectives.
+func (t *Tracker) Objectives() []Objective { return t.objectives }
+
+// tenant returns (lazily creating) one tenant's state; creation
+// registers the tenant's burn-rate gauges. The steady state (tenant
+// already tracked) takes only the read lock.
+func (t *Tracker) tenant(name string) *tenantSLO {
+	t.mu.RLock()
+	ts, ok := t.tenants[name]
+	t.mu.RUnlock()
+	if ok {
+		return ts
+	}
+	t.mu.Lock()
+	ts, ok = t.tenants[name]
+	if !ok {
+		ts = &tenantSLO{}
+		for wi := range ts.wins {
+			slots := make([]sloSlot, sloWindows[wi].n)
+			for si := range slots {
+				slots[si] = sloSlot{epoch: -1, bad: make([]int64, len(t.objectives))}
+			}
+			ts.wins[wi].slots = slots
+		}
+		t.tenants[name] = ts
+	}
+	t.mu.Unlock()
+	if !ok && t.reg != nil {
+		for oi, obj := range t.objectives {
+			for wi, win := range sloWindows {
+				oi, wi, ts := oi, wi, ts
+				t.reg.GaugeFunc("re2xolap_slo_burn_rate",
+					"Error-budget burn rate by tenant, objective, and window (1.0 = burning exactly at the sustainable rate).",
+					func() float64 { return t.burn(ts, oi, wi) },
+					obs.L("tenant", name), obs.L("objective", obj.Name), obs.L("window", win.name))
+			}
+		}
+	}
+	return ts
+}
+
+// Record folds one request outcome into the tenant's windows. The
+// tenant string is raw (pre-interning); bounded cardinality is
+// enforced here.
+func (t *Tracker) Record(tenant string, out Outcome) {
+	if t == nil {
+		return
+	}
+	ts := t.tenant(t.names.intern(tenant))
+	nowNs := t.now().UnixNano()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.queries++
+	if out.Err != nil {
+		ts.errors++
+	}
+	if out.CacheHit {
+		ts.cacheHits++
+	}
+	if out.Coalesced {
+		ts.coalesced++
+	}
+	if out.Shed {
+		ts.sheds++
+	}
+	for wi := range ts.wins {
+		spec := &sloWindows[wi]
+		idx := nowNs / int64(spec.bucket)
+		slot := &ts.wins[wi].slots[idx%int64(spec.n)]
+		if slot.epoch != idx {
+			slot.epoch, slot.total = idx, 0
+			for oi := range slot.bad {
+				slot.bad[oi] = 0
+			}
+		}
+		slot.total++
+		for oi := range t.objectives {
+			if t.objectives[oi].bad(out) {
+				slot.bad[oi]++
+			}
+		}
+	}
+}
+
+// windowCounts sums one window's in-range slots; caller holds ts.mu.
+func (t *Tracker) windowCounts(ts *tenantSLO, wi int, nowNs int64) (total int64, bad []int64) {
+	spec := &sloWindows[wi]
+	idx := nowNs / int64(spec.bucket)
+	bad = make([]int64, len(t.objectives))
+	for si := range ts.wins[wi].slots {
+		slot := &ts.wins[wi].slots[si]
+		if slot.epoch < 0 || idx-slot.epoch >= int64(spec.n) {
+			continue
+		}
+		total += slot.total
+		for oi := range bad {
+			bad[oi] += slot.bad[oi]
+		}
+	}
+	return total, bad
+}
+
+// burn computes one tenant × objective × window burn rate at gauge
+// sample time: (bad fraction) / (error budget). Zero traffic in the
+// window reads as zero burn.
+func (t *Tracker) burn(ts *tenantSLO, oi, wi int) float64 {
+	nowNs := t.now().UnixNano()
+	ts.mu.Lock()
+	total, bad := t.windowCounts(ts, wi, nowNs)
+	ts.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - t.objectives[oi].Target
+	if budget < maxBurnBudgetFloor {
+		budget = maxBurnBudgetFloor
+	}
+	return (float64(bad[oi]) / float64(total)) / budget
+}
+
+// SLOObjectiveInfo describes one configured objective in the report.
+type SLOObjectiveInfo struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"` // "latency" | "error_rate"
+	Target    float64 `json:"target"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// SLOObjectiveReport is one objective's standing within one window.
+type SLOObjectiveReport struct {
+	Bad       int64   `json:"bad"`
+	GoodRatio float64 `json:"good_ratio"`
+	BurnRate  float64 `json:"burn_rate"`
+}
+
+// SLOWindowReport is one tenant × window slice of the report.
+type SLOWindowReport struct {
+	Total      int64                          `json:"total"`
+	Objectives map[string]*SLOObjectiveReport `json:"objectives"`
+}
+
+// SLOTenantReport is one tenant's standing: cumulative attribution
+// counters plus per-window objective status.
+type SLOTenantReport struct {
+	Queries       int64                       `json:"queries"`
+	Errors        int64                       `json:"errors"`
+	CacheHits     int64                       `json:"cache_hits"`
+	Coalesced     int64                       `json:"coalesced"`
+	Sheds         int64                       `json:"sheds"`
+	CacheHitRatio float64                     `json:"cache_hit_ratio"`
+	Windows       map[string]*SLOWindowReport `json:"windows"`
+}
+
+// SLOReport is the /debug/slo document.
+type SLOReport struct {
+	Objectives []SLOObjectiveInfo          `json:"objectives"`
+	Windows    []string                    `json:"windows"`
+	Tenants    map[string]*SLOTenantReport `json:"tenants"`
+}
+
+// Report assembles the current standing of every tenant.
+func (t *Tracker) Report() SLOReport {
+	rep := SLOReport{Tenants: make(map[string]*SLOTenantReport)}
+	for _, obj := range t.objectives {
+		info := SLOObjectiveInfo{Name: obj.Name, Kind: obj.Kind(), Target: obj.Target}
+		if obj.Latency > 0 {
+			info.LatencyMS = float64(obj.Latency) / float64(time.Millisecond)
+		}
+		rep.Objectives = append(rep.Objectives, info)
+	}
+	for _, w := range sloWindows {
+		rep.Windows = append(rep.Windows, w.name)
+	}
+	t.mu.Lock()
+	tenants := make(map[string]*tenantSLO, len(t.tenants))
+	for name, ts := range t.tenants {
+		tenants[name] = ts
+	}
+	t.mu.Unlock()
+	nowNs := t.now().UnixNano()
+	for name, ts := range tenants {
+		ts.mu.Lock()
+		tr := &SLOTenantReport{
+			Queries: ts.queries, Errors: ts.errors,
+			CacheHits: ts.cacheHits, Coalesced: ts.coalesced, Sheds: ts.sheds,
+			Windows: make(map[string]*SLOWindowReport, len(sloWindows)),
+		}
+		if ts.queries > 0 {
+			tr.CacheHitRatio = float64(ts.cacheHits) / float64(ts.queries)
+		}
+		for wi, spec := range sloWindows {
+			total, bad := t.windowCounts(ts, wi, nowNs)
+			wr := &SLOWindowReport{Total: total, Objectives: make(map[string]*SLOObjectiveReport, len(t.objectives))}
+			for oi, obj := range t.objectives {
+				or := &SLOObjectiveReport{Bad: bad[oi], GoodRatio: 1}
+				if total > 0 {
+					or.GoodRatio = float64(total-bad[oi]) / float64(total)
+					budget := 1 - obj.Target
+					if budget < maxBurnBudgetFloor {
+						budget = maxBurnBudgetFloor
+					}
+					or.BurnRate = (float64(bad[oi]) / float64(total)) / budget
+				}
+				wr.Objectives[obj.Name] = or
+			}
+			tr.Windows[spec.name] = wr
+		}
+		ts.mu.Unlock()
+		rep.Tenants[name] = tr
+	}
+	return rep
+}
+
+// Tenants lists tracked tenants, sorted (for deterministic dashboards).
+func (t *Tracker) Tenants() []string {
+	t.mu.Lock()
+	out := make([]string, 0, len(t.tenants))
+	for name := range t.tenants {
+		out = append(out, name)
+	}
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the JSON report at /debug/slo.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Report())
+	})
+}

@@ -64,6 +64,10 @@ type Config struct {
 	// BoundJoinChunk caps the VALUES rows shipped per bound-join fetch
 	// query; <= 0 means DefaultBoundJoinChunk.
 	BoundJoinChunk int
+	// Fleet, when non-nil, enables the fleet metrics collector: the
+	// coordinator scrapes every HTTP replica's /metrics and serves the
+	// merged exposition via FleetHandler (see FleetConfig).
+	Fleet *FleetConfig
 }
 
 // view is one immutable resolved topology generation. Queries load
@@ -92,6 +96,8 @@ type Coordinator struct {
 
 	probeCancel context.CancelFunc
 	probeDone   chan struct{}
+
+	fleet *fleetCollector // nil unless Config.Fleet is set
 }
 
 // New builds a coordinator over single-replica shards (index = shard
@@ -135,6 +141,7 @@ func NewReplicated(groups [][]endpoint.Client, opts ...Option) (*Coordinator, er
 	}
 	c.view.Store(&view{tv: tv, groups: built})
 	c.startProber()
+	c.startFleet()
 	return c, nil
 }
 
@@ -160,6 +167,7 @@ func NewDynamic(topo Topology, dial Dialer, opts ...Option) (*Coordinator, error
 	}
 	c.view.Store(v)
 	c.startProber()
+	c.startFleet()
 	return c, nil
 }
 
@@ -328,15 +336,16 @@ func (c *Coordinator) startProber() {
 	go c.probeLoop(ctx)
 }
 
-// Close stops the background prober (if any) and waits for it. The
-// coordinator remains usable for queries afterwards; health states
-// freeze at their last probed value.
+// Close stops the background prober and fleet collector (if any) and
+// waits for them. The coordinator remains usable for queries
+// afterwards; health states freeze at their last probed value.
 func (c *Coordinator) Close() {
 	if c.probeCancel != nil {
 		c.probeCancel()
 		<-c.probeDone
 		c.probeCancel = nil
 	}
+	c.stopFleet()
 }
 
 // Generation implements endpoint.GenerationSource with a composed

@@ -100,6 +100,17 @@ func WithPlanCache(capacity int) Option {
 	}
 }
 
+// WithFleet enables the fleet metrics collector: the coordinator
+// scrapes every HTTP replica's /metrics (on the configured interval,
+// or on demand per FleetHandler request when the interval is zero)
+// and serves the merged exposition — counters summed, histogram
+// buckets summed with quantiles recomputed, per-process gauges
+// passthrough with an `instance` label, staleness gauges for
+// unreachable replicas — at FleetHandler (/metrics/fleet).
+func WithFleet(cfg FleetConfig) Option {
+	return func(c *Config) { c.Fleet = &cfg }
+}
+
 // WithBoundJoinChunk caps the VALUES rows shipped per bound-join
 // fetch query; <= 0 means DefaultBoundJoinChunk. Chunk boundaries are
 // computed on the canonically sorted binding set, so the generated

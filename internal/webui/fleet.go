@@ -1,0 +1,160 @@
+package webui
+
+// This file is the fleet ops dashboard: a single server-rendered page
+// (/fleet) showing topology health, per-shard latency, serve-layer
+// cache and admission state, and the per-tenant SLO burn-rate table.
+// The handler is decoupled from the shard and serve packages: the
+// caller assembles a FleetData snapshot per request (cmd/sparqld does
+// this from the coordinator, the serve stack, and the metrics
+// registry), so the dashboard renders whatever subset of the system
+// exists — a single node shows only its serve and tenant sections.
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// FleetData is one render of the ops dashboard. All fields are plain
+// presentation values; zero-value sections are omitted from the page.
+type FleetData struct {
+	// Mode names the deployment role: "coordinator" or "single".
+	Mode string
+	// Shards and ReplicaCount describe the topology (coordinator only).
+	Shards       int
+	ReplicaCount int
+	// Epoch is the topology version (bumps on live reloads).
+	Epoch int64
+	// RefreshSeconds drives the page's auto-refresh meta tag
+	// (0 disables).
+	RefreshSeconds int
+
+	Replicas []FleetReplicaRow
+	Latency  []ShardLatencyRow
+	Serve    *ServeStats
+	Tenants  []TenantSLORow
+	// SLOObjectives names the tracked objectives for the table header.
+	SLOObjectives []string
+}
+
+// FleetReplicaRow is one replica's health and scrape state.
+type FleetReplicaRow struct {
+	Shard, Replica int
+	Spec           string
+	Up, Probed     bool
+	// Scrapable/Scraped/Stale/Age describe fleet metrics collection;
+	// meaningful only when fleet scraping is on.
+	Scrapable bool
+	Scraped   bool
+	Stale     bool
+	Age       string
+	Err       string
+}
+
+// ShardLatencyRow is one shard's call-latency quantiles as the
+// coordinator observed them.
+type ShardLatencyRow struct {
+	Shard         string
+	Queries       int64
+	Errors        int64
+	P50, P95, P99 string
+}
+
+// ServeStats is the serving-stack section: cache effectiveness,
+// dedup, and admission pressure.
+type ServeStats struct {
+	CacheHits     int64
+	CacheMisses   int64
+	CacheHitRatio string
+	Coalesced     int64
+	Executions    int64
+	QueueDepth    int64
+	Sheds         int64
+}
+
+// TenantSLORow is one tenant × objective row of the burn-rate table.
+type TenantSLORow struct {
+	Tenant    string
+	Objective string
+	// Burn5m/1h/6h are formatted burn rates; Hot flags a row burning
+	// above 1.0 in any window (rendered highlighted).
+	Burn5m, Burn1h, Burn6h string
+	Hot                    bool
+	Queries                int64
+	Sheds                  int64
+	CacheHitRatio          string
+}
+
+// NewFleet serves the ops dashboard, calling provider on every
+// request for a fresh snapshot.
+func NewFleet(provider func() FleetData) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/fleet" && r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := fleetTmpl.Execute(w, provider()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// fleetTmpl uses html/template: tenant names arrive from request
+// headers and scrape errors echo remote responses, so contextual
+// escaping is load-bearing here.
+var fleetTmpl = template.Must(template.New("fleet").Parse(`<!DOCTYPE html>
+<html><head><title>RE2xOLAP — fleet</title>
+{{if .RefreshSeconds}}<meta http-equiv="refresh" content="{{.RefreshSeconds}}">{{end}}
+<style>` + baseCSS + `
+td.ok { color: #0a7d33; font-weight: 600; }
+td.bad { color: #b00020; font-weight: 600; }
+tr.hot td { background: #fdecea; }
+</style></head><body>
+<h1>Fleet — {{.Mode}}</h1>
+{{if .Shards}}<p class="muted">{{.Shards}} shards · {{.ReplicaCount}} replicas · topology epoch {{.Epoch}}</p>{{end}}
+
+{{if .Replicas}}
+<h2>Topology health</h2>
+<table>
+<tr><th>shard</th><th>replica</th><th>spec</th><th>routing</th><th>scrape</th><th>age</th><th>error</th></tr>
+{{range .Replicas}}
+<tr><td>{{.Shard}}</td><td>{{.Replica}}</td><td>{{.Spec}}</td>
+<td class="{{if .Up}}ok{{else}}bad{{end}}">{{if .Up}}up{{else}}down{{end}}{{if not .Probed}} (unprobed){{end}}</td>
+<td>{{if not .Scrapable}}<span class="muted">n/a</span>{{else if .Stale}}<span class="bad">stale</span>{{else}}<span class="ok">fresh</span>{{end}}</td>
+<td>{{.Age}}</td><td>{{.Err}}</td></tr>
+{{end}}
+</table>
+{{end}}
+
+{{if .Latency}}
+<h2>Per-shard latency (coordinator view)</h2>
+<table>
+<tr><th>shard</th><th>queries</th><th>errors</th><th>p50</th><th>p95</th><th>p99</th></tr>
+{{range .Latency}}
+<tr><td>{{.Shard}}</td><td>{{.Queries}}</td><td>{{.Errors}}</td><td>{{.P50}}</td><td>{{.P95}}</td><td>{{.P99}}</td></tr>
+{{end}}
+</table>
+{{end}}
+
+{{if .Serve}}
+<h2>Serving stack</h2>
+<table>
+<tr><th>cache hits</th><th>misses</th><th>hit ratio</th><th>coalesced</th><th>executions</th><th>queue depth</th><th>sheds</th></tr>
+<tr><td>{{.Serve.CacheHits}}</td><td>{{.Serve.CacheMisses}}</td><td>{{.Serve.CacheHitRatio}}</td>
+<td>{{.Serve.Coalesced}}</td><td>{{.Serve.Executions}}</td><td>{{.Serve.QueueDepth}}</td><td>{{.Serve.Sheds}}</td></tr>
+</table>
+{{end}}
+
+{{if .Tenants}}
+<h2>Tenant SLO burn rates</h2>
+<p class="muted">objectives: {{range $i, $o := .SLOObjectives}}{{if $i}}, {{end}}{{$o}}{{end}} — burn 1.0 = consuming error budget exactly at the sustainable rate</p>
+<table>
+<tr><th>tenant</th><th>objective</th><th>burn 5m</th><th>burn 1h</th><th>burn 6h</th><th>queries</th><th>sheds</th><th>cache hit</th></tr>
+{{range .Tenants}}
+<tr{{if .Hot}} class="hot"{{end}}><td>{{.Tenant}}</td><td>{{.Objective}}</td>
+<td>{{.Burn5m}}</td><td>{{.Burn1h}}</td><td>{{.Burn6h}}</td>
+<td>{{.Queries}}</td><td>{{.Sheds}}</td><td>{{.CacheHitRatio}}</td></tr>
+{{end}}
+</table>
+{{end}}
+</body></html>`))
